@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain pytest / python underneath.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full results examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	$(PYTHON) -m repro bench all --scale 1.0 | tee docs/results-scale-1.0.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f > /dev/null || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .benchmarks .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable
+(default 0.4 — a few seconds for the full suite; set 1.0 for the
+paper-sized stand-ins).  Dataset bundles are cached per session, and
+every benchmark works on copies, so ordering does not matter.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentConfig, load_dataset
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def xmark_bundle(config):
+    return load_dataset("xmark", config)
+
+
+@pytest.fixture(scope="session")
+def nasa_bundle(config):
+    return load_dataset("nasa", config)
+
+
+def attach_result(benchmark, result) -> None:
+    """Record an ExperimentResult's rendered table in benchmark metadata
+    and echo it so ``--benchmark-only -s`` shows the paper-style rows."""
+    benchmark.extra_info["table"] = result.render()
+    print()
+    print(result.render())

@@ -1,0 +1,40 @@
+"""CONSTRUCT — construction-time scaling (the O(k·m) claim).
+
+Section 4.1/4.2: the A(k)-index and D(k)-index are constructible in
+O(k·m) time.  We benchmark D(k) construction on the full bundle and
+check that A(k) construction time grows no worse than linearly-ish in k
+(each extra round costs about one pass over the edges).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.experiments import run_construct
+from repro.core.dindex import DKIndex
+from repro.indexes.akindex import build_ak_index
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_construction_scaling(benchmark, dataset, config, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+
+    dk = benchmark(DKIndex.build, bundle.graph, bundle.requirements)
+    dk.check_invariants()
+
+    result = run_construct(dataset, config)
+    attach_result(benchmark, result)
+
+    # A(k) construction should scale sub-quadratically in k: time per
+    # round must not blow up (allow generous noise margins — we assert
+    # a trend, not a constant).
+    timings = []
+    for k in (1, 4):
+        started = time.perf_counter()
+        build_ak_index(bundle.graph, k)
+        timings.append(time.perf_counter() - started)
+    t1, t4 = timings
+    assert t4 <= t1 * 25, f"A(4) build {t4:.3f}s vs A(1) {t1:.3f}s"

@@ -1,0 +1,41 @@
+"""DATASET3 — the headline result on a third corpus (DBLP-like).
+
+The paper evaluates on XMark (regular) and NASA (deep/irregular); the
+DBLP-like bibliography adds the third classic regime — shallow and very
+wide with citation references — and the FIG4 shape must generalise:
+the query-load-tuned D(k) point sits below the A(k) trade-off curve.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_result
+
+from repro.bench.experiments import run_eval_before_updates
+from repro.bench.harness import load_dataset, workload_average_cost
+
+
+def test_dataset3_headline_generalises(benchmark, config):
+    bundle = load_dataset("dblp", config)
+    dk = bundle.fresh_dk(bundle.graph)
+    cost, validated = benchmark(
+        workload_average_cost, dk.index, bundle.load
+    )
+    assert validated == 0.0
+
+    result = run_eval_before_updates("dblp", config)
+    attach_result(benchmark, result)
+    by_name = {p.name: p for p in result.points}
+    dk_point = by_name["D(k)"]
+    for name, point in by_name.items():
+        if name == "D(k)":
+            continue
+        assert (
+            point.avg_cost >= dk_point.avg_cost
+            or point.index_size >= dk_point.index_size
+        ), f"{name} dominates D(k) on dblp: {point} vs {dk_point}"
+    best_ak = max(
+        (p for n, p in by_name.items() if n != "D(k)"),
+        key=lambda p: p.index_size,
+    )
+    assert dk_point.avg_cost <= best_ak.avg_cost * 1.15
+    assert dk_point.index_size < best_ak.index_size

@@ -1,0 +1,42 @@
+"""DEMOTE — ablation: shrinking the index for a coarser query load.
+
+Demotes from the exact mined requirements to median-coverage requirements
+(Section 5.4's periodic shrinking, with the future-work frequency-aware
+miner choosing the new levels).  Expected: a real size reduction, while
+correctness is preserved because displaced long queries fall back to
+validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.experiments import run_demote
+from repro.bench.harness import workload_average_cost
+from repro.workload.mining import coverage_requirements
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_demote_shrinks_index(benchmark, dataset, config, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+    lowered = coverage_requirements(bundle.load, coverage=0.5)
+
+    def build_and_demote():
+        dk = bundle.fresh_dk()
+        dk.demote(lowered)
+        return dk
+
+    dk = benchmark(build_and_demote)
+    dk.check_invariants()
+
+    result = run_demote(dataset, config)
+    attach_result(benchmark, result)
+    by_name = {p.name: p for p in result.points}
+    exact = by_name["D(k) exact reqs"]
+    demoted = by_name["D(k) demoted"]
+    assert demoted.index_size <= exact.index_size
+    # Demoting trades size for validation work, never correctness: the
+    # demoted index still answers the whole load (validated where needed).
+    cost, validated = workload_average_cost(dk.index, bundle.load)
+    assert cost >= 0

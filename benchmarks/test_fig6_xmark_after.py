@@ -1,0 +1,49 @@
+"""FIG6 — evaluation cost vs index size on XMark, after updating.
+
+Applies the shared 100-edge update stream to every index, then re-runs
+the FIG4 evaluation protocol.  Assertions pin the paper's Section 6.3
+findings: the D(k) size is unchanged while A(k) sizes grow, D(k)'s cost
+rises (validation kicks in), and factoring both size and cost the D(k)
+index is still better than or roughly equal to the best A(k).
+"""
+
+from __future__ import annotations
+
+from conftest import attach_result
+
+from repro.bench.experiments import run_eval_after_updates, run_eval_before_updates
+from repro.bench.harness import workload_average_cost
+
+
+def test_fig6_workload_after_updates(benchmark, xmark_bundle, config):
+    dk = xmark_bundle.fresh_dk()
+    for src, dst in xmark_bundle.update_edges:
+        dk.add_edge(src, dst)
+    cost, validated = benchmark(
+        workload_average_cost, dk.index, xmark_bundle.load
+    )
+
+    after = run_eval_after_updates("xmark", config)
+    attach_result(benchmark, after)
+    before = run_eval_before_updates("xmark", config)
+
+    after_by = {p.name: p for p in after.points}
+    before_by = {p.name: p for p in before.points}
+
+    # D(k): size unchanged, cost does not improve (usually rises).
+    assert after_by["D(k)"].index_size == before_by["D(k)"].index_size
+    assert after_by["D(k)"].avg_cost >= before_by["D(k)"].avg_cost
+
+    # A(k>=1): the propagate update grows the index.
+    for k in (1, 2, 3, 4):
+        assert after_by[f"A({k})"].index_size > before_by[f"A({k})"].index_size
+
+    # Factoring size and cost: the best A(k) does not dominate D(k).
+    dk_point = after_by["D(k)"]
+    for name, point in after_by.items():
+        if name == "D(k)":
+            continue
+        assert (
+            point.avg_cost >= dk_point.avg_cost * 0.9
+            or point.index_size >= dk_point.index_size
+        ), f"{name} dominates D(k) after updates: {point} vs {dk_point}"

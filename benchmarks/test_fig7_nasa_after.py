@@ -1,0 +1,41 @@
+"""FIG7 — evaluation cost vs index size on NASA, after updating.
+
+Same protocol as FIG6 on the NASA dataset.
+"""
+
+from __future__ import annotations
+
+from conftest import attach_result
+
+from repro.bench.experiments import run_eval_after_updates, run_eval_before_updates
+from repro.bench.harness import workload_average_cost
+
+
+def test_fig7_workload_after_updates(benchmark, nasa_bundle, config):
+    dk = nasa_bundle.fresh_dk()
+    for src, dst in nasa_bundle.update_edges:
+        dk.add_edge(src, dst)
+    cost, validated = benchmark(
+        workload_average_cost, dk.index, nasa_bundle.load
+    )
+
+    after = run_eval_after_updates("nasa", config)
+    attach_result(benchmark, after)
+    before = run_eval_before_updates("nasa", config)
+
+    after_by = {p.name: p for p in after.points}
+    before_by = {p.name: p for p in before.points}
+
+    assert after_by["D(k)"].index_size == before_by["D(k)"].index_size
+    assert after_by["D(k)"].avg_cost >= before_by["D(k)"].avg_cost
+    for k in (1, 2, 3, 4):
+        assert after_by[f"A({k})"].index_size > before_by[f"A({k})"].index_size
+
+    dk_point = after_by["D(k)"]
+    for name, point in after_by.items():
+        if name == "D(k)":
+            continue
+        assert (
+            point.avg_cost >= dk_point.avg_cost * 0.9
+            or point.index_size >= dk_point.index_size
+        ), f"{name} dominates D(k) after updates: {point} vs {dk_point}"

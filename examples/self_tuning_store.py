@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""A self-tuning document store, end to end, via the Database facade.
+
+Everything the library offers through one object: bulk-load documents,
+mix linear and branching queries, add references, watch the adaptive
+tuner react to the query pattern, persist and restore.
+
+Run:  python examples/self_tuning_store.py
+"""
+
+import io
+import random
+
+from repro import Database, TunerConfig
+from repro.datasets.xmark import generate_xmark
+
+DOCUMENTS = [
+    """
+    <orders>
+      <order id="o1"><item>widget</item>
+        <customer><name>Ada</name><city>London</city></customer></order>
+      <order id="o2"><item>sprocket</item>
+        <customer><name>Grace</name></customer></order>
+    </orders>
+    """,
+    """
+    <orders>
+      <order id="o3"><item>cog</item>
+        <customer><name>Edsger</name><city>Austin</city></customer>
+        <relates/></order>
+    </orders>
+    """,
+]
+
+
+def main() -> None:
+    db = Database(
+        tuner_config=TunerConfig(window=60, min_queries=8, check_every=8)
+    )
+    for xml in DOCUMENTS:
+        db.insert_document(xml)
+    print(db)
+
+    # Cross-document references cannot resolve at parse time (IDs are
+    # per document); wire them through the update algorithm instead.
+    relates = db.graph.nodes_with_label("relates")[0]
+    first_order = db.graph.nodes_with_label("order")[0]
+    db.add_reference(relates, first_order)
+
+    print("\nlinear and branching queries:")
+    for expression in (
+        "order.item",                      # linear
+        "order[customer/city]/item",       # twig: only orders with a city
+        "order.relates.order.item",        # through the reference edge
+    ):
+        result = db.query(expression)
+        print(f"  {expression:<30} -> {sorted(db.labels_of(result))}")
+
+    print("\nhammer one deep query so the tuner promotes for it:")
+    deep = "orders.order.customer.name"
+    for _ in range(24):
+        db.query(deep)
+    print(f"  requirements learned: {db.index.requirements}")
+    print(f"  {db.statistics.format()}")
+
+    print("\npersist + restore:")
+    buffer = io.StringIO()
+    db.save(buffer)
+    buffer.seek(0)
+    restored = Database.load(buffer)
+    restored.check()
+    assert restored.query(deep) == db.query(deep)
+    print(f"  restored {restored!r}")
+
+    print("\nbulk scenario on an XMark graph:")
+    big = Database(
+        graph=generate_xmark(scale=0.2, seed=0).graph,
+        tuner_config=TunerConfig(window=100, min_queries=10, check_every=10),
+    )
+    rng = random.Random(7)
+    expressions = [
+        "item.name",
+        "person.name",
+        "open_auction.bidder.increase",
+        "closed_auction.annotation.happiness",
+        "item[incategory]/name",
+    ]
+    for _ in range(150):
+        big.query(rng.choice(expressions))
+    big.check()
+    print(f"  {big!r}")
+    print(f"  {big.statistics.format()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "D(k)-Index: An Adaptive Structural Summary
+for Graph-Structured Data" (Chen, Lim, Ong — SIGMOD 2003).
+
+The D(k)-index is a bisimulation-based structural summary for XML /
+semi-structured data that assigns each index node its own local
+similarity ``k``, mined from the query load and maintained under data
+and workload changes.  This package implements the paper end to end:
+
+- the data model and path-expression language (Section 3) —
+  :mod:`repro.graph`, :mod:`repro.paths`;
+- the baseline summaries it builds on (1-index, A(k)-index, strong
+  DataGuide) — :mod:`repro.indexes`, :mod:`repro.partition`;
+- the D(k)-index with construction (Algorithms 1-2), updates
+  (Algorithms 3-5) and promote/demote tuning (Algorithm 6, Section
+  5.4) — :mod:`repro.core`;
+- the experimental apparatus (Section 6): XMark/NASA-style dataset
+  generators, the 100-test-path workload protocol and the visited-node
+  cost model — :mod:`repro.datasets`, :mod:`repro.workload`,
+  :mod:`repro.bench`.
+
+Quickstart::
+
+    from repro import DKIndex, make_query, parse_xml
+
+    graph = parse_xml(open("movies.xml").read())
+    dk = DKIndex.build(graph, {"title": 2})
+    titles = dk.evaluate(make_query("//movie.title"))
+"""
+
+from repro.core.dindex import DKIndex
+from repro.core.tuner import AdaptiveTuner, TunerConfig
+from repro.engine import Database
+from repro.exceptions import ReproError
+from repro.graph.datagraph import DataGraph
+from repro.graph.xmlio import parse_xml, parse_xml_file
+from repro.indexes import (
+    build_1index,
+    build_ak_index,
+    build_fb_index,
+    build_labelsplit_index,
+    build_strong_dataguide,
+)
+from repro.paths.query import LabelPathQuery, Query, RegexQuery, make_query
+from repro.paths.twig import TwigQuery, parse_twig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveTuner",
+    "DKIndex",
+    "DataGraph",
+    "Database",
+    "LabelPathQuery",
+    "Query",
+    "RegexQuery",
+    "ReproError",
+    "TunerConfig",
+    "TwigQuery",
+    "__version__",
+    "build_1index",
+    "build_ak_index",
+    "build_fb_index",
+    "build_labelsplit_index",
+    "build_strong_dataguide",
+    "make_query",
+    "parse_twig",
+    "parse_xml",
+    "parse_xml_file",
+]

@@ -1,0 +1,116 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents its results as X/Y plots (index size vs average
+evaluation cost) and one table; the harness renders the same data as
+aligned text tables so results diff cleanly and slot into
+EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (index, size, cost) measurement of an evaluation experiment.
+
+    Attributes:
+        name: index name ("A(2)", "D(k)", ...).
+        index_size: number of index nodes (the figures' X axis).
+        avg_cost: average visited nodes per query (the Y axis).
+        validation_fraction: fraction of queries that validated.
+        note: free-form annotation.
+    """
+
+    name: str
+    index_size: int
+    avg_cost: float
+    validation_fraction: float = 0.0
+    note: str = ""
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    Floats are shown with one decimal; everything else via ``str``.
+
+    Example:
+        >>> print(render_table(["a", "b"], [[1, 2.5]]))
+        a  b
+        -  ---
+        1  2.5
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def render_series(points: Sequence[SeriesPoint], title: str) -> str:
+    """Render an evaluation-experiment series as a table."""
+    rows = [
+        [p.name, p.index_size, p.avg_cost, f"{p.validation_fraction:.2f}", p.note]
+        for p in points
+    ]
+    return render_table(
+        ["index", "size (nodes)", "avg cost (visited)", "validated", "note"],
+        rows,
+        title=title,
+    )
+
+
+@dataclass
+class ExperimentResult:
+    """A finished experiment: id, structured points and extra tables."""
+
+    experiment_id: str
+    title: str
+    points: list[SeriesPoint] = field(default_factory=list)
+    extra_lines: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [render_series(self.points, f"[{self.experiment_id}] {self.title}")]
+        parts.extend(self.extra_lines)
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """The points as CSV (for external plotting of the figures).
+
+        Example:
+            >>> r = ExperimentResult("FIG4", "demo")
+            >>> r.points.append(SeriesPoint("A(0)", 72, 1921.1, 1.0))
+            >>> print(r.to_csv())
+            index,size,avg_cost,validated,note
+            A(0),72,1921.1,1.00,
+        """
+        lines = ["index,size,avg_cost,validated,note"]
+        for p in self.points:
+            note = p.note.replace(",", ";")
+            lines.append(
+                f"{p.name},{p.index_size},{p.avg_cost:.1f},"
+                f"{p.validation_fraction:.2f},{note}"
+            )
+        return "\n".join(lines)

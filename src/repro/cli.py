@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro`` / the ``dkindex`` script.
+
+Commands:
+
+- ``dkindex bench <experiment|all> [--scale S]`` — regenerate the
+  paper's tables/figures as text (fig4, fig5, table1, fig6, fig7,
+  promote, demote, subgraph, construct).
+- ``dkindex generate <xmark|nasa> --out FILE [--scale S] [--seed N]`` —
+  write a dataset graph as JSON.
+- ``dkindex stats FILE`` — print statistics of a stored graph.
+- ``dkindex query FILE EXPR [--k K]`` — evaluate a path expression over
+  a stored graph through a D(k)-index (uniform requirement ``K`` on the
+  expression's labels).
+- ``dkindex twig FILE PATTERN`` — evaluate a branching pattern through
+  an F&B-index.
+- ``dkindex dot FILE [--index] [--max-nodes N]`` — Graphviz DOT export.
+- ``dkindex conformance <xmark|nasa> [--scale S] [--seed N]`` — generate
+  a dataset and verify it against its own DTD.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import DATASET_BUILDERS, ExperimentConfig
+from repro.core.dindex import DKIndex
+from repro.core.requirements import requirements_from_queries
+from repro.exceptions import ReproError
+from repro.graph.serialize import load_graph, save_graph
+from repro.graph.stats import graph_stats
+from repro.paths.cost import CostCounter
+from repro.paths.query import make_query
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(scale=args.scale)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        runner, datasets = EXPERIMENTS[name]
+        for dataset in datasets:
+            result = runner(dataset, config)
+            if args.csv:
+                print(f"# {result.experiment_id} {dataset}")
+                print(result.to_csv())
+            else:
+                print(result.render())
+            print()
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    builder = DATASET_BUILDERS[args.dataset]
+    document = builder(args.scale, args.seed)
+    save_graph(document.graph, args.out)
+    stats = graph_stats(document.graph)
+    print(f"wrote {args.out}: {stats.num_nodes} nodes, {stats.num_edges} edges")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.file)
+    print(graph_stats(graph).format())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = load_graph(args.file)
+    query = make_query(args.expression)
+    if args.k is not None:
+        requirements = {label: args.k for label in set(query.expr.labels())} \
+            if hasattr(query, "expr") else {query.labels[-1]: args.k}
+    else:
+        requirements = requirements_from_queries([query])
+    dk = DKIndex.build(graph, requirements)
+    counter = CostCounter()
+    result = dk.evaluate(query, counter)
+    print(f"index size: {dk.size} nodes")
+    print(f"cost: {counter.total} visited "
+          f"({counter.index_nodes_visited} index, "
+          f"{counter.data_nodes_visited} data)")
+    print(f"{len(result)} matches: {sorted(result)[:50]}"
+          + (" ..." if len(result) > 50 else ""))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    graph = load_graph(args.file)
+    query = make_query(args.expression)
+    if args.k is not None and hasattr(query, "labels"):
+        requirements = {query.labels[-1]: args.k}
+    elif args.k is not None:
+        requirements = {label: args.k for label in set(query.expr.labels())}
+    else:
+        requirements = requirements_from_queries([query])
+    dk = DKIndex.build(graph, requirements)
+    print(dk.explain(query).format())
+    return 0
+
+
+def _cmd_twig(args: argparse.Namespace) -> int:
+    from repro.indexes.fbindex import build_fb_index, evaluate_twig_on_fb
+    from repro.paths.twig import parse_twig
+
+    graph = load_graph(args.file)
+    query = parse_twig(args.pattern)
+    fb = build_fb_index(graph)
+    counter = CostCounter()
+    result = evaluate_twig_on_fb(fb, query, counter)
+    print(f"F&B index: {fb.num_nodes} nodes (data: {graph.num_nodes})")
+    print(f"cost: {counter.index_nodes_visited} index nodes visited")
+    print(f"{len(result)} matches: {sorted(result)[:50]}"
+          + (" ..." if len(result) > 50 else ""))
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from repro.graph.visualize import data_graph_to_dot, index_graph_to_dot
+
+    graph = load_graph(args.file)
+    if args.index:
+        dk = DKIndex.build(graph, {})
+        print(index_graph_to_dot(dk.index, max_nodes=args.max_nodes))
+    else:
+        print(data_graph_to_dot(graph, max_nodes=args.max_nodes))
+    return 0
+
+
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.datasets.dblp import DBLP_DTD
+    from repro.datasets.dtd import parse_dtd
+    from repro.datasets.nasa import NASA_DTD
+    from repro.datasets.validate import check_conformance
+    from repro.datasets.xmark import XMARK_DTD
+
+    schema = {
+        "xmark": (XMARK_DTD, "site"),
+        "nasa": (NASA_DTD, "datasets"),
+        "dblp": (DBLP_DTD, "dblp"),
+    }
+    dtd_text, root_element = schema[args.dataset]
+    document = DATASET_BUILDERS[args.dataset](args.scale, args.seed)
+    report = check_conformance(
+        document.graph, parse_dtd(dtd_text), root_element
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dkindex",
+        description="D(k)-Index (SIGMOD 2003) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bench = sub.add_parser("bench", help="run a paper experiment")
+    bench.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("--csv", action="store_true",
+                       help="emit CSV series instead of text tables")
+    bench.set_defaults(func=_cmd_bench)
+
+    generate = sub.add_parser("generate", help="generate a dataset graph")
+    generate.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    generate.add_argument("--out", required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    stats = sub.add_parser("stats", help="statistics of a stored graph")
+    stats.add_argument("file")
+    stats.set_defaults(func=_cmd_stats)
+
+    query = sub.add_parser("query", help="evaluate a path expression")
+    query.add_argument("file")
+    query.add_argument("expression")
+    query.add_argument("--k", type=int, default=None)
+    query.set_defaults(func=_cmd_query)
+
+    explain = sub.add_parser("explain", help="EXPLAIN a query's plan")
+    explain.add_argument("file")
+    explain.add_argument("expression")
+    explain.add_argument("--k", type=int, default=None,
+                         help="build the index at this similarity instead "
+                         "of the query-derived one (shows validation)")
+    explain.set_defaults(func=_cmd_explain)
+
+    twig = sub.add_parser("twig", help="evaluate a branching pattern")
+    twig.add_argument("file")
+    twig.add_argument("pattern")
+    twig.set_defaults(func=_cmd_twig)
+
+    dot = sub.add_parser("dot", help="Graphviz DOT export")
+    dot.add_argument("file")
+    dot.add_argument("--index", action="store_true",
+                     help="render the label-split index instead of the data")
+    dot.add_argument("--max-nodes", type=int, default=500)
+    dot.set_defaults(func=_cmd_dot)
+
+    conformance = sub.add_parser(
+        "conformance", help="generate a dataset and check it against its DTD"
+    )
+    conformance.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    conformance.add_argument("--scale", type=float, default=0.1)
+    conformance.add_argument("--seed", type=int, default=0)
+    conformance.set_defaults(func=_cmd_conformance)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

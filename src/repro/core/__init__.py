@@ -1,0 +1,44 @@
+"""The D(k)-index — the paper's primary contribution.
+
+Modules:
+
+- :mod:`repro.core.broadcast` — Algorithm 1, the local-similarity
+  broadcast over the label-split graph;
+- :mod:`repro.core.requirements` — mining per-label local-similarity
+  requirements from a query load;
+- :mod:`repro.core.construction` — Algorithm 2 (and the
+  index-as-data-graph re-indexing used by Algorithm 3 and demoting);
+- :mod:`repro.core.dindex` — the :class:`~repro.core.dindex.DKIndex`
+  facade tying data graph, index graph and requirements together;
+- :mod:`repro.core.updates` — Algorithms 3, 4 and 5 (subgraph and edge
+  addition) plus the A(k) propagate-update baseline of Section 6.2;
+- :mod:`repro.core.promote` — Algorithm 6 (promoting) and demoting.
+"""
+
+from repro.core.broadcast import broadcast_levels, label_parent_graph
+from repro.core.construction import build_dk_index, reindex_index_graph
+from repro.core.dindex import DKIndex, check_dk_constraint
+from repro.core.promote import demote_index, promote_nodes
+from repro.core.requirements import requirements_from_queries
+from repro.core.updates import (
+    EdgeUpdateReport,
+    ak_propagate_add_edge,
+    dk_add_edge,
+    update_local_similarity,
+)
+
+__all__ = [
+    "DKIndex",
+    "EdgeUpdateReport",
+    "ak_propagate_add_edge",
+    "broadcast_levels",
+    "build_dk_index",
+    "check_dk_constraint",
+    "demote_index",
+    "dk_add_edge",
+    "label_parent_graph",
+    "promote_nodes",
+    "reindex_index_graph",
+    "requirements_from_queries",
+    "update_local_similarity",
+]

@@ -1,0 +1,197 @@
+"""Promoting (Algorithm 6) and demoting (Section 5.4).
+
+Promoting raises the local similarities of chosen index nodes back up —
+typically after a stream of edge additions has eroded them, or when the
+query load starts asking longer queries of some label.  Demoting lowers
+requirements and *merges* index nodes to shrink the index.
+
+Implementation note on Algorithm 6: the paper's recursive formulation
+(promote all parents to ``k-1``, then split the node's extent against
+each parent) is exact on acyclic index graphs but under-refines when the
+promotion recursion meets a cycle (the memo guard that stops infinite
+recursion also skips the intermediate-level splits a cycle needs).  We
+implement the equivalent *round-based* form — the same inductive step
+the construction algorithm uses, restricted to the nodes that need
+promotion: in round ``r``, every node that must reach level >= r and is
+only guaranteed below r is split by its members' parent-block signatures
+taken at the start of the round.  On DAGs this performs exactly the
+splits the paper's recursion performs; on cyclic graphs it converges to
+the correct refinement.  The paper's batching advice ("choose first to
+promote index nodes with higher new local similarities") is subsumed:
+all targets are promoted in one shared sequence of rounds, so common
+ancestors are split once.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.broadcast import broadcast_for_graph
+from repro.core.construction import reindex_index_graph, resolve_requirements
+from repro.exceptions import UpdateError
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph
+
+
+@dataclass
+class PromoteReport:
+    """Work done by a promotion batch.
+
+    Attributes:
+        rounds: refinement rounds executed.
+        index_nodes_split: nodes whose extents were split.
+        new_index_nodes: index nodes created.
+        raised: ``{index node: (old k, new k)}`` for surviving node ids
+            (split pieces report under their own ids).
+    """
+
+    rounds: int = 0
+    index_nodes_split: int = 0
+    new_index_nodes: int = 0
+    raised: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+
+def _spread_need(index: IndexGraph, targets: Mapping[int, int]) -> dict[int, int]:
+    """Propagate promotion targets upwards: parents need one level less.
+
+    This is the broadcast constraint applied to the concrete index graph
+    (the recursion structure of Algorithm 6): promoting V to ``k``
+    requires each parent at ``k - 1``, and so on.
+    """
+    need: dict[int, int] = {}
+    queue: deque[tuple[int, int]] = deque()
+    for node, level in targets.items():
+        if level < 0:
+            raise ValueError(f"negative promotion target for node {node}")
+        if need.get(node, -1) < level:
+            need[node] = level
+            queue.append((node, level))
+    while queue:
+        node, level = queue.popleft()
+        if need.get(node, -1) > level:
+            continue  # superseded by a higher requirement
+        parent_level = level - 1
+        if parent_level <= 0:
+            continue
+        for parent in index.parents[node]:
+            if need.get(parent, -1) < parent_level:
+                need[parent] = parent_level
+                queue.append((parent, parent_level))
+    return need
+
+
+def promote_nodes(
+    graph: DataGraph,
+    index: IndexGraph,
+    targets: Mapping[int, int],
+) -> PromoteReport:
+    """Promote the given index nodes to the given local similarities.
+
+    Args:
+        graph: the data graph (``index.graph``).
+        index: the D(k)-index, updated in place.
+        targets: ``{index node id: desired local similarity}``.
+
+    The extents of split nodes are re-partitioned against the data graph
+    (promotion is the *periodic*, data-touching tuning step — Section
+    5.3); nodes whose assigned similarity already meets their need are
+    never touched, which is the saving over a full rebuild.
+
+    Returns:
+        A :class:`PromoteReport`.
+
+    Raises:
+        UpdateError: if the index does not belong to ``graph``.
+    """
+    if index.graph is not graph:
+        raise UpdateError("index was built over a different data graph")
+
+    need = _spread_need(index, targets)
+    if not need:
+        return PromoteReport()
+    max_round = max(need.values())
+    report = PromoteReport()
+    original_k = {node: index.k[node] for node in need}
+
+    for round_number in range(1, max_round + 1):
+        # Snapshot the partition at the round start; splits within a
+        # round must not see each other (Algorithm 2 splits against the
+        # copy X of the previous iteration).
+        snapshot = list(index.node_of)
+        pending = [
+            node
+            for node, level in sorted(need.items())
+            if level >= round_number and index.k[node] < round_number
+        ]
+        if not pending:
+            continue
+        report.rounds = round_number
+        for node in pending:
+            groups: dict[frozenset[int], list[int]] = {}
+            for member in index.extents[node]:
+                signature = frozenset(
+                    snapshot[parent] for parent in graph.parents[member]
+                )
+                groups.setdefault(signature, []).append(member)
+            if len(groups) > 1:
+                parts = [groups[key] for key in sorted(groups, key=sorted)]
+                ids = index.split_node(node, parts)
+                report.index_nodes_split += 1
+                report.new_index_nodes += len(ids) - 1
+            else:
+                ids = [node]
+            node_need = need[node]
+            node_origin = original_k.get(node, index.k[node])
+            for piece in ids:
+                index.k[piece] = round_number
+                need[piece] = node_need
+                original_k.setdefault(piece, node_origin)
+
+    for node, level in need.items():
+        if node < len(index.k) and index.k[node] >= 1:
+            old = original_k.get(node, index.k[node])
+            if index.k[node] != old:
+                report.raised[node] = (old, index.k[node])
+    return report
+
+
+def promote_requirements(
+    graph: DataGraph,
+    index: IndexGraph,
+    requirements: Mapping[str, int],
+) -> PromoteReport:
+    """Promote by per-label requirements (the usual periodic tuning call).
+
+    Broadcasts the requirements over the label graph first, then promotes
+    every index node whose label's level exceeds its current similarity.
+    """
+    initial = resolve_requirements(graph, requirements)
+    levels = broadcast_for_graph(graph, graph.num_labels, initial)
+    targets = {
+        node: levels[index.label_ids[node]]
+        for node in range(index.num_nodes)
+        if index.k[node] < levels[index.label_ids[node]]
+    }
+    return promote_nodes(graph, index, targets)
+
+
+def demote_index(
+    index: IndexGraph,
+    requirements: Mapping[str, int],
+) -> IndexGraph:
+    """Demote: rebuild a *smaller* index for lowered requirements.
+
+    "Since the current D(k)-index I'_G is actually a refinement of I_G,
+    we can just treat I'_G as a data graph and construct the new
+    D(k)-index I_G from I'_G" (Section 5.4) — no data-graph access.
+
+    Returns:
+        A new, typically coarser :class:`IndexGraph`; the input is left
+        untouched so callers can compare sizes before swapping.
+    """
+    graph = index.graph
+    initial = resolve_requirements(graph, requirements)
+    levels = broadcast_for_graph(graph, graph.num_labels, initial)
+    return reindex_index_graph(index, levels)

@@ -1,0 +1,79 @@
+"""Mining per-label local-similarity requirements from a query load.
+
+Section 6.1: "we set a label's local similarity requirement to be the
+longest length of test path queries less one such that no validation
+will be needed for evaluation on it."
+
+For a label-path query of ``p`` labels ending at label ``l``, evaluation
+on the index is sound when the terminal index node's local similarity is
+at least ``p - 1`` (the number of edges); anchored queries need one more
+level for the implicit ROOT edge.  The basic miner below takes the
+maximum over the load; the frequency-aware miner (the paper's
+future-work direction) lives in :mod:`repro.workload.mining`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.paths.query import LabelPathQuery, Query, RegexQuery
+
+
+def required_similarity(query: Query) -> tuple[str, int] | None:
+    """The ``(target label, required k)`` a query imposes, if statically
+    determinable.
+
+    Label-path queries impose ``num_edges`` (plus 1 when anchored) on
+    their terminal label.  Finite-language regex queries impose their
+    maximum word length minus one on *every* label they mention — a safe
+    over-approximation, returned as None here and handled by
+    :func:`requirements_from_queries` directly.
+    """
+    if isinstance(query, LabelPathQuery):
+        needed = query.num_edges + (1 if query.anchored else 0)
+        return (query.target_label, needed)
+    return None
+
+
+def requirements_from_queries(queries: Iterable[Query]) -> dict[str, int]:
+    """Per-label requirements making every query in the load sound.
+
+    Example:
+        >>> from repro.paths.query import make_query
+        >>> load = [make_query("movie.title"), make_query("a.b.movie.title")]
+        >>> requirements_from_queries(load)
+        {'title': 3}
+    """
+    requirements: dict[str, int] = {}
+
+    def bump(label: str, needed: int) -> None:
+        if needed > requirements.get(label, -1):
+            requirements[label] = needed
+
+    for query in queries:
+        simple = required_similarity(query)
+        if simple is not None:
+            label, needed = simple
+            bump(label, needed)
+            continue
+        if isinstance(query, RegexQuery):
+            max_len = query.max_length
+            if max_len is None:
+                # Unbounded expressions can never be made sound by a
+                # finite k; they always validate, so impose nothing.
+                continue
+            needed = max_len - 1 + (1 if query.anchored else 0)
+            for label in set(query.expr.labels()):
+                bump(label, needed)
+    return requirements
+
+
+def merge_requirements(
+    base: Mapping[str, int], extra: Mapping[str, int]
+) -> dict[str, int]:
+    """Pointwise maximum of two requirement maps."""
+    merged = dict(base)
+    for label, value in extra.items():
+        if value > merged.get(label, -1):
+            merged[label] = value
+    return merged

@@ -1,0 +1,135 @@
+"""An adaptive tuning policy: the paper's promote/demote loop, automated.
+
+Section 5.3/5.4 prescribe running the promoting and demoting processes
+*periodically* as the query load drifts, and the conclusion names query
+pattern mining as the enabler.  :class:`AdaptiveTuner` packages that
+loop: it watches a sliding window of recent queries, mines coverage
+requirements from the window, and decides — with hysteresis, so a few
+stray queries don't thrash the index — when to promote (labels whose
+required similarity rose) and when to demote (the mined requirements
+dropped enough to be worth shrinking for).
+
+This is an extension beyond the paper's evaluated scope (flagged as
+future work there), built from the paper's own primitives.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.dindex import DKIndex
+from repro.paths.query import Query
+from repro.workload.mining import coverage_requirements, requirement_gain
+from repro.workload.queryload import QueryLoad
+
+
+@dataclass(frozen=True)
+class TunerConfig:
+    """Policy knobs.
+
+    Attributes:
+        window: number of recent queries the tuner considers.
+        coverage: target fraction of window queries that must be sound
+            (the frequency-aware miner's quantile).
+        min_queries: don't tune before the window has this many queries.
+        promote_threshold: promote as soon as this many labels need a
+            higher similarity (promotions are cheap and restore
+            soundness, so the default is eager).
+        demote_slack: only demote a label when its mined requirement is
+            at least this much below the current one (hysteresis: demote
+            rebuilds extents, so it should be worth it).
+        check_every: consider tuning every N recorded queries.
+    """
+
+    window: int = 200
+    coverage: float = 0.95
+    min_queries: int = 20
+    promote_threshold: int = 1
+    demote_slack: int = 2
+    check_every: int = 25
+
+
+@dataclass
+class TuningAction:
+    """What one tuning step did."""
+
+    promoted: dict[str, int] = field(default_factory=dict)
+    demoted: dict[str, int] = field(default_factory=dict)
+    index_size_before: int = 0
+    index_size_after: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.promoted or self.demoted)
+
+
+class AdaptiveTuner:
+    """Keeps a :class:`DKIndex` tuned to a drifting query stream.
+
+    Usage::
+
+        tuner = AdaptiveTuner(dk)
+        for query in stream:
+            result = dk.evaluate(query)
+            action = tuner.observe(query)   # may promote/demote
+
+    The tuner never changes *answers* (the D(k)-index is exact with
+    validation regardless); it only moves work between the index and the
+    validation step.
+    """
+
+    def __init__(self, dk: DKIndex, config: TunerConfig | None = None) -> None:
+        self.dk = dk
+        self.config = config or TunerConfig()
+        self._recent: deque[Query] = deque(maxlen=self.config.window)
+        self._since_last_check = 0
+        self.actions: list[TuningAction] = []
+
+    def observe(self, query: Query) -> TuningAction | None:
+        """Record one executed query; tune if the policy says so.
+
+        Returns:
+            The :class:`TuningAction` taken, or None if nothing changed.
+        """
+        self._recent.append(query)
+        self._since_last_check += 1
+        if self._since_last_check < self.config.check_every:
+            return None
+        if len(self._recent) < self.config.min_queries:
+            return None
+        self._since_last_check = 0
+        return self._tune()
+
+    def window_load(self) -> QueryLoad:
+        """The current sliding-window query load."""
+        return QueryLoad(self._recent)
+
+    def _tune(self) -> TuningAction | None:
+        mined = coverage_requirements(self.window_load(), self.config.coverage)
+        raise_map, lower_map = requirement_gain(self.dk.requirements, mined)
+
+        # Hysteresis on demotions: only keep the clearly-worth-it drops.
+        lower_map = {
+            label: value
+            for label, value in lower_map.items()
+            if self.dk.requirements.get(label, 0) - value >= self.config.demote_slack
+        }
+
+        if len(raise_map) < self.config.promote_threshold and not lower_map:
+            return None
+
+        action = TuningAction(index_size_before=self.dk.size)
+        if raise_map:
+            self.dk.promote(raise_map)
+            action.promoted = raise_map
+        if lower_map:
+            target = dict(self.dk.requirements)
+            target.update(lower_map)
+            self.dk.demote(target)
+            action.demoted = lower_map
+        action.index_size_after = self.dk.size
+        if action.changed:
+            self.actions.append(action)
+            return action
+        return None

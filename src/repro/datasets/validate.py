@@ -1,0 +1,309 @@
+"""DTD conformance checking for data graphs.
+
+The random generator promises documents that conform to their DTD's
+content models (up to explicit depth truncation); this module provides
+the independent checker that *verifies* it — each element node's child
+label sequence is matched against the content model compiled to a small
+NFA (Glushkov-style over the particle tree).
+
+Besides testing the generator, the checker is useful to downstream
+users ingesting real XML: run it after :func:`repro.graph.xmlio.parse_xml`
+to find schema violations before indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datasets.dtd import (
+    AnyContent,
+    ChoiceParticle,
+    DTD,
+    EmptyContent,
+    NameParticle,
+    Particle,
+    PCDataParticle,
+    SeqParticle,
+)
+from repro.graph.datagraph import VALUE_LABEL, DataGraph
+
+#: Label of text nodes, accepted wherever #PCDATA is allowed.
+_VALUE = VALUE_LABEL
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance violation.
+
+    Attributes:
+        node: the offending element's node id.
+        element: its label.
+        reason: human-readable description.
+    """
+
+    node: int
+    element: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"node {self.node} <{self.element}>: {self.reason}"
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a conformance check."""
+
+    checked_elements: int = 0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self, limit: int = 20) -> str:
+        if self.ok:
+            return f"conforms ({self.checked_elements} elements checked)"
+        lines = [
+            f"{len(self.violations)} violations in "
+            f"{self.checked_elements} elements:"
+        ]
+        lines.extend(f"  {v}" for v in self.violations[:limit])
+        if len(self.violations) > limit:
+            lines.append(f"  ... and {len(self.violations) - limit} more")
+        return "\n".join(lines)
+
+
+class _ModelNFA:
+    """ε-free NFA over child labels for one content model."""
+
+    def __init__(self, particle: Particle) -> None:
+        # States are integers; transitions[state][label] = set of states.
+        self.transitions: list[dict[str, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+        start = self._new_state()
+        accept = self._new_state()
+        self._build(particle, start, accept)
+        self._closures = [self._closure(s) for s in range(len(self.epsilon))]
+        self.start_set = frozenset(self._closures[start])
+        self.accept = accept
+
+    def _new_state(self) -> int:
+        self.transitions.append({})
+        self.epsilon.append(set())
+        return len(self.transitions) - 1
+
+    def _edge(self, src: int, label: str, dst: int) -> None:
+        self.transitions[src].setdefault(label, set()).add(dst)
+
+    def _eps(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+
+    def _build(self, particle: Particle, entry: int, exit_: int) -> None:
+        occurrence = particle.occurrence
+        if occurrence:
+            inner_entry = self._new_state()
+            inner_exit = self._new_state()
+            stripped = _without_occurrence(particle)
+            self._build(stripped, inner_entry, inner_exit)
+            self._eps(entry, inner_entry)
+            self._eps(inner_exit, exit_)
+            if occurrence in ("?", "*"):
+                self._eps(entry, exit_)
+            if occurrence in ("*", "+"):
+                self._eps(inner_exit, inner_entry)
+            return
+        if isinstance(particle, (EmptyContent, AnyContent)):
+            self._eps(entry, exit_)
+            return
+        if isinstance(particle, PCDataParticle):
+            # #PCDATA: zero or more VALUE children (text may be absent
+            # or split into several text nodes).
+            self._eps(entry, exit_)
+            self._edge(entry, _VALUE, entry)
+            return
+        if isinstance(particle, NameParticle):
+            self._edge(entry, particle.name, exit_)
+            return
+        if isinstance(particle, SeqParticle):
+            current = entry
+            for item in particle.items:
+                nxt = self._new_state()
+                self._build(item, current, nxt)
+                current = nxt
+            self._eps(current, exit_)
+            return
+        if isinstance(particle, ChoiceParticle):
+            for item in particle.items:
+                self._build(item, entry, exit_)
+            return
+        raise TypeError(f"unknown particle: {particle!r}")
+
+    def _closure(self, state: int) -> set[int]:
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for nxt in self.epsilon[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    def matches(self, labels: Sequence[str]) -> bool:
+        states = self.start_set
+        for label in labels:
+            moved: set[int] = set()
+            for state in states:
+                for target in self.transitions[state].get(label, ()):
+                    moved.update(self._closures[target])
+            if not moved:
+                return False
+            states = frozenset(moved)
+        return self.accept in states
+
+
+def _without_occurrence(particle: Particle) -> Particle:
+    if isinstance(particle, NameParticle):
+        return NameParticle(name=particle.name)
+    if isinstance(particle, SeqParticle):
+        return SeqParticle(items=particle.items)
+    if isinstance(particle, ChoiceParticle):
+        return ChoiceParticle(items=particle.items)
+    if isinstance(particle, PCDataParticle):
+        return PCDataParticle()
+    return particle
+
+
+def _mixed_allows(particle: Particle) -> set[str] | None:
+    """For mixed content ``(#PCDATA | a | b)*`` return the allowed set."""
+    inner = particle
+    if isinstance(inner, ChoiceParticle) and any(
+        isinstance(item, PCDataParticle) for item in inner.items
+    ):
+        allowed = {_VALUE}
+        for item in inner.items:
+            if isinstance(item, NameParticle):
+                allowed.add(item.name)
+        return allowed
+    return None
+
+
+def check_conformance(
+    graph: DataGraph,
+    dtd: DTD,
+    root_element: str,
+    allow_truncation: bool = True,
+    max_violations: int = 1000,
+    tree_parent: Sequence[int] | None = None,
+) -> ConformanceReport:
+    """Check that ``graph`` conforms to ``dtd``.
+
+    Every node whose label is a declared element has its child label
+    sequence matched against the compiled content model.  Reference
+    edges are part of the paper's data model but not of the document
+    structure, so only *tree* children are checked.  The document tree
+    is recovered via the **first-parent convention**: both the DTD
+    generator and :func:`repro.graph.xmlio.parse_xml` create the
+    containment edge at node-creation time, before any reference edge
+    can target the node, so ``graph.parents[node][0]`` is the document
+    parent.  For graphs from other sources pass ``tree_parent``
+    explicitly.  Undeclared labels (e.g. VALUE under a declared parent)
+    are checked as part of their parent's model, not on their own.
+
+    Args:
+        graph: the data graph (as produced by the generator or xmlio).
+        dtd: the schema.
+        root_element: expected document element under the graph root.
+        allow_truncation: when True, an element with *no* children is
+            accepted even if its model requires some — the generator's
+            documented depth-cap behaviour.
+        max_violations: stop collecting after this many.
+        tree_parent: explicit document parent per node (overrides the
+            first-parent convention; use -1 for the root).
+
+    Example:
+        >>> from repro.datasets.dtd import parse_dtd
+        >>> from repro.graph.xmlio import parse_xml, XmlOptions
+        >>> dtd = parse_dtd("<!ELEMENT db (m*)><!ELEMENT m (t)>"
+        ...                 "<!ELEMENT t (#PCDATA)>")
+        >>> g = parse_xml("<db><m><t>x</t></m></db>")
+        >>> check_conformance(g, dtd, "db").ok
+        True
+        >>> bad = parse_xml("<db><t>stray</t></db>")
+        >>> check_conformance(bad, dtd, "db").ok
+        False
+    """
+    report = ConformanceReport()
+    compiled: dict[str, _ModelNFA] = {}
+    mixed: dict[str, set[str] | None] = {}
+
+    def model_for(element: str) -> _ModelNFA:
+        nfa = compiled.get(element)
+        if nfa is None:
+            nfa = _ModelNFA(dtd.element(element).content)
+            compiled[element] = nfa
+            mixed[element] = _mixed_allows(dtd.element(element).content)
+        return nfa
+
+    def add_violation(node: int, element: str, reason: str) -> None:
+        if len(report.violations) < max_violations:
+            report.violations.append(Violation(node, element, reason))
+
+    # Document tree via the first-parent convention (or the caller's
+    # explicit map): reference edges are later entries in parent lists.
+    if tree_parent is None:
+        parent_of = [
+            graph.parents[node][0] if graph.parents[node] else -1
+            for node in graph.nodes()
+        ]
+    else:
+        parent_of = list(tree_parent)
+
+    document_elements = [
+        child
+        for child in graph.children[graph.root]
+        if parent_of[child] == graph.root
+    ]
+    if len(document_elements) != 1 or graph.label(
+        document_elements[0]
+    ) != root_element:
+        found = [graph.label(c) for c in document_elements]
+        add_violation(
+            graph.root, "ROOT",
+            f"expected a single <{root_element}> document element, found {found}",
+        )
+
+    for node in graph.nodes():
+        label = graph.label(node)
+        if label not in dtd.elements:
+            continue
+        report.checked_elements += 1
+        # xmlio materialises non-ID attributes as labeled child nodes;
+        # they are schema-sanctioned but outside the content model.
+        attribute_names = {attr.name for attr in dtd.element(label).attributes}
+        tree_children = [
+            child
+            for child in graph.children[node]
+            if parent_of[child] == node
+            and graph.label(child) not in attribute_names
+        ]
+        child_labels = [graph.label(child) for child in tree_children]
+        nfa = model_for(label)
+        mixed_allowed = mixed[label]
+        if mixed_allowed is not None:
+            stray = [l for l in child_labels if l not in mixed_allowed]
+            if stray:
+                add_violation(
+                    node, label, f"mixed content disallows children {stray}"
+                )
+            continue
+        if nfa.matches(child_labels):
+            continue
+        if allow_truncation and not child_labels:
+            continue
+        add_violation(
+            node, label,
+            f"children {child_labels} do not match the content model",
+        )
+    return report

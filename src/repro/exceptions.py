@@ -1,0 +1,80 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a :class:`~repro.graph.datagraph.DataGraph`."""
+
+
+class UnknownNodeError(GraphError):
+    """A node identifier does not exist in the graph."""
+
+    def __init__(self, node: int) -> None:
+        super().__init__(f"unknown node id: {node!r}")
+        self.node = node
+
+
+class UnknownLabelError(GraphError):
+    """A label name or label identifier does not exist in the graph."""
+
+    def __init__(self, label: object) -> None:
+        super().__init__(f"unknown label: {label!r}")
+        self.label = label
+
+
+class PathSyntaxError(ReproError):
+    """A path expression failed to lex or parse.
+
+    Attributes:
+        text: the offending expression text.
+        position: 0-based character offset where the error was detected.
+    """
+
+    def __init__(self, message: str, text: str, position: int) -> None:
+        pointer = " " * position + "^"
+        super().__init__(f"{message}\n  {text}\n  {pointer}")
+        self.text = text
+        self.position = position
+
+
+class IndexError_(ReproError):
+    """Invalid operation on an index graph.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """
+
+
+class IndexInvariantError(IndexError_):
+    """An index-graph invariant (extent partition, D(k) constraint) failed."""
+
+
+class UpdateError(ReproError):
+    """An incremental update operation could not be applied."""
+
+
+class WorkloadError(ReproError):
+    """A query workload is malformed or incompatible with a graph."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator received invalid parameters."""
+
+
+class DTDError(DatasetError):
+    """A DTD document failed to parse or is unsupported."""
+
+
+class SerializationError(ReproError):
+    """A graph or index could not be serialized or deserialized."""

@@ -1,0 +1,46 @@
+"""Directed labeled data-graph substrate.
+
+This subpackage implements the data model of Section 3 of the paper: XML
+and other semi-structured data are modeled as a directed graph whose nodes
+carry a label and a unique integer identifier.  A single distinguished
+root node carries the label ``ROOT`` and atomic values carry the label
+``VALUE``.  Tree (containment) edges and reference (ID/IDREF, XLink) edges
+are not distinguished — both are plain directed edges.
+
+Public entry points:
+
+- :class:`~repro.graph.datagraph.DataGraph` — the core structure.
+- :class:`~repro.graph.builder.GraphBuilder` — convenient incremental
+  construction by label name.
+- :func:`~repro.graph.xmlio.parse_xml` /
+  :func:`~repro.graph.xmlio.graph_to_xml` — XML interchange.
+- :func:`~repro.graph.serialize.save_graph` /
+  :func:`~repro.graph.serialize.load_graph` — JSON persistence.
+- :func:`~repro.graph.stats.graph_stats` — descriptive statistics.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.datagraph import ROOT_LABEL, VALUE_LABEL, DataGraph
+from repro.graph.numbering import TreeNumbering, number_tree
+from repro.graph.serialize import load_graph, save_graph
+from repro.graph.stats import GraphStats, graph_stats
+from repro.graph.visualize import data_graph_to_dot, index_graph_to_dot
+from repro.graph.xmlio import graph_to_xml, parse_xml, parse_xml_file
+
+__all__ = [
+    "DataGraph",
+    "GraphBuilder",
+    "GraphStats",
+    "ROOT_LABEL",
+    "TreeNumbering",
+    "VALUE_LABEL",
+    "data_graph_to_dot",
+    "graph_stats",
+    "graph_to_xml",
+    "index_graph_to_dot",
+    "load_graph",
+    "number_tree",
+    "parse_xml",
+    "parse_xml_file",
+    "save_graph",
+]

@@ -1,0 +1,123 @@
+"""Convenience builder for constructing data graphs declaratively.
+
+:class:`GraphBuilder` wraps :class:`~repro.graph.datagraph.DataGraph`
+with a small fluent API used heavily by the tests and the examples:
+nodes can be named, trees can be declared from nested dictionaries, and
+reference edges can be added by node name.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from repro.exceptions import GraphError
+from repro.graph.datagraph import DataGraph
+
+#: A tree spec is ``{"label": [child_spec, ...]}`` or just ``"label"``.
+TreeSpec = Union[str, Mapping[str, Sequence["TreeSpec"]]]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`DataGraph` with named nodes.
+
+    Example:
+        >>> b = GraphBuilder()
+        >>> b.node("m1", "movie", parent="root")
+        'm1'
+        >>> b.node("t1", "title", parent="m1")
+        't1'
+        >>> g = b.graph
+        >>> g.label(b.id_of("t1"))
+        'title'
+    """
+
+    def __init__(self) -> None:
+        self.graph = DataGraph()
+        self._names: dict[str, int] = {"root": self.graph.root}
+
+    def id_of(self, name: str) -> int:
+        """Return the node id registered under ``name``.
+
+        Raises:
+            GraphError: if no node with that name exists.
+        """
+        try:
+            return self._names[name]
+        except KeyError:
+            raise GraphError(f"unknown node name: {name!r}") from None
+
+    def node(self, name: str, label: str, parent: str | None = None) -> str:
+        """Create a node called ``name`` with ``label``.
+
+        If ``parent`` is given, an edge from the parent node is added.
+        Returns ``name`` for chaining.
+
+        Raises:
+            GraphError: if ``name`` is already taken.
+        """
+        if name in self._names:
+            raise GraphError(f"duplicate node name: {name!r}")
+        node = self.graph.add_node(label)
+        self._names[name] = node
+        if parent is not None:
+            self.graph.add_edge(self.id_of(parent), node)
+        return name
+
+    def edge(self, src: str, dst: str) -> None:
+        """Add an edge between two named nodes."""
+        self.graph.add_edge(self.id_of(src), self.id_of(dst))
+
+    def tree(self, spec: TreeSpec, parent: str = "root", prefix: str = "") -> str:
+        """Declare a whole subtree from a nested mapping.
+
+        Each node is auto-named ``{prefix}{label}{counter}``; the name of
+        the subtree root is returned so reference edges can target it.
+
+        Example:
+            >>> b = GraphBuilder()
+            >>> root = b.tree({"movie": ["title", {"actor": ["name"]}]})
+            >>> sorted(b.graph.label_names())
+            ['ROOT', 'actor', 'movie', 'name', 'title']
+        """
+        if isinstance(spec, str):
+            label, children = spec, []
+        else:
+            if len(spec) != 1:
+                raise GraphError("tree spec mapping must have exactly one key")
+            label, children = next(iter(spec.items()))
+        name = self._fresh_name(prefix + label)
+        self.node(name, label, parent=parent)
+        for child in children:
+            self.tree(child, parent=name, prefix=prefix)
+        return name
+
+    def _fresh_name(self, base: str) -> str:
+        if base not in self._names:
+            return base
+        counter = 2
+        while f"{base}{counter}" in self._names:
+            counter += 1
+        return f"{base}{counter}"
+
+
+def graph_from_edges(
+    labels: Sequence[str], edges: Sequence[tuple[int, int]]
+) -> DataGraph:
+    """Build a graph from parallel label/edge lists.
+
+    ``labels[i]`` is the label of node ``i + 1`` (node 0 is always the
+    implicit ROOT).  ``edges`` use those final node ids, so ``(0, 1)``
+    connects the root to the first labeled node.  This is the terse format
+    used throughout the unit tests and by the property-based generators.
+
+    Example:
+        >>> g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+        >>> g.label(2)
+        'b'
+    """
+    graph = DataGraph()
+    for label in labels:
+        graph.add_node(label)
+    for src, dst in edges:
+        graph.add_edge(src, dst)
+    return graph

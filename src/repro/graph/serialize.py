@@ -1,0 +1,124 @@
+"""Versioned JSON persistence for data graphs.
+
+The format is deliberately simple and diff-friendly:
+
+.. code-block:: json
+
+    {
+      "format": "repro-datagraph",
+      "version": 1,
+      "labels": ["ROOT", "movie", ...],
+      "nodes": [0, 1, 1, ...],            // label id per node
+      "edges": [[0, 1], [1, 2], ...]
+    }
+
+Node 0 must be the ROOT node.  The loader validates structure so that a
+corrupted file fails loudly rather than producing a subtly broken graph.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import IO, Any
+
+from repro.exceptions import SerializationError
+from repro.graph.datagraph import ROOT_LABEL, DataGraph
+
+FORMAT_NAME = "repro-datagraph"
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
+    """Return the JSON-ready dictionary representation of ``graph``."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "labels": list(graph.label_names()),
+        "nodes": list(graph.label_ids),
+        "edges": [[src, dst] for src, dst in graph.edges()],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> DataGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Raises:
+        SerializationError: on any structural problem.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError("graph document must be a JSON object")
+    if data.get("format") != FORMAT_NAME:
+        raise SerializationError(f"unexpected format marker: {data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(f"unsupported version: {data.get('version')!r}")
+    labels = data.get("labels")
+    nodes = data.get("nodes")
+    edges = data.get("edges")
+    if not isinstance(labels, list) or not all(isinstance(l, str) for l in labels):
+        raise SerializationError("'labels' must be a list of strings")
+    if not isinstance(nodes, list) or not all(isinstance(n, int) for n in nodes):
+        raise SerializationError("'nodes' must be a list of label ids")
+    if not isinstance(edges, list):
+        raise SerializationError("'edges' must be a list")
+    if not nodes:
+        raise SerializationError("graph must contain at least the ROOT node")
+    if labels[nodes[0]] != ROOT_LABEL:
+        raise SerializationError("node 0 must carry the ROOT label")
+
+    graph = DataGraph()
+    if graph.label_ids[0] != 0 or labels[nodes[0]] != ROOT_LABEL:
+        raise SerializationError("corrupt ROOT declaration")
+    # Intern labels in file order so stored ids remain meaningful.
+    for name in labels:
+        graph.intern_label(name)
+    for label_id in nodes[1:]:
+        if not 0 <= label_id < len(labels):
+            raise SerializationError(f"label id out of range: {label_id}")
+        graph.add_node(labels[label_id])
+    for entry in edges:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 2
+            or not all(isinstance(x, int) for x in entry)
+        ):
+            raise SerializationError(f"malformed edge entry: {entry!r}")
+        src, dst = entry
+        if not (graph.has_node(src) and graph.has_node(dst)):
+            raise SerializationError(f"edge references unknown node: {entry!r}")
+        if not graph.add_edge_if_absent(src, dst):
+            raise SerializationError(f"duplicate edge in file: {entry!r}")
+    return graph
+
+
+def save_graph(graph: DataGraph, target: str | Path | IO[str]) -> None:
+    """Serialize ``graph`` as JSON to a path or text file object."""
+    document = graph_to_dict(graph)
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, target)
+
+
+def load_graph(source: str | Path | IO[str]) -> DataGraph:
+    """Load a graph previously written by :func:`save_graph`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    return graph_from_dict(data)
+
+
+def dumps(graph: DataGraph) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    buffer = io.StringIO()
+    save_graph(graph, buffer)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> DataGraph:
+    """Load a graph from a JSON string."""
+    return load_graph(io.StringIO(text))

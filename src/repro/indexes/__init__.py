@@ -1,0 +1,51 @@
+"""Structural-summary index graphs.
+
+An *index graph* (Section 3) has one node per equivalence class of data
+nodes; each index node stores its *extent* (the member data nodes), and
+an index edge A→B exists whenever some data edge connects a member of A
+to a member of B.  Queries evaluate over the (much smaller) index graph;
+results are unions of extents, validated against the data graph when the
+index is only approximate for the query's length.
+
+This subpackage provides the shared :class:`~repro.indexes.base.IndexGraph`
+structure plus the baseline summaries from the literature:
+
+- label-split graph (0-bisimulation) — :mod:`repro.indexes.labelsplit`;
+- A(k)-index (Kaushik et al., ICDE 2002) — :mod:`repro.indexes.akindex`;
+- 1-index (Milo & Suciu, ICDT 1999) — :mod:`repro.indexes.oneindex`;
+- strong DataGuide (Goldman & Widom, VLDB 1997) —
+  :mod:`repro.indexes.dataguide`.
+
+The adaptive D(k)-index lives in :mod:`repro.core`.
+"""
+
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.base import K_UNBOUNDED, IndexGraph
+from repro.indexes.dataguide import build_strong_dataguide
+from repro.indexes.diagnostics import audit_similarities
+from repro.indexes.evaluation import evaluate_on_index
+from repro.indexes.explain import explain
+from repro.indexes.fbindex import build_fb_index, evaluate_twig_on_fb
+from repro.indexes.labelsplit import build_labelsplit_index
+from repro.indexes.metrics import index_metrics, load_precision
+from repro.indexes.oneindex import build_1index
+
+# NOTE: repro.indexes.serialize is imported lazily by its users — it
+# depends on repro.core (for the DKIndex wrapper), which depends back on
+# this package; import it directly where needed.
+
+__all__ = [
+    "IndexGraph",
+    "K_UNBOUNDED",
+    "audit_similarities",
+    "build_1index",
+    "build_ak_index",
+    "build_fb_index",
+    "build_labelsplit_index",
+    "build_strong_dataguide",
+    "evaluate_on_index",
+    "evaluate_twig_on_fb",
+    "explain",
+    "index_metrics",
+    "load_precision",
+]

@@ -1,0 +1,171 @@
+"""Deep integrity auditing for index graphs.
+
+``IndexGraph.check_invariants`` verifies *structural* consistency
+(extents partition the data, quotient edges are right).  This module
+verifies the *semantic* promise behind every assigned local similarity:
+
+    an index node with ``k = j`` must answer any label-path query of up
+    to j edges all-or-none — i.e. every extent member has exactly the
+    same set of incoming label paths of length <= j.
+
+That is the invariant Theorem 1's soundness consumes, the one the
+update algorithms maintain (k-bisimilarity proper is *not* preserved by
+edge additions — see DESIGN.md §5), and the one a downstream user wants
+to audit after anything suspicious.  The check is exponential in k in
+the worst case, so it is a diagnostic, not a fast path; ``max_k`` and
+``max_paths`` bound the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One semantic inconsistency.
+
+    Attributes:
+        index_node: the offending index node.
+        label: its label.
+        assigned_k: the similarity it claims.
+        witness_path: a label path (names, outermost first) that matches
+            some but not all extent members — a query of this shape
+            could be answered unsoundly.
+    """
+
+    index_node: int
+    label: str
+    assigned_k: int
+    witness_path: tuple[str, ...]
+
+    def __str__(self) -> str:
+        path = ".".join(self.witness_path)
+        return (
+            f"index node {self.index_node} <{self.label}> claims k="
+            f"{self.assigned_k} but label path '{path}' matches only part "
+            f"of its extent"
+        )
+
+
+@dataclass
+class AuditReport:
+    """Outcome of :func:`audit_similarities`."""
+
+    nodes_checked: int = 0
+    nodes_skipped: int = 0
+    findings: list[AuditFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        if self.ok:
+            skipped = (
+                f" ({self.nodes_skipped} skipped by bounds)"
+                if self.nodes_skipped
+                else ""
+            )
+            return f"audit clean: {self.nodes_checked} index nodes{skipped}"
+        lines = [f"{len(self.findings)} unsound similarity claim(s):"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        return "\n".join(lines)
+
+
+def _paths_up_to(
+    graph: DataGraph, node: int, depth: int, max_paths: int
+) -> set[tuple[int, ...]] | None:
+    """Incoming label-id paths of length <= depth ending at ``node``
+    (own label included); None when ``max_paths`` is exceeded."""
+    collected: set[tuple[int, ...]] = set()
+    frontier: set[tuple[int, tuple[int, ...]]] = {
+        (node, (graph.label_ids[node],))
+    }
+    for _ in range(depth + 1):
+        for _current, path in frontier:
+            collected.add(path)
+            if len(collected) > max_paths:
+                return None
+        next_frontier: set[tuple[int, tuple[int, ...]]] = set()
+        for current, path in frontier:
+            for parent in graph.parents[current]:
+                next_frontier.add((parent, (graph.label_ids[parent],) + path))
+        frontier = next_frontier
+    return collected
+
+
+def audit_similarities(
+    index: IndexGraph,
+    max_k: int = 6,
+    max_paths: int = 20_000,
+    max_findings: int = 20,
+) -> AuditReport:
+    """Audit every index node's claimed similarity against the data.
+
+    Args:
+        index: the index graph (any kind; A(k)/1-index audit their
+            uniform k, D(k) audits per node).
+        max_k: nodes claiming more than this are checked at ``max_k``
+            (1-index nodes claim K_UNBOUNDED; checking a prefix is still
+            meaningful) and counted as checked.
+        max_paths: per-node label-path budget; exceeding it skips the
+            node (counted in ``nodes_skipped``).
+        max_findings: stop after this many findings.
+
+    Example:
+        >>> from repro.graph.builder import graph_from_edges
+        >>> from repro.indexes.akindex import build_ak_index
+        >>> g = graph_from_edges(
+        ...     ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+        ... )
+        >>> audit_similarities(build_ak_index(g, 2)).ok
+        True
+        >>> corrupt = build_ak_index(g, 0)
+        >>> corrupt.k[corrupt.node_of[3]] = 2   # lie about the x extent
+        >>> report = audit_similarities(corrupt)
+        >>> report.ok
+        False
+        >>> report.findings[0].label
+        'x'
+    """
+    graph = index.graph
+    report = AuditReport()
+    for node in range(index.num_nodes):
+        if len(report.findings) >= max_findings:
+            break
+        extent = index.extents[node]
+        if len(extent) <= 1:
+            report.nodes_checked += 1
+            continue
+        depth = min(index.k[node], max_k, graph.num_nodes)
+        reference = _paths_up_to(graph, extent[0], depth, max_paths)
+        if reference is None:
+            report.nodes_skipped += 1
+            continue
+        report.nodes_checked += 1
+        for member in extent[1:]:
+            other = _paths_up_to(graph, member, depth, max_paths)
+            if other is None:
+                report.nodes_skipped += 1
+                break
+            if other != reference:
+                difference = (other ^ reference)
+                witness_ids = min(difference, key=len)
+                witness = tuple(
+                    graph.label_name(label_id) for label_id in witness_ids
+                )
+                report.findings.append(
+                    AuditFinding(
+                        index_node=node,
+                        label=index.label(node),
+                        assigned_k=index.k[node],
+                        witness_path=witness,
+                    )
+                )
+                break
+    return report

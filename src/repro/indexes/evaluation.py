@@ -1,0 +1,235 @@
+"""Query evaluation over index graphs.
+
+The evaluation protocol (Sections 3, 4.1 and 6.1 of the paper):
+
+1. traverse the *index graph* to find all index nodes matched by the
+   path expression (every index node touched counts toward the cost);
+2. the answer is the union of matched index nodes' extents — for free
+   ("data nodes in the extent of a matched index node are not counted");
+3. soundness check: for a label-path query with ``s`` edges, a matched
+   terminal index node whose local similarity ``k(n) >= s`` contributes
+   its extent verbatim (Theorem 1 plus the D(k) structural constraint);
+   otherwise its extent members are *candidates* that go through the
+   validation process against the data graph, whose visits are counted.
+
+The same machinery serves A(k) (uniform ``k``), the 1-index
+(``K_UNBOUNDED``, never validates) and D(k) (per-node ``k``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.indexes.base import IndexGraph
+from repro.indexes.validation import (
+    validate_label_path_candidates,
+    validate_regex_candidates,
+)
+from repro.paths.cost import CostCounter
+from repro.paths.query import LabelPathQuery, Query, RegexQuery
+
+
+def evaluate_on_index(
+    index: IndexGraph,
+    query: Query,
+    counter: CostCounter | None = None,
+    validate: bool = True,
+) -> set[int]:
+    """Evaluate ``query`` on ``index``; return matching *data* node ids.
+
+    Args:
+        index: any :class:`IndexGraph`.
+        query: a :class:`LabelPathQuery` or :class:`RegexQuery`.
+        counter: optional cost accumulator.
+        validate: when False, skip validation and return the (safe but
+            possibly unsound) raw index answer — useful for measuring
+            the index's approximation error.
+
+    Example:
+        >>> from repro.graph.builder import graph_from_edges
+        >>> from repro.indexes.akindex import build_ak_index
+        >>> from repro.paths.query import make_query
+        >>> g = graph_from_edges(
+        ...     ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+        ... )
+        >>> idx = build_ak_index(g, 2)
+        >>> sorted(evaluate_on_index(idx, make_query("a.x")))
+        [3]
+    """
+    counter = counter if counter is not None else CostCounter()
+    if isinstance(query, LabelPathQuery):
+        return _evaluate_label_path(index, query, counter, validate)
+    if isinstance(query, RegexQuery):
+        return _evaluate_regex(index, query, counter, validate)
+    raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+
+def match_index_nodes(
+    index: IndexGraph,
+    query: LabelPathQuery,
+    counter: CostCounter | None = None,
+) -> set[int]:
+    """Index nodes matched by a label-path query (terminal position).
+
+    Exposed separately because the update experiments reason about which
+    index nodes a query lands on.
+    """
+    counter = counter if counter is not None else CostCounter()
+    graph = index.graph
+    if not all(graph.has_label(name) for name in query.labels):
+        return set()
+    wanted = [graph.label_id(name) for name in query.labels]
+    return _match_positions(index, wanted, query.anchored, counter)
+
+
+def _match_positions(
+    index: IndexGraph,
+    wanted: Sequence[int],
+    anchored: bool,
+    counter: CostCounter,
+) -> set[int]:
+    """Forward traversal of the index graph along a label-id chain."""
+    if anchored:
+        counter.visit_index_node()  # the root index node
+        root = index.root_index_node
+        frontier = {
+            child for child in index.children[root] if index.label_ids[child] == wanted[0]
+        }
+    else:
+        frontier = set(index.nodes_with_label_id(wanted[0]))
+    counter.visit_index_node(len(frontier))
+
+    for want in wanted[1:]:
+        if not frontier:
+            return set()
+        next_frontier: set[int] = set()
+        for node in frontier:
+            for child in index.children[node]:
+                if index.label_ids[child] == want:
+                    next_frontier.add(child)
+        counter.visit_index_node(len(next_frontier))
+        frontier = next_frontier
+    return frontier
+
+
+def _evaluate_label_path(
+    index: IndexGraph,
+    query: LabelPathQuery,
+    counter: CostCounter,
+    validate: bool,
+) -> set[int]:
+    graph = index.graph
+    if not all(graph.has_label(name) for name in query.labels):
+        return set()
+    wanted = [graph.label_id(name) for name in query.labels]
+    terminals = _match_positions(index, wanted, query.anchored, counter)
+    if not terminals:
+        return set()
+
+    # Soundness threshold: an unanchored query of s edges needs
+    # k(terminal) >= s (Theorem 1).  An anchored query additionally pins
+    # the path start to the root, which is equivalent to matching the
+    # extended label path ROOT.l1...lp (s+1 edges, and ROOT labels only
+    # the root node) — hence k(terminal) >= s + 1.
+    required = query.num_edges + (1 if query.anchored else 0)
+    results: set[int] = set()
+    needs_validation: list[int] = []
+    for terminal in terminals:
+        if index.k[terminal] >= required or not validate:
+            results.update(index.extents[terminal])
+        else:
+            needs_validation.extend(index.extents[terminal])
+    if needs_validation:
+        verified = validate_label_path_candidates(
+            graph,
+            (c for c in needs_validation if c not in results),
+            wanted,
+            query.anchored,
+            counter,
+        )
+        results.update(verified)
+    return results
+
+
+def _evaluate_regex(
+    index: IndexGraph,
+    query: RegexQuery,
+    counter: CostCounter,
+    validate: bool,
+) -> set[int]:
+    graph = index.graph
+    nfa = query.nfa.bind({name: i for i, name in enumerate(graph.label_names())})
+    start = frozenset({nfa.start})
+    label_ids = index.label_ids
+    children = index.children
+
+    # Track, per terminal index node, the *longest* accepted word length
+    # seen (bounded by num_edges possible in the index); a terminal is
+    # sound when k(n) covers every accepted match length, which we can
+    # only certify for finite-language expressions.
+    max_len = query.max_length
+    matched: set[int] = set()
+    seen: set[tuple[int, frozenset[int]]] = set()
+    stack: list[tuple[int, frozenset[int]]] = []
+
+    if query.anchored:
+        counter.visit_index_node()  # the root index node
+        start_candidates: Sequence[int] = sorted(
+            index.children[index.root_index_node]
+        )
+    else:
+        start_candidates = range(index.num_nodes)
+
+    for node in start_candidates:
+        states = nfa.step(start, label_ids[node])
+        if states:
+            key = (node, states)
+            if key not in seen:
+                seen.add(key)
+                stack.append(key)
+                counter.visit_index_node()
+                if nfa.is_accepting(states):
+                    matched.add(node)
+
+    while stack:
+        node, states = stack.pop()
+        for child in children[node]:
+            next_states = nfa.step(states, label_ids[child])
+            if not next_states:
+                continue
+            key = (child, next_states)
+            if key in seen:
+                continue
+            seen.add(key)
+            counter.visit_index_node()
+            if nfa.is_accepting(next_states):
+                matched.add(child)
+            stack.append(key)
+
+    if not matched:
+        return set()
+
+    results: set[int] = set()
+    needs_validation: list[int] = []
+    for terminal in matched:
+        # Finite-language expressions are sound on a terminal whose k
+        # covers the longest possible match (plus one for the implicit
+        # ROOT edge when anchored); unbounded expressions always validate.
+        required = None if max_len is None else max_len - 1 + (
+            1 if query.anchored else 0
+        )
+        sound = required is not None and index.k[terminal] >= required
+        if sound or not validate:
+            results.update(index.extents[terminal])
+        else:
+            needs_validation.extend(index.extents[terminal])
+    if needs_validation:
+        verified = validate_regex_candidates(
+            graph,
+            (c for c in needs_validation if c not in results),
+            query.nfa,
+            query.anchored,
+            counter,
+        )
+        results.update(verified)
+    return results

@@ -1,0 +1,29 @@
+"""The label-split index graph (0-bisimulation).
+
+"The simplest index graph constructed by label splitting is a D(k)-index
+with the local similarity of each index node equal to 0" (Section 4.1).
+It is also the A(0)-index and the starting point of every construction
+algorithm in this library.
+"""
+
+from __future__ import annotations
+
+from repro.graph.datagraph import DataGraph
+from repro.indexes.base import IndexGraph
+from repro.partition.refinement import label_partition
+
+
+def build_labelsplit_index(graph: DataGraph) -> IndexGraph:
+    """Build the label-split index (one index node per label).
+
+    Every index node's local similarity is 0: extents are only
+    guaranteed label-homogeneous.
+
+    Example:
+        >>> from repro.graph.builder import graph_from_edges
+        >>> g = graph_from_edges(["a", "a", "b"], [(0, 1), (0, 2), (1, 3)])
+        >>> idx = build_labelsplit_index(g)
+        >>> idx.num_nodes   # ROOT, a, b
+        3
+    """
+    return IndexGraph.from_partition(graph, label_partition(graph), 0)

@@ -1,0 +1,92 @@
+"""Index-quality metrics: how good is a structural summary, numerically?
+
+Beyond the paper's two headline numbers (index size and average
+evaluation cost), these metrics quantify *why* an index behaves as it
+does:
+
+- **compression** — data nodes per index node (bigger = smaller index);
+- **extent-size distribution** — skew matters: one huge unsplit extent
+  dominates validation cost;
+- **raw precision** of a query — |exact answer| / |unvalidated index
+  answer|: 1.0 means the index alone was sound for that query, and the
+  average over a load measures how much work validation has to undo.
+
+The precision metric drives the EXT-PRECISION ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.indexes.base import IndexGraph
+from repro.indexes.evaluation import evaluate_on_index
+from repro.paths.query import Query
+from repro.workload.queryload import QueryLoad
+
+
+@dataclass(frozen=True)
+class IndexMetrics:
+    """Structural metrics of an index graph.
+
+    Attributes:
+        index_nodes / index_edges: summary size.
+        data_nodes: size of the summarised graph.
+        compression: ``data_nodes / index_nodes``.
+        max_extent / mean_extent: extent-size distribution extremes.
+        singleton_extents: extents of size 1 (fully split nodes — the
+            1-index degenerates to many of these).
+        k_histogram: ``{k: index nodes at that similarity}``.
+    """
+
+    index_nodes: int
+    index_edges: int
+    data_nodes: int
+    compression: float
+    max_extent: int
+    mean_extent: float
+    singleton_extents: int
+    k_histogram: dict[int, int]
+
+
+def index_metrics(index: IndexGraph) -> IndexMetrics:
+    """Compute :class:`IndexMetrics` for ``index``."""
+    sizes = [len(extent) for extent in index.extents]
+    histogram: dict[int, int] = {}
+    for k in index.k:
+        histogram[k] = histogram.get(k, 0) + 1
+    data_nodes = index.graph.num_nodes
+    count = max(1, index.num_nodes)
+    return IndexMetrics(
+        index_nodes=index.num_nodes,
+        index_edges=index.num_edges,
+        data_nodes=data_nodes,
+        compression=data_nodes / count,
+        max_extent=max(sizes, default=0),
+        mean_extent=sum(sizes) / count,
+        singleton_extents=sum(1 for size in sizes if size == 1),
+        k_histogram=histogram,
+    )
+
+
+def query_precision(index: IndexGraph, query: Query) -> float:
+    """Precision of the *unvalidated* index answer for one query.
+
+    ``|exact| / |raw|``; 1.0 when the raw answer is already exact, and
+    1.0 by convention for empty raw answers (nothing to validate).
+    """
+    raw = evaluate_on_index(index, query, validate=False)
+    if not raw:
+        return 1.0
+    exact = evaluate_on_index(index, query)
+    return len(exact) / len(raw)
+
+
+def load_precision(index: IndexGraph, load: QueryLoad) -> float:
+    """Weighted mean raw precision over a query load."""
+    total_weight = load.total_weight
+    if total_weight == 0:
+        return 1.0
+    weighted = 0.0
+    for query, weight in load.items():
+        weighted += query_precision(index, query) * weight
+    return weighted / total_weight

@@ -1,0 +1,177 @@
+"""The validation process for approximate index results.
+
+When a query is longer than an index node's guaranteed local similarity,
+the extent may contain false positives; validation checks each candidate
+data node against the *data graph* by matching the query's label path
+backwards from the candidate (A(k) paper, adopted by Section 6.1 of the
+D(k) paper).  This is exactly the expensive step the D(k)-index tries to
+avoid by adapting its per-node similarities to the query load.
+
+Cost accounting: every first visit of a ``(data node, position)`` (or
+``(data node, state set)`` for regex validation) pair counts as one data
+node visited; the memo is shared across all candidates of one query so
+overlapping ancestor walks are counted once, mirroring a shared-scan
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graph.datagraph import DataGraph
+from repro.paths.cost import CostCounter
+from repro.paths.nfa import NFA
+
+
+def validate_label_path_candidates(
+    graph: DataGraph,
+    candidates: Iterable[int],
+    label_ids: Sequence[int],
+    anchored: bool,
+    counter: CostCounter,
+) -> set[int]:
+    """Filter ``candidates`` to those actually matched by the label path.
+
+    Args:
+        graph: the data graph.
+        candidates: data nodes whose membership must be verified; their
+            own label is assumed to equal ``label_ids[-1]`` already.
+        label_ids: the query's labels as graph label ids.
+        anchored: if True the matching node path must begin at a child
+            of the root.
+        counter: cost accumulator (data-node visits + validation count).
+
+    Returns:
+        The subset of candidates that truly match.
+    """
+    parents = graph.parents
+    node_labels = graph.label_ids
+    root = graph.root
+    positions = len(label_ids)
+    # memo[(node, position)]: does a node path matching label_ids[:position+1]
+    # and ending at `node` exist?
+    memo: dict[tuple[int, int], bool] = {}
+
+    def matches_up_to(node: int, position: int) -> bool:
+        key = (node, position)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        counter.visit_data_node()
+        if node_labels[node] != label_ids[position]:
+            memo[key] = False
+            return False
+        if position == 0:
+            result = (root in parents[node]) if anchored else True
+        else:
+            result = any(
+                matches_up_to(parent, position - 1) for parent in parents[node]
+            )
+        memo[key] = result
+        return result
+
+    verified: set[int] = set()
+    total = 0
+    for candidate in candidates:
+        total += 1
+        if matches_up_to(candidate, positions - 1):
+            verified.add(candidate)
+    counter.record_validation(total)
+    return verified
+
+
+def validate_regex_candidates(
+    graph: DataGraph,
+    candidates: Iterable[int],
+    nfa: NFA,
+    anchored: bool,
+    counter: CostCounter,
+) -> set[int]:
+    """Validate candidates against a full regular path expression.
+
+    Uses the reversed automaton: starting from the original accepting
+    states, consume the candidate's label and walk *up* the data graph;
+    the candidate matches when the original start state is reached (and,
+    for anchored queries, the walk is standing at a child of the root).
+    """
+    reversed_transitions: list[dict[str | None, set[int]]] = [
+        {} for _ in range(nfa.num_states)
+    ]
+    for src, table in enumerate(nfa.transitions):
+        for label, targets in table.items():
+            for dst in targets:
+                reversed_transitions[dst].setdefault(label, set()).add(src)
+
+    id_to_name = list(graph.label_names())
+    parents = graph.parents
+    node_labels = graph.label_ids
+    root = graph.root
+    rev_start = frozenset(nfa.accepting)
+    goal = nfa.start
+
+    def step_reversed(states: frozenset[int], label_name: str) -> frozenset[int]:
+        result: set[int] = set()
+        for state in states:
+            table = reversed_transitions[state]
+            result.update(table.get(label_name, ()))
+            result.update(table.get(None, ()))
+        return frozenset(result)
+
+    # Explore the product graph upward from all candidates at once, then
+    # mark success vertices and propagate reachability backwards through
+    # the explored subgraph.  (A memoised DFS would be wrong here: cycles
+    # in the product graph can freeze "False" verdicts that a later
+    # branch proves "True".)
+    candidate_list = list(candidates)
+    start_of: dict[int, tuple[int, frozenset[int]] | None] = {}
+    out_edges: dict[tuple[int, frozenset[int]], list[tuple[int, frozenset[int]]]] = {}
+    success: set[tuple[int, frozenset[int]]] = set()
+    stack: list[tuple[int, frozenset[int]]] = []
+
+    def enter(node: int, after: frozenset[int]) -> tuple[int, frozenset[int]] | None:
+        """Register the product vertex for `node` whose label produced
+        `after`; returns None when the automaton is stuck."""
+        if not after:
+            return None
+        vertex = (node, after)
+        if vertex not in out_edges:
+            counter.visit_data_node()
+            out_edges[vertex] = []
+            if goal in after and (not anchored or root in parents[node]):
+                success.add(vertex)
+            stack.append(vertex)
+        return vertex
+
+    for candidate in candidate_list:
+        after = step_reversed(rev_start, id_to_name[node_labels[candidate]])
+        start_of[candidate] = enter(candidate, after)
+
+    while stack:
+        node, after = stack.pop()
+        for parent in parents[node]:
+            parent_after = step_reversed(after, id_to_name[node_labels[parent]])
+            target = enter(parent, parent_after)
+            if target is not None:
+                out_edges[(node, after)].append(target)
+
+    # Reverse reachability from the success vertices.
+    incoming: dict[tuple[int, frozenset[int]], list[tuple[int, frozenset[int]]]] = {}
+    for vertex, targets in out_edges.items():
+        for target in targets:
+            incoming.setdefault(target, []).append(vertex)
+    reaches_success = set(success)
+    worklist = list(success)
+    while worklist:
+        vertex = worklist.pop()
+        for predecessor in incoming.get(vertex, ()):
+            if predecessor not in reaches_success:
+                reaches_success.add(predecessor)
+                worklist.append(predecessor)
+
+    verified: set[int] = set()
+    for candidate in candidate_list:
+        start_vertex = start_of[candidate]
+        if start_vertex is not None and start_vertex in reaches_success:
+            verified.add(candidate)
+    counter.record_validation(len(candidate_list))
+    return verified

@@ -1,0 +1,34 @@
+"""Partition-refinement engine.
+
+Bisimulation partitions are the mathematical core of every index in this
+library (Section 3, Definitions 1 and 2 of the paper).  This subpackage
+provides:
+
+- :class:`~repro.partition.blocks.Partition` — an immutable-ish node
+  partition with dense block ids;
+- :func:`~repro.partition.refinement.label_partition` — 0-bisimulation
+  (label split);
+- :func:`~repro.partition.refinement.kbisim_partition` — uniform
+  k-bisimulation (the A(k)-index equivalence);
+- :func:`~repro.partition.refinement.bisim_partition` — the full
+  bisimulation fixpoint (the 1-index equivalence);
+- :func:`~repro.partition.refinement.leveled_partition` — per-node freeze
+  levels, the generalisation the D(k)-index construction (Algorithm 2)
+  needs.
+"""
+
+from repro.partition.blocks import Partition
+from repro.partition.refinement import (
+    bisim_partition,
+    kbisim_partition,
+    label_partition,
+    leveled_partition,
+)
+
+__all__ = [
+    "Partition",
+    "bisim_partition",
+    "kbisim_partition",
+    "label_partition",
+    "leveled_partition",
+]

@@ -1,0 +1,163 @@
+"""Paige–Tarjan partition refinement (O(m·log n) bisimulation).
+
+Section 4.1 cites Paige & Tarjan's "Three Partition Refinement
+Algorithms" (SIAM J. Comput. 1987) as the way to build the 1-index in
+O(m·log n).  The signature-hashing fixpoint in
+:mod:`repro.partition.refinement` computes the same partition in
+O(d·m) for bisimulation depth d — usually faster in Python for
+document-shaped data — but a faithful reproduction should carry the
+real thing, so here it is: the *process the smaller half* algorithm.
+
+The key invariant: maintain a coarse partition X (unions of blocks of
+the current partition Q) such that Q is stable with respect to every
+block of X.  Repeatedly pick a compound X-block S, split off its
+smaller constituent B, and refine Q against both B and S∖B using only
+the edges into B — the "smaller half" trick that gives each edge
+O(log n) total work.
+
+This module implements the standard three-way-split formulation:
+splitting Q against splitter B and then against S∖B is equivalent to
+partitioning each block by the pair
+
+    (has an edge into B,  has an edge into S∖B)
+
+and counts of edges into S make the second component computable from
+counts into B alone (``count(u, S∖B) = count(u, S) − count(u, B)``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Protocol, Sequence
+
+from repro.partition.blocks import Partition
+from repro.partition.refinement import label_partition
+
+
+class _LabeledAdjacency(Protocol):
+    label_ids: Sequence[int]
+    parents: Sequence[Sequence[int]]
+    children: Sequence[Sequence[int]]
+
+    @property
+    def num_nodes(self) -> int: ...
+
+
+def paige_tarjan_bisim(graph: _LabeledAdjacency) -> Partition:
+    """Full (backward) bisimulation via Paige–Tarjan refinement.
+
+    Computes the coarsest partition refining the label partition that is
+    stable under the *parent* relation — i.e. the 1-index equivalence of
+    Definition 1.  Produces exactly the same partition as
+    :func:`repro.partition.refinement.bisim_partition` (the test suite
+    asserts this on random graphs) with the better asymptotic bound.
+
+    Note on orientation: stability here means every block has a uniform
+    answer to "do I have a parent in splitter B?", so the refining edges
+    run child → parent.
+    """
+    n = graph.num_nodes
+    initial = label_partition(graph)
+
+    # Q: the current partition as mutable member lists + block-of map.
+    block_of = list(initial.block_of)
+    blocks: list[set[int]] = [set(members) for members in initial.blocks]
+
+    # X: the coarse partition; each X-block is a set of Q-block ids.
+    # Initially one compound X-block holding everything (stability with
+    # respect to the whole universe is trivial).
+    x_blocks: list[set[int]] = [set(range(len(blocks)))]
+    x_of_block: dict[int, int] = {b: 0 for b in range(len(blocks))}
+    compound: list[int] = [0] if len(blocks) > 1 else []
+
+    # count[u][x] = number of parents of u inside X-block x.  (The
+    # refining relation is "has a parent in ...", so we count each
+    # node's parent-side edges per X-block.)
+    count: list[dict[int, int]] = [defaultdict(int) for _ in range(n)]
+    for u in range(n):
+        for p in graph.parents[u]:
+            count[u][0] += 1
+
+    def new_q_block(members: set[int], x_id: int) -> int:
+        blocks.append(members)
+        b = len(blocks) - 1
+        x_of_block[b] = x_id
+        x_blocks[x_id].add(b)
+        for node in members:
+            block_of[node] = b
+        return b
+
+    while compound:
+        x_id = compound.pop()
+        members_ids = x_blocks[x_id]
+        if len(members_ids) <= 1:
+            continue
+        # Pick the smaller constituent as the splitter B.
+        b_id = min(members_ids, key=lambda b: len(blocks[b]))
+        splitter = blocks[b_id]
+
+        # Move B into its own (simple) X-block.
+        x_blocks[x_id].discard(b_id)
+        new_x = len(x_blocks)
+        x_blocks.append({b_id})
+        x_of_block[b_id] = new_x
+        if len(x_blocks[x_id]) > 1:
+            compound.append(x_id)
+
+        # Count parents-in-B per node with a parent in B; children of
+        # splitter members are exactly the nodes that can be affected.
+        in_b: dict[int, int] = defaultdict(int)
+        affected: set[int] = set()
+        for member in splitter:
+            for child in graph.children[member]:
+                in_b[child] += 1
+                affected.add(child)
+
+        # Maintain counts: count into the old compound S shrinks by the
+        # edges now attributed to B.
+        for u, edges_into_b in in_b.items():
+            count[u][new_x] = edges_into_b
+            count[u][x_id] -= edges_into_b
+            if count[u][x_id] == 0:
+                del count[u][x_id]
+
+        # Three-way split of every affected Q-block by
+        # (parent in B?, parent in S\B?).  Nodes not in `affected` have
+        # no parent in B, so their blocks only need the B-side check —
+        # but blocks containing no affected node cannot split at all.
+        touched_blocks: set[int] = {block_of[u] for u in affected}
+        for q_id in touched_blocks:
+            groups: dict[tuple[bool, bool], set[int]] = defaultdict(set)
+            for u in blocks[q_id]:
+                has_b = count[u].get(new_x, 0) > 0
+                has_rest = count[u].get(x_id, 0) > 0
+                groups[(has_b, has_rest)].add(u)
+            if len(groups) == 1:
+                continue
+            # Keep the largest group under the old id; spin off the rest.
+            ordered = sorted(
+                groups.items(), key=lambda item: (-len(item[1]), item[0])
+            )
+            keep_key, keep_members = ordered[0]
+            blocks[q_id] = keep_members
+            owner_x = x_of_block[q_id]
+            was_simple = len(x_blocks[owner_x]) == 1
+            for _key, members in ordered[1:]:
+                new_q_block(members, owner_x)
+            if was_simple and len(x_blocks[owner_x]) > 1:
+                compound.append(owner_x)
+
+    return Partition(_densify(block_of))
+
+
+def _densify(block_of: list[int]) -> list[int]:
+    """Renumber block ids densely in first-seen order."""
+    table: dict[int, int] = {}
+    result = []
+    for block in block_of:
+        dense = table.get(block)
+        if dense is None:
+            dense = len(table)
+            table[block] = dense
+        result.append(dense)
+    return result

@@ -1,0 +1,230 @@
+"""Abstract syntax tree for regular path expressions.
+
+The node types mirror the grammar of Section 3:
+``R = label | _ | R.R | R|R | (R) | R? | R*``.
+
+All nodes are immutable, hashable and comparable, which lets queries be
+used as dictionary keys (the query-load container relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class PathExpr:
+    """Base class for path-expression AST nodes."""
+
+    def is_finite(self) -> bool:
+        """True if the language of this expression is finite (no ``*``)."""
+        raise NotImplementedError
+
+    def min_length(self) -> int:
+        """Length (in labels) of the shortest word in the language."""
+        raise NotImplementedError
+
+    def max_length(self) -> int | None:
+        """Length of the longest word, or None if unbounded."""
+        raise NotImplementedError
+
+    def labels(self) -> Iterator[str]:
+        """Yield every concrete label mentioned in the expression."""
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        """Render back to parseable source text."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegation
+        return self.to_text()
+
+
+@dataclass(frozen=True)
+class Label(PathExpr):
+    """A single concrete label, e.g. ``movie``."""
+
+    name: str
+
+    def is_finite(self) -> bool:
+        return True
+
+    def min_length(self) -> int:
+        return 1
+
+    def max_length(self) -> int | None:
+        return 1
+
+    def labels(self) -> Iterator[str]:
+        yield self.name
+
+    def to_text(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AnyLabel(PathExpr):
+    """The wildcard ``_`` which matches any single label."""
+
+    def is_finite(self) -> bool:
+        return True
+
+    def min_length(self) -> int:
+        return 1
+
+    def max_length(self) -> int | None:
+        return 1
+
+    def labels(self) -> Iterator[str]:
+        return iter(())
+
+    def to_text(self) -> str:
+        return "_"
+
+
+@dataclass(frozen=True)
+class Concat(PathExpr):
+    """Sequence ``left.right``."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def is_finite(self) -> bool:
+        return self.left.is_finite() and self.right.is_finite()
+
+    def min_length(self) -> int:
+        return self.left.min_length() + self.right.min_length()
+
+    def max_length(self) -> int | None:
+        left = self.left.max_length()
+        right = self.right.max_length()
+        if left is None or right is None:
+            return None
+        return left + right
+
+    def labels(self) -> Iterator[str]:
+        yield from self.left.labels()
+        yield from self.right.labels()
+
+    def to_text(self) -> str:
+        return f"{_wrap(self.left)}.{_wrap(self.right)}"
+
+
+@dataclass(frozen=True)
+class Union_(PathExpr):
+    """Alternation ``left|right``."""
+
+    left: PathExpr
+    right: PathExpr
+
+    def is_finite(self) -> bool:
+        return self.left.is_finite() and self.right.is_finite()
+
+    def min_length(self) -> int:
+        return min(self.left.min_length(), self.right.min_length())
+
+    def max_length(self) -> int | None:
+        left = self.left.max_length()
+        right = self.right.max_length()
+        if left is None or right is None:
+            return None
+        return max(left, right)
+
+    def labels(self) -> Iterator[str]:
+        yield from self.left.labels()
+        yield from self.right.labels()
+
+    def to_text(self) -> str:
+        return f"{self.left.to_text()}|{self.right.to_text()}"
+
+
+@dataclass(frozen=True)
+class Optional_(PathExpr):
+    """Optional occurrence ``inner?``."""
+
+    inner: PathExpr
+
+    def is_finite(self) -> bool:
+        return self.inner.is_finite()
+
+    def min_length(self) -> int:
+        return 0
+
+    def max_length(self) -> int | None:
+        return self.inner.max_length()
+
+    def labels(self) -> Iterator[str]:
+        yield from self.inner.labels()
+
+    def to_text(self) -> str:
+        return f"{_wrap(self.inner, for_postfix=True)}?"
+
+
+@dataclass(frozen=True)
+class Star(PathExpr):
+    """Kleene repetition ``inner*`` (zero or more occurrences)."""
+
+    inner: PathExpr
+
+    def is_finite(self) -> bool:
+        return False
+
+    def min_length(self) -> int:
+        return 0
+
+    def max_length(self) -> int | None:
+        return None
+
+    def labels(self) -> Iterator[str]:
+        yield from self.inner.labels()
+
+    def to_text(self) -> str:
+        return f"{_wrap(self.inner, for_postfix=True)}*"
+
+
+def _wrap(expr: PathExpr, for_postfix: bool = False) -> str:
+    """Parenthesise when needed so ``to_text`` output reparses identically.
+
+    Alternation binds loosest and always needs parentheses inside
+    anything; a postfix operator (``?``/``*``) additionally needs them
+    around a concatenation (``(a.b)*`` vs ``a.b*``).
+    """
+    needs_parens = isinstance(expr, Union_) or (
+        for_postfix and isinstance(expr, Concat)
+    )
+    text = expr.to_text()
+    return f"({text})" if needs_parens else text
+
+
+def concat_all(parts: list[PathExpr]) -> PathExpr:
+    """Left-fold a list of expressions into nested :class:`Concat` nodes.
+
+    Raises:
+        ValueError: on an empty list (the grammar has no empty expression).
+    """
+    if not parts:
+        raise ValueError("cannot concatenate zero path expressions")
+    result = parts[0]
+    for part in parts[1:]:
+        result = Concat(result, part)
+    return result
+
+
+def label_sequence(expr: PathExpr) -> list[str] | None:
+    """If ``expr`` is a plain chain of concrete labels, return them.
+
+    Returns None for anything involving wildcards, alternation,
+    repetition or optionality.  The experiments' workload consists
+    entirely of such plain chains, which get the fast evaluator.
+    """
+    if isinstance(expr, Label):
+        return [expr.name]
+    if isinstance(expr, Concat):
+        left = label_sequence(expr.left)
+        if left is None:
+            return None
+        right = label_sequence(expr.right)
+        if right is None:
+            return None
+        return left + right
+    return None

@@ -1,0 +1,101 @@
+"""The paper's in-memory query cost model (Section 6.1).
+
+    "The cost of a query is defined to be the number of nodes visited in
+    the index or data graph during path expression evaluation.  Note that
+    data nodes in the extent of a matched index node are not counted as
+    visited; but the data nodes visited during the validating process are
+    counted."
+
+:class:`CostCounter` separates the two components (index-graph visits and
+data-graph visits during validation) so experiments can report both the
+total and the breakdown.  When a query runs directly against the data
+graph (the no-index baseline), its traversal visits land in
+``data_nodes_visited`` as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CostCounter:
+    """Mutable accumulator of visited-node counts for one evaluation.
+
+    Attributes:
+        index_nodes_visited: nodes touched while traversing an index graph.
+        data_nodes_visited: data-graph nodes touched (validation, or the
+            whole traversal for index-less evaluation).
+        validations: number of candidate data nodes that went through
+            the validation procedure.
+        validated_queries: 1 if the evaluation needed validation at all.
+    """
+
+    index_nodes_visited: int = 0
+    data_nodes_visited: int = 0
+    validations: int = 0
+    validated_queries: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total visited-node cost as defined by the paper."""
+        return self.index_nodes_visited + self.data_nodes_visited
+
+    def visit_index_node(self, count: int = 1) -> None:
+        """Record ``count`` index-graph node visits."""
+        self.index_nodes_visited += count
+
+    def visit_data_node(self, count: int = 1) -> None:
+        """Record ``count`` data-graph node visits."""
+        self.data_nodes_visited += count
+
+    def record_validation(self, candidates: int) -> None:
+        """Record that validation ran over ``candidates`` data nodes."""
+        self.validations += candidates
+        self.validated_queries = 1
+
+    def merge(self, other: "CostCounter") -> None:
+        """Fold another counter's tallies into this one."""
+        self.index_nodes_visited += other.index_nodes_visited
+        self.data_nodes_visited += other.data_nodes_visited
+        self.validations += other.validations
+        self.validated_queries += other.validated_queries
+
+
+@dataclass
+class CostSummary:
+    """Aggregate of many :class:`CostCounter` results.
+
+    Used by the experiment harness to report the paper's Y-axis metric:
+    "the evaluation cost measured by the average number of nodes visited
+    over all test paths".
+    """
+
+    queries: int = 0
+    total_cost: int = 0
+    total_index_visits: int = 0
+    total_data_visits: int = 0
+    queries_with_validation: int = 0
+
+    def add(self, counter: CostCounter) -> None:
+        """Record one query's counter."""
+        self.queries += 1
+        self.total_cost += counter.total
+        self.total_index_visits += counter.index_nodes_visited
+        self.total_data_visits += counter.data_nodes_visited
+        if counter.validated_queries:
+            self.queries_with_validation += 1
+
+    @property
+    def average_cost(self) -> float:
+        """Mean visited nodes per query (the figures' Y axis)."""
+        if self.queries == 0:
+            return 0.0
+        return self.total_cost / self.queries
+
+    @property
+    def validation_fraction(self) -> float:
+        """Fraction of queries that triggered validation."""
+        if self.queries == 0:
+            return 0.0
+        return self.queries_with_validation / self.queries

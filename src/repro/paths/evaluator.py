@@ -1,0 +1,171 @@
+"""Query evaluation directly against the data graph.
+
+This module provides the *index-less* baseline and the ground truth the
+test suite checks every index against.  Evaluation over index graphs
+(with extents, soundness checks and validation) lives in
+:mod:`repro.indexes.evaluation`.
+
+Cost accounting follows :mod:`repro.paths.cost`: every ``(node,
+position)`` — or, for regex queries, ``(node, automaton-state-set)`` —
+expansion counts as one data-graph node visit.  The initial frontier scan
+is counted too when the evaluator has to scan the whole graph to find
+starting nodes (a naive evaluation "scans all data", as the paper's
+introduction puts it); callers may pass a prebuilt label→nodes map to
+model a system with a label index, in which case only the matched start
+nodes are counted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.graph.datagraph import DataGraph
+from repro.paths.cost import CostCounter
+from repro.paths.query import LabelPathQuery, Query, RegexQuery
+
+
+def build_label_map(graph: DataGraph) -> dict[int, list[int]]:
+    """Precompute ``{label_id: [nodes]}`` for repeated evaluations."""
+    table: dict[int, list[int]] = {}
+    label_ids = graph.label_ids
+    for node in range(graph.num_nodes):
+        table.setdefault(label_ids[node], []).append(node)
+    return table
+
+
+def evaluate_on_data_graph(
+    graph: DataGraph,
+    query: Query,
+    counter: CostCounter | None = None,
+    label_map: Mapping[int, Sequence[int]] | None = None,
+) -> set[int]:
+    """Evaluate ``query`` against ``graph``; return matching node ids.
+
+    Args:
+        graph: the data graph.
+        query: a :class:`LabelPathQuery` or :class:`RegexQuery`.
+        counter: optional cost accumulator.
+        label_map: optional ``{label_id: nodes}`` map; when provided, the
+            start-frontier lookup costs only the matched nodes instead of
+            a full scan.
+
+    Example:
+        >>> from repro.graph.builder import graph_from_edges
+        >>> from repro.paths.query import make_query
+        >>> g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (0, 3)])
+        >>> sorted(evaluate_on_data_graph(g, make_query("a.b")))
+        [2]
+    """
+    counter = counter if counter is not None else CostCounter()
+    if isinstance(query, LabelPathQuery):
+        return _evaluate_label_path(graph, query, counter, label_map)
+    if isinstance(query, RegexQuery):
+        return _evaluate_regex(graph, query, counter, label_map)
+    raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+
+def _start_nodes(
+    graph: DataGraph,
+    label_id: int,
+    counter: CostCounter,
+    label_map: Mapping[int, Sequence[int]] | None,
+) -> list[int]:
+    """Nodes carrying ``label_id``, with the appropriate visit cost."""
+    if label_map is not None:
+        nodes = list(label_map.get(label_id, ()))
+        counter.visit_data_node(len(nodes))
+        return nodes
+    counter.visit_data_node(graph.num_nodes)
+    label_ids = graph.label_ids
+    return [node for node in range(graph.num_nodes) if label_ids[node] == label_id]
+
+
+def _evaluate_label_path(
+    graph: DataGraph,
+    query: LabelPathQuery,
+    counter: CostCounter,
+    label_map: Mapping[int, Sequence[int]] | None,
+) -> set[int]:
+    try:
+        wanted = [graph.label_id(name) for name in query.labels]
+    except Exception:
+        # A label absent from the graph can never match.
+        return set()
+
+    if query.anchored:
+        counter.visit_data_node()  # the root
+        frontier = {
+            child
+            for child in graph.children[graph.root]
+            if graph.label_ids[child] == wanted[0]
+        }
+        counter.visit_data_node(len(frontier))
+    else:
+        frontier = set(_start_nodes(graph, wanted[0], counter, label_map))
+
+    label_ids = graph.label_ids
+    children = graph.children
+    for want in wanted[1:]:
+        if not frontier:
+            return set()
+        next_frontier: set[int] = set()
+        for node in frontier:
+            for child in children[node]:
+                if label_ids[child] == want and child not in next_frontier:
+                    next_frontier.add(child)
+        counter.visit_data_node(len(next_frontier))
+        frontier = next_frontier
+    return frontier
+
+
+def _evaluate_regex(
+    graph: DataGraph,
+    query: RegexQuery,
+    counter: CostCounter,
+    label_map: Mapping[int, Sequence[int]] | None,
+) -> set[int]:
+    nfa = query.nfa.bind({name: i for i, name in enumerate(graph.label_names())})
+    start = frozenset({nfa.start})
+    label_ids = graph.label_ids
+    children = graph.children
+
+    results: set[int] = set()
+    seen: set[tuple[int, frozenset[int]]] = set()
+    stack: list[tuple[int, frozenset[int]]] = []
+
+    if query.anchored:
+        counter.visit_data_node()  # the root
+        start_candidates: Sequence[int] = graph.children[graph.root]
+    else:
+        # Unanchored: any node may begin the matching node path.  This is
+        # the naive full scan unless a label map confines the relevant
+        # start labels — regex starts can be wildcarded, so scan always.
+        counter.visit_data_node(graph.num_nodes)
+        start_candidates = range(graph.num_nodes)
+
+    for node in start_candidates:
+        states = nfa.step(start, label_ids[node])
+        if states:
+            key = (node, states)
+            if key not in seen:
+                seen.add(key)
+                stack.append(key)
+                counter.visit_data_node()
+                if nfa.is_accepting(states):
+                    results.add(node)
+
+    while stack:
+        node, states = stack.pop()
+        for child in children[node]:
+            next_states = nfa.step(states, label_ids[child])
+            if not next_states:
+                continue
+            key = (child, next_states)
+            if key in seen:
+                continue
+            seen.add(key)
+            counter.visit_data_node()
+            if nfa.is_accepting(next_states):
+                results.add(child)
+            stack.append(key)
+    return results

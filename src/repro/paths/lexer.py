@@ -1,0 +1,117 @@
+"""Tokenizer for the path-expression surface syntax.
+
+Token kinds:
+
+========  ==========================================
+LABEL     an XML name (``movie``, ``open_auction``…)
+WILDCARD  ``_`` (matches any single label)
+DOT       ``.`` (sequence)
+PIPE      ``|`` (alternation)
+STAR      ``*``
+QMARK     ``?``
+LPAREN    ``(``
+RPAREN    ``)``
+DSLASH    ``//`` (descendant-axis sugar)
+SLASH     ``/`` (alternative sequence separator, XPath-flavoured)
+EOF       end of input
+========  ==========================================
+
+A lone ``_`` is the wildcard; labels may contain letters, digits,
+``_`` (non-leading only when it would otherwise be the wildcard), ``-``
+and ``:``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.exceptions import PathSyntaxError
+
+
+class TokenKind(Enum):
+    LABEL = auto()
+    WILDCARD = auto()
+    DOT = auto()
+    PIPE = auto()
+    STAR = auto()
+    QMARK = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    DSLASH = auto()
+    SLASH = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    position: int
+
+
+_SINGLE_CHAR = {
+    ".": TokenKind.DOT,
+    "|": TokenKind.PIPE,
+    "*": TokenKind.STAR,
+    "?": TokenKind.QMARK,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+}
+
+
+def _is_label_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_label_char(char: str) -> bool:
+    return char.isalnum() or char in "_-:"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token.
+
+    Raises:
+        PathSyntaxError: on any character that cannot start a token.
+
+    Example:
+        >>> [t.kind.name for t in tokenize("a.b|c*")]
+        ['LABEL', 'DOT', 'LABEL', 'PIPE', 'LABEL', 'STAR', 'EOF']
+    """
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "/":
+            if position + 1 < length and text[position + 1] == "/":
+                tokens.append(Token(TokenKind.DSLASH, "//", position))
+                position += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", position))
+                position += 1
+            continue
+        kind = _SINGLE_CHAR.get(char)
+        if kind is not None:
+            tokens.append(Token(kind, char, position))
+            position += 1
+            continue
+        if _is_label_start(char):
+            start = position
+            position += 1
+            while position < length and _is_label_char(text[position]):
+                position += 1
+            word = text[start:position]
+            if word == "_":
+                tokens.append(Token(TokenKind.WILDCARD, word, start))
+            else:
+                tokens.append(Token(TokenKind.LABEL, word, start))
+            continue
+        raise PathSyntaxError(f"unexpected character {char!r}", text, position)
+    tokens.append(Token(TokenKind.EOF, "", length))
+    return tokens

@@ -1,0 +1,235 @@
+"""Thompson construction from path expressions to an ε-free NFA.
+
+States are dense integers.  Transitions carry either a concrete label
+*name* or the wildcard; :meth:`NFA.bind` specialises the automaton to a
+particular graph's label table, turning names into label ids for fast
+product traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.paths.ast import (
+    AnyLabel,
+    Concat,
+    Label,
+    Optional_,
+    PathExpr,
+    Star,
+    Union_,
+)
+
+#: Sentinel used in bound transition tables for "any label".
+WILDCARD = -1
+
+
+@dataclass
+class NFA:
+    """An ε-free non-deterministic finite automaton over label names.
+
+    Attributes:
+        num_states: number of states, ids ``0 .. num_states-1``.
+        start: the single start state.
+        accepting: frozenset of accepting state ids.
+        transitions: ``transitions[state]`` maps a label name to the set
+            of successor states; the key ``None`` holds wildcard moves.
+        accepts_empty: whether the empty word is in the language (the
+            start state is accepting).
+    """
+
+    num_states: int
+    start: int
+    accepting: frozenset[int]
+    transitions: list[dict[str | None, frozenset[int]]]
+
+    @property
+    def accepts_empty(self) -> bool:
+        return self.start in self.accepting
+
+    def step(self, states: frozenset[int], label: str) -> frozenset[int]:
+        """All states reachable from ``states`` by consuming ``label``."""
+        result: set[int] = set()
+        for state in states:
+            table = self.transitions[state]
+            result.update(table.get(label, ()))
+            result.update(table.get(None, ()))
+        return frozenset(result)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Membership test for a label sequence (used by the tests)."""
+        states = frozenset({self.start})
+        for label in word:
+            states = self.step(states, label)
+            if not states:
+                return False
+        return bool(states & self.accepting)
+
+    def bind(self, label_table: Mapping[str, int]) -> "BoundNFA":
+        """Specialise to a graph's label table for integer-keyed stepping.
+
+        Labels absent from the table cannot match any graph node; their
+        transitions are dropped.
+        """
+        bound: list[dict[int, frozenset[int]]] = []
+        for table in self.transitions:
+            row: dict[int, set[int]] = {}
+            wildcard_targets = table.get(None, frozenset())
+            if wildcard_targets:
+                row[WILDCARD] = set(wildcard_targets)
+            for name, targets in table.items():
+                if name is None:
+                    continue
+                label_id = label_table.get(name)
+                if label_id is None:
+                    continue
+                row.setdefault(label_id, set()).update(targets)
+            bound.append({key: frozenset(val) for key, val in row.items()})
+        return BoundNFA(
+            num_states=self.num_states,
+            start=self.start,
+            accepting=self.accepting,
+            transitions=bound,
+        )
+
+
+@dataclass
+class BoundNFA:
+    """An NFA whose transitions are keyed by integer label ids."""
+
+    num_states: int
+    start: int
+    accepting: frozenset[int]
+    transitions: list[dict[int, frozenset[int]]]
+
+    def step(self, states: frozenset[int], label_id: int) -> frozenset[int]:
+        """States reachable by consuming the label with id ``label_id``."""
+        result: set[int] = set()
+        for state in states:
+            table = self.transitions[state]
+            result.update(table.get(label_id, ()))
+            result.update(table.get(WILDCARD, ()))
+        return frozenset(result)
+
+    def is_accepting(self, states: frozenset[int]) -> bool:
+        return bool(states & self.accepting)
+
+
+@dataclass
+class _Fragment:
+    """ε-NFA fragment during Thompson construction."""
+
+    start: int
+    accepting: set[int]
+
+
+class _Builder:
+    """Builds an ε-NFA, then eliminates ε-transitions via closure."""
+
+    def __init__(self) -> None:
+        self.labels: list[dict[str | None, set[int]]] = []
+        self.epsilon: list[set[int]] = []
+
+    def new_state(self) -> int:
+        self.labels.append({})
+        self.epsilon.append(set())
+        return len(self.labels) - 1
+
+    def add_label_edge(self, src: int, label: str | None, dst: int) -> None:
+        self.labels[src].setdefault(label, set()).add(dst)
+
+    def add_epsilon(self, src: int, dst: int) -> None:
+        self.epsilon[src].add(dst)
+
+    def build(self, expr: PathExpr) -> _Fragment:
+        if isinstance(expr, Label):
+            start = self.new_state()
+            end = self.new_state()
+            self.add_label_edge(start, expr.name, end)
+            return _Fragment(start, {end})
+        if isinstance(expr, AnyLabel):
+            start = self.new_state()
+            end = self.new_state()
+            self.add_label_edge(start, None, end)
+            return _Fragment(start, {end})
+        if isinstance(expr, Concat):
+            left = self.build(expr.left)
+            right = self.build(expr.right)
+            for state in left.accepting:
+                self.add_epsilon(state, right.start)
+            return _Fragment(left.start, right.accepting)
+        if isinstance(expr, Union_):
+            left = self.build(expr.left)
+            right = self.build(expr.right)
+            start = self.new_state()
+            self.add_epsilon(start, left.start)
+            self.add_epsilon(start, right.start)
+            return _Fragment(start, left.accepting | right.accepting)
+        if isinstance(expr, Optional_):
+            inner = self.build(expr.inner)
+            start = self.new_state()
+            self.add_epsilon(start, inner.start)
+            return _Fragment(start, inner.accepting | {start})
+        if isinstance(expr, Star):
+            inner = self.build(expr.inner)
+            start = self.new_state()
+            self.add_epsilon(start, inner.start)
+            for state in inner.accepting:
+                self.add_epsilon(state, start)
+            return _Fragment(start, {start})
+        raise TypeError(f"unknown path expression node: {expr!r}")
+
+    def closure(self, state: int) -> set[int]:
+        seen = {state}
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            for nxt in self.epsilon[current]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+def compile_nfa(expr: PathExpr) -> NFA:
+    """Compile a path expression into an ε-free :class:`NFA`.
+
+    Example:
+        >>> from repro.paths.parser import parse_path_expression
+        >>> expr, _ = parse_path_expression("a.(b|c)*.d")
+        >>> nfa = compile_nfa(expr)
+        >>> nfa.accepts(["a", "d"]) and nfa.accepts(["a", "b", "c", "d"])
+        True
+        >>> nfa.accepts(["a", "x", "d"])
+        False
+    """
+    builder = _Builder()
+    fragment = builder.build(expr)
+
+    closures = [builder.closure(state) for state in range(len(builder.labels))]
+    accepting_raw = fragment.accepting
+
+    # ε-free transitions: from each state, union label moves over its
+    # ε-closure, then expand targets to their closures.
+    transitions: list[dict[str | None, frozenset[int]]] = []
+    accepting: set[int] = set()
+    for state in range(len(builder.labels)):
+        merged: dict[str | None, set[int]] = {}
+        for member in closures[state]:
+            for label, targets in builder.labels[member].items():
+                bucket = merged.setdefault(label, set())
+                for target in targets:
+                    bucket.update(closures[target])
+        transitions.append(
+            {label: frozenset(targets) for label, targets in merged.items()}
+        )
+        if closures[state] & accepting_raw:
+            accepting.add(state)
+
+    return NFA(
+        num_states=len(builder.labels),
+        start=fragment.start,
+        accepting=frozenset(accepting),
+        transitions=transitions,
+    )

@@ -1,0 +1,159 @@
+"""Recursive-descent parser for regular path expressions.
+
+Grammar (lowest to highest precedence)::
+
+    query   := ["//"] expr
+    expr    := term ("|" term)*
+    term    := factor (("." | "/" | "//") factor)*
+    factor  := atom ("*" | "?")*
+    atom    := LABEL | "_" | "(" expr ")"
+
+``a//b`` desugars to ``a._*.b``; a *leading* ``//`` marks the query as
+*unanchored* (partial-matching, the paper's self-or-descendant axis), and
+is reported separately rather than being encoded as ``_*.`` so that plain
+label-path queries keep their fast evaluation path.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PathSyntaxError
+from repro.paths.ast import (
+    AnyLabel,
+    Concat,
+    Label,
+    Optional_,
+    PathExpr,
+    Star,
+    Union_,
+)
+from repro.paths.lexer import Token, TokenKind, tokenize
+
+_ATOM_START = (TokenKind.LABEL, TokenKind.WILDCARD, TokenKind.LPAREN)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise PathSyntaxError(
+                f"expected {kind.name}, found {self.current.kind.name}",
+                self.text,
+                self.current.position,
+            )
+        return self.advance()
+
+    # expr := term ("|" term)*
+    def parse_expr(self) -> PathExpr:
+        expr = self.parse_term()
+        while self.current.kind is TokenKind.PIPE:
+            self.advance()
+            expr = Union_(expr, self.parse_term())
+        return expr
+
+    # term := factor (("." | "/" | "//") factor)*
+    def parse_term(self) -> PathExpr:
+        expr = self.parse_factor()
+        while True:
+            kind = self.current.kind
+            if kind in (TokenKind.DOT, TokenKind.SLASH):
+                self.advance()
+                expr = Concat(expr, self.parse_factor())
+            elif kind is TokenKind.DSLASH:
+                self.advance()
+                descendant = Star(AnyLabel())
+                expr = Concat(expr, Concat(descendant, self.parse_factor()))
+            elif kind in _ATOM_START:
+                # Juxtaposition without separator is an error, not implicit
+                # concatenation; point at the surprise token.
+                raise PathSyntaxError(
+                    "missing '.' between sub-expressions",
+                    self.text,
+                    self.current.position,
+                )
+            else:
+                return expr
+
+    # factor := atom ("*" | "?")*
+    def parse_factor(self) -> PathExpr:
+        expr = self.parse_atom()
+        while True:
+            kind = self.current.kind
+            if kind is TokenKind.STAR:
+                self.advance()
+                expr = Star(expr)
+            elif kind is TokenKind.QMARK:
+                self.advance()
+                expr = Optional_(expr)
+            else:
+                return expr
+
+    # atom := LABEL | "_" | "(" expr ")"
+    def parse_atom(self) -> PathExpr:
+        token = self.current
+        if token.kind is TokenKind.LABEL:
+            self.advance()
+            return Label(token.text)
+        if token.kind is TokenKind.WILDCARD:
+            self.advance()
+            return AnyLabel()
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return expr
+        raise PathSyntaxError(
+            f"expected a label, '_' or '(', found {token.kind.name}",
+            self.text,
+            token.position,
+        )
+
+
+def parse_path_expression(text: str) -> tuple[PathExpr, bool]:
+    """Parse ``text`` into ``(expression, anchored)``.
+
+    The paper's semantics (Section 3) matches a path expression against
+    node paths starting *anywhere* in the graph — its example
+    ``director.movie.title`` is not root-anchored — so plain expressions
+    and expressions with a leading ``//`` are both *unanchored*
+    (``anchored=False``).  A leading single ``/`` requests XPath-style
+    anchoring: the matching node path must begin at a child of the root.
+
+    Example:
+        >>> expr, anchored = parse_path_expression("//movie.title")
+        >>> anchored
+        False
+        >>> expr.to_text()
+        'movie.title'
+        >>> _, anchored = parse_path_expression("/movieDB.movie")
+        >>> anchored
+        True
+    """
+    parser = _Parser(text)
+    anchored = False
+    if parser.current.kind is TokenKind.DSLASH:
+        parser.advance()
+    elif parser.current.kind is TokenKind.SLASH:
+        # A leading single slash is XPath-style anchoring; consume it.
+        parser.advance()
+        anchored = True
+    expr = parser.parse_expr()
+    if parser.current.kind is not TokenKind.EOF:
+        raise PathSyntaxError(
+            f"trailing input after expression ({parser.current.kind.name})",
+            text,
+            parser.current.position,
+        )
+    return expr, anchored

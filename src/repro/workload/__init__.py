@@ -1,0 +1,24 @@
+"""Query workloads: generation, containers and requirement mining.
+
+The paper's experiments (Section 6.1) drive every comparison with "100
+test paths with lengths between 2 and 5 ... First, the program randomly
+chooses some long query paths; then, from these long paths, many shorter
+branching paths are generated."  :mod:`repro.workload.generator`
+reproduces that protocol; :class:`~repro.workload.queryload.QueryLoad`
+carries the queries (with optional frequencies); and
+:mod:`repro.workload.mining` turns a load into per-label
+local-similarity requirements — including the frequency-aware miner the
+paper lists as future work.
+"""
+
+from repro.workload.generator import WorkloadConfig, generate_test_paths
+from repro.workload.mining import coverage_requirements, exact_requirements
+from repro.workload.queryload import QueryLoad
+
+__all__ = [
+    "QueryLoad",
+    "WorkloadConfig",
+    "coverage_requirements",
+    "exact_requirements",
+    "generate_test_paths",
+]

@@ -1,0 +1,190 @@
+"""Random test-path generation (Section 6.1's workload protocol).
+
+    "We randomly generate 100 test paths with lengths between 2 and 5
+    for the Xmark and Nasa data.  First, the program randomly chooses
+    some long query paths; then, from these long paths, many shorter
+    branching paths are generated.  These basically simulate query
+    patterns in real XML databases."
+
+Implementation: long paths are forward random walks over the data graph
+yielding label paths of the maximum length; branching paths reuse a
+random suffix window of a long path's *node* path and then branch to a
+random different child, so short queries share structure with long ones
+exactly as real workloads derived from a schema do.  All queries are
+unanchored (the paper expects "partial matching queries with the
+self-or-descendant axis '//'").
+
+Everything is driven by a seeded :class:`random.Random`, so workloads
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.exceptions import WorkloadError
+from repro.graph.datagraph import ROOT_LABEL, VALUE_LABEL, DataGraph
+from repro.paths.query import LabelPathQuery
+from repro.workload.queryload import QueryLoad
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the test-path generator.
+
+    Attributes:
+        count: number of test paths to produce (paper: 100).
+        min_length / max_length: label-path lengths (paper: 2 and 5).
+        long_path_fraction: fraction of the load drawn directly as
+            maximum-length walks; the rest are shorter branching paths.
+        exclude_labels: labels walks never step onto — by default ROOT
+            (queries never mention the synthetic root) and VALUE
+            (queries target elements, not raw character data).
+        max_attempts_factor: give up after ``count * factor`` failed
+            sampling attempts (e.g. a graph too small for the requested
+            diversity).
+    """
+
+    count: int = 100
+    min_length: int = 2
+    max_length: int = 5
+    long_path_fraction: float = 0.3
+    exclude_labels: frozenset[str] = frozenset({ROOT_LABEL, VALUE_LABEL})
+    max_attempts_factor: int = 200
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise WorkloadError("count must be positive")
+        if not 1 <= self.min_length <= self.max_length:
+            raise WorkloadError("need 1 <= min_length <= max_length")
+        if not 0.0 <= self.long_path_fraction <= 1.0:
+            raise WorkloadError("long_path_fraction must be within [0, 1]")
+
+
+def generate_test_paths(
+    graph: DataGraph,
+    config: WorkloadConfig | None = None,
+    rng: random.Random | None = None,
+    seed: int | None = None,
+) -> QueryLoad:
+    """Generate a query load of random label-path queries over ``graph``.
+
+    Args:
+        graph: the data graph to walk.
+        config: generator parameters (defaults to the paper's).
+        rng: a :class:`random.Random`; if absent one is created from
+            ``seed`` (or seed 0).
+
+    Returns:
+        A :class:`QueryLoad` whose distinct queries number
+        ``config.count`` (fewer only if the graph cannot support that
+        much diversity, in which case duplicates raise weights instead).
+
+    Raises:
+        WorkloadError: if the graph has no admissible nodes at all.
+    """
+    config = config or WorkloadConfig()
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
+
+    excluded_ids = {
+        graph.label_id(name)
+        for name in config.exclude_labels
+        if graph.has_label(name)
+    }
+    admissible = [
+        node
+        for node in graph.nodes()
+        if graph.label_ids[node] not in excluded_ids
+    ]
+    if not admissible:
+        raise WorkloadError("graph has no nodes admissible for queries")
+
+    def walk_from(start: int, length: int) -> list[int] | None:
+        """Forward random walk of exactly `length` nodes, or None."""
+        path = [start]
+        current = start
+        while len(path) < length:
+            candidates = [
+                child
+                for child in graph.children[current]
+                if graph.label_ids[child] not in excluded_ids
+            ]
+            if not candidates:
+                return None
+            current = rng.choice(candidates)
+            path.append(current)
+        return path
+
+    def labels_of(path: list[int]) -> tuple[str, ...]:
+        return tuple(graph.label(node) for node in path)
+
+    long_target = max(1, round(config.count * config.long_path_fraction))
+    load = QueryLoad()
+    distinct: set[tuple[str, ...]] = set()
+    long_node_paths: list[list[int]] = []
+
+    attempts_left = config.count * config.max_attempts_factor
+
+    # Phase 1: long paths (maximum length walks).
+    while len(long_node_paths) < long_target and attempts_left > 0:
+        attempts_left -= 1
+        path = walk_from(rng.choice(admissible), config.max_length)
+        if path is None:
+            continue
+        long_node_paths.append(path)
+        labels = labels_of(path)
+        if labels not in distinct:
+            distinct.add(labels)
+            load.add(LabelPathQuery(anchored=False, labels=labels))
+        else:
+            load.add(LabelPathQuery(anchored=False, labels=labels))
+
+    if not long_node_paths:
+        # Degenerate graph (shallower than max_length): fall back to the
+        # longest walks available so short graphs still get a workload.
+        best = 1
+        for node in admissible:
+            for length in range(config.max_length, 0, -1):
+                path = walk_from(node, length)
+                if path is not None:
+                    long_node_paths.append(path)
+                    best = max(best, length)
+                    break
+            if len(long_node_paths) >= long_target:
+                break
+        if not long_node_paths:
+            raise WorkloadError("could not sample any walk from the graph")
+        for path in long_node_paths[:long_target]:
+            labels = labels_of(path)
+            distinct.add(labels)
+            load.add(LabelPathQuery(anchored=False, labels=labels))
+
+    # Phase 2: shorter branching paths derived from the long ones.
+    while load.total_weight < config.count and attempts_left > 0:
+        attempts_left -= 1
+        base = rng.choice(long_node_paths)
+        length = rng.randint(config.min_length, config.max_length)
+        # Random suffix window of the base path, then (sometimes) branch
+        # off its last node to a different child.
+        start = rng.randint(0, max(0, len(base) - length))
+        window = base[start : start + length]
+        if len(window) < config.min_length:
+            continue
+        if len(window) < length or rng.random() < 0.5:
+            # Try to branch: replace/extend the tail with another child.
+            anchor = window[-2] if len(window) >= 2 else window[-1]
+            candidates = [
+                child
+                for child in graph.children[anchor]
+                if graph.label_ids[child] not in excluded_ids
+                and (len(window) < 2 or child != window[-1])
+            ]
+            if candidates and len(window) >= 2:
+                window = window[:-1] + [rng.choice(candidates)]
+        labels = labels_of(window)
+        load.add(LabelPathQuery(anchored=False, labels=labels))
+        distinct.add(labels)
+
+    return load

@@ -1,0 +1,98 @@
+"""Query-pattern mining: from a query load to per-label requirements.
+
+Two miners:
+
+- :func:`exact_requirements` — the paper's experimental protocol: each
+  label's requirement is "the longest length of test path queries less
+  one such that no validation will be needed" (Section 6.1).
+- :func:`coverage_requirements` — the frequency-aware miner the paper's
+  conclusion points at as future work ("mine query patterns on query
+  loads"): pick, per label, the smallest k that makes at least a target
+  fraction of the *weighted* queries targeting that label sound,
+  trading rare long queries (which will validate) for a smaller index.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import WorkloadError
+from repro.workload.queryload import QueryLoad
+
+
+def exact_requirements(load: QueryLoad) -> dict[str, int]:
+    """Requirements making every label-path query in the load sound.
+
+    Example:
+        >>> from repro.paths.query import make_query
+        >>> load = QueryLoad([make_query("a.b.t"), make_query("b.t")])
+        >>> exact_requirements(load)
+        {'t': 2}
+    """
+    return coverage_requirements(load, coverage=1.0)
+
+
+def coverage_requirements(load: QueryLoad, coverage: float = 0.95) -> dict[str, int]:
+    """Smallest per-label k making >= ``coverage`` of the weighted
+    queries on each label sound.
+
+    Args:
+        load: the query load (label-path queries only are considered;
+            regex queries are ignored, matching the experiments).
+        coverage: target weighted fraction in (0, 1].
+
+    Example:
+        >>> from repro.paths.query import make_query
+        >>> load = QueryLoad()
+        >>> for _ in range(99):
+        ...     load.add(make_query("b.t"), 1)
+        >>> load.add(make_query("a.a.a.a.t"))
+        >>> coverage_requirements(load, coverage=0.95)
+        {'t': 1}
+        >>> coverage_requirements(load, coverage=1.0)
+        {'t': 4}
+    """
+    if not 0.0 < coverage <= 1.0:
+        raise WorkloadError(f"coverage must be in (0, 1], got {coverage}")
+
+    requirements: dict[str, int] = {}
+    for label, entries in load.by_target_label().items():
+        # Weighted distribution of required similarities for this label.
+        needs: dict[int, int] = {}
+        total = 0
+        for query, weight in entries:
+            needed = query.num_edges + (1 if query.anchored else 0)
+            needs[needed] = needs.get(needed, 0) + weight
+            total += weight
+        threshold = coverage * total
+        covered = 0
+        chosen = 0
+        for needed in sorted(needs):
+            covered += needs[needed]
+            chosen = needed
+            if covered >= threshold:
+                break
+        requirements[label] = chosen
+    return requirements
+
+
+def requirement_gain(
+    old: dict[str, int], new: dict[str, int]
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Split a requirement change into promotions and demotions.
+
+    Returns:
+        ``(raise_map, lower_map)`` — labels whose requirement grew (with
+        the new value) and labels whose requirement shrank.  Useful for
+        deciding when to run the promoting/demoting procedures.
+    """
+    raise_map: dict[str, int] = {}
+    lower_map: dict[str, int] = {}
+    for label, value in new.items():
+        previous = old.get(label, 0)
+        if value > previous:
+            raise_map[label] = value
+        elif value < previous:
+            lower_map[label] = value
+    for label, previous in old.items():
+        if label not in new and previous > 0:
+            lower_map[label] = 0
+    return raise_map, lower_map

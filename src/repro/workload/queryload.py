@@ -1,0 +1,100 @@
+"""The :class:`QueryLoad` container.
+
+A query load is a weighted multiset of queries — weights model the
+frequencies a real system would observe in its query log.  Most of the
+paper's machinery only needs iteration, but the adaptive parts (mining,
+promote/demote decisions) use the weights.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import WorkloadError
+from repro.paths.query import LabelPathQuery, Query
+
+
+class QueryLoad:
+    """A weighted collection of queries.
+
+    Example:
+        >>> from repro.paths.query import make_query
+        >>> load = QueryLoad([make_query("a.b"), make_query("a.b")])
+        >>> load.weight(make_query("a.b"))
+        2
+        >>> load.total_weight
+        2
+    """
+
+    def __init__(self, queries: Iterable[Query] = ()) -> None:
+        self._weights: Counter[Query] = Counter()
+        for query in queries:
+            self.add(query)
+
+    def add(self, query: Query, weight: int = 1) -> None:
+        """Record ``weight`` more observations of ``query``."""
+        if weight <= 0:
+            raise WorkloadError(f"weight must be positive, got {weight}")
+        self._weights[query] += weight
+
+    def weight(self, query: Query) -> int:
+        """Observed weight of ``query`` (0 if absent)."""
+        return self._weights.get(query, 0)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all weights."""
+        return sum(self._weights.values())
+
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct queries."""
+        return len(self._weights)
+
+    def __len__(self) -> int:
+        return self.num_distinct
+
+    def __iter__(self) -> Iterator[Query]:
+        """Iterate over distinct queries (insertion order)."""
+        return iter(self._weights)
+
+    def items(self) -> Iterator[tuple[Query, int]]:
+        """Iterate over ``(query, weight)`` pairs."""
+        return iter(self._weights.items())
+
+    def expanded(self) -> Iterator[Query]:
+        """Iterate with multiplicity (each query repeated by weight)."""
+        for query, weight in self._weights.items():
+            for _ in range(weight):
+                yield query
+
+    def label_path_queries(self) -> list[LabelPathQuery]:
+        """The label-path subset of the load (what the experiments use)."""
+        return [q for q in self._weights if isinstance(q, LabelPathQuery)]
+
+    def by_target_label(self) -> dict[str, list[tuple[LabelPathQuery, int]]]:
+        """Group label-path queries (with weights) by their target label."""
+        groups: dict[str, list[tuple[LabelPathQuery, int]]] = {}
+        for query, weight in self._weights.items():
+            if isinstance(query, LabelPathQuery):
+                groups.setdefault(query.target_label, []).append((query, weight))
+        return groups
+
+    def merge(self, other: "QueryLoad") -> "QueryLoad":
+        """A new load combining both operands' weights."""
+        merged = QueryLoad()
+        for query, weight in self.items():
+            merged.add(query, weight)
+        for query, weight in other.items():
+            merged.add(query, weight)
+        return merged
+
+    def length_histogram(self) -> Mapping[int, int]:
+        """``{query length in labels: total weight}`` for label paths."""
+        histogram: Counter[int] = Counter()
+        for query, weight in self._weights.items():
+            if isinstance(query, LabelPathQuery):
+                histogram[query.length] += weight
+        return dict(histogram)

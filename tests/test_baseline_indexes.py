@@ -1,0 +1,156 @@
+"""Tests for the label-split, A(k), 1-index and DataGuide baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import brute_force_full_bisim, brute_force_kbisim, small_graphs
+from repro.exceptions import IndexError_
+from repro.graph.builder import graph_from_edges
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.base import K_UNBOUNDED
+from repro.indexes.dataguide import build_strong_dataguide
+from repro.indexes.labelsplit import build_labelsplit_index
+from repro.indexes.oneindex import bisimulation_depth, build_1index
+
+
+def two_x_graph():
+    return graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+
+
+# ------------------------- label split --------------------------------
+
+
+def test_labelsplit_one_node_per_label():
+    g = two_x_graph()
+    idx = build_labelsplit_index(g)
+    assert idx.num_nodes == g.num_labels
+    assert all(k == 0 for k in idx.k)
+    idx.check_invariants()
+
+
+# ------------------------- A(k) ---------------------------------------
+
+
+def test_ak_sizes_monotone_in_k():
+    g = two_x_graph()
+    sizes = [build_ak_index(g, k).num_nodes for k in range(4)]
+    assert sizes == sorted(sizes)
+
+
+def test_ak_zero_is_labelsplit():
+    g = two_x_graph()
+    assert build_ak_index(g, 0).num_nodes == build_labelsplit_index(g).num_nodes
+
+
+def test_ak_assigned_k_uniform():
+    g = two_x_graph()
+    idx = build_ak_index(g, 2)
+    assert set(idx.k) == {2}
+
+
+def test_ak_rejects_negative():
+    with pytest.raises(ValueError):
+        build_ak_index(two_x_graph(), -1)
+
+
+@given(small_graphs(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_ak_partition_is_kbisim(graph, k):
+    idx = build_ak_index(graph, k)
+    idx.check_invariants()
+    assert idx.to_partition() == brute_force_kbisim(graph, k)
+
+
+# ------------------------- 1-index ------------------------------------
+
+
+def test_1index_on_two_x_graph():
+    g = two_x_graph()
+    idx = build_1index(g)
+    assert idx.num_nodes == 5  # the x nodes split
+    assert set(idx.k) == {K_UNBOUNDED}
+    idx.check_invariants()
+
+
+def test_bisimulation_depth():
+    g = two_x_graph()
+    assert bisimulation_depth(g) >= 1
+
+
+@given(small_graphs())
+@settings(max_examples=50, deadline=None)
+def test_1index_partition_is_full_bisim(graph):
+    idx = build_1index(graph)
+    idx.check_invariants()
+    assert idx.to_partition() == brute_force_full_bisim(graph)
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_ak_converges_to_1index(graph):
+    depth = bisimulation_depth(graph)
+    ak = build_ak_index(graph, depth + 1)
+    one = build_1index(graph)
+    assert ak.to_partition() == one.to_partition()
+
+
+# ------------------------- DataGuide ----------------------------------
+
+
+def test_dataguide_shares_nodes_across_paths():
+    g = graph_from_edges(
+        ["a", "a", "b", "b"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    guide = build_strong_dataguide(g)
+    assert guide.num_nodes == 3  # ROOT, {a,a}, {b,b}
+    assert guide.evaluate_label_path(["a", "b"]) == {3, 4}
+
+
+def test_dataguide_extents_can_overlap():
+    # Shared child under two differently-labeled parents: the target set
+    # {x} appears under both label paths, still one DataGuide node.
+    g = graph_from_edges(["a", "b", "x"], [(0, 1), (0, 2), (1, 3), (2, 3)])
+    guide = build_strong_dataguide(g)
+    assert guide.evaluate_label_path(["a", "x"]) == {3}
+    assert guide.evaluate_label_path(["b", "x"]) == {3}
+
+
+def test_dataguide_unknown_label():
+    g = two_x_graph()
+    guide = build_strong_dataguide(g)
+    assert guide.evaluate_label_path(["zzz"]) == set()
+    assert guide.evaluate_label_path(["a", "a"]) == set()
+
+
+def test_dataguide_max_nodes_guard():
+    g = two_x_graph()
+    with pytest.raises(IndexError_):
+        build_strong_dataguide(g, max_nodes=1)
+
+
+def test_dataguide_deterministic_descent_matches_eval():
+    from conftest import enumerate_label_path_matches
+
+    g = two_x_graph()
+    guide = build_strong_dataguide(g)
+    for path in (["a"], ["a", "x"], ["b", "x"], ["x"]):
+        expected = enumerate_label_path_matches(g, path, anchored=True)
+        assert guide.evaluate_label_path(path) == expected
+
+
+@given(small_graphs(max_nodes=8))
+@settings(max_examples=40, deadline=None)
+def test_dataguide_matches_anchored_oracle(graph):
+    from conftest import enumerate_label_path_matches
+    import random
+
+    guide = build_strong_dataguide(graph, max_nodes=100_000)
+    rng = random.Random(0)
+    labels = [graph.label_name(i) for i in range(graph.num_labels)]
+    for _ in range(5):
+        path = [rng.choice(labels) for _ in range(rng.randint(1, 3))]
+        expected = enumerate_label_path_matches(graph, path, anchored=True)
+        assert guide.evaluate_label_path(path) == expected

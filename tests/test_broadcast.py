@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.core.broadcast` (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_graphs
+from repro.core.broadcast import (
+    broadcast_for_graph,
+    broadcast_levels,
+    label_parent_graph,
+)
+from repro.graph.builder import graph_from_edges
+
+
+def chain_parent_labels():
+    # label graph c <- b <- a (parent adjacency by child).
+    return [set(), {0}, {1}]
+
+
+def test_paper_example_parent_reset():
+    # "if the local similarities of n_i and n_j ... are 0 and 2, the
+    # local similarity of n_i should be reset to 1."
+    levels = broadcast_levels([set(), {0}], {1: 2})
+    assert levels == [1, 2]
+
+
+def test_chain_propagation():
+    assert broadcast_levels(chain_parent_labels(), {2: 3}) == [1, 2, 3]
+
+
+def test_default_zero_for_unqueried_labels():
+    assert broadcast_levels(chain_parent_labels(), {}) == [0, 0, 0]
+
+
+def test_max_of_initial_and_broadcast():
+    # b already requires 5; c's requirement of 2 must not lower it.
+    levels = broadcast_levels(chain_parent_labels(), {1: 5, 2: 2})
+    assert levels[1] == 5
+    assert levels[0] == 4  # raised by b's 5
+
+
+def test_self_loop_label():
+    # A label that is its own parent: requirement k forces itself >= k-1,
+    # which is already satisfied; no infinite loop.
+    levels = broadcast_levels([{0}], {0: 3})
+    assert levels == [3]
+
+
+def test_cycle_between_labels():
+    # a <-> b cycle with b requiring 4: a >= 3, which pushes b >= 2 (already 4).
+    levels = broadcast_levels([{1}, {0}], {1: 4})
+    assert levels == [3, 4]
+
+
+def test_negative_requirement_rejected():
+    with pytest.raises(ValueError):
+        broadcast_levels([set()], {0: -1})
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(ValueError):
+        broadcast_levels([set()], {5: 1})
+
+
+def test_label_parent_graph():
+    g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (0, 3)])
+    parents = label_parent_graph(g, g.num_labels)
+    a, b = g.label_id("a"), g.label_id("b")
+    root = g.label_id("ROOT")
+    assert parents[b] == {a, root}
+    assert parents[a] == {root}
+    assert parents[root] == set()
+
+
+@given(small_graphs(), st.dictionaries(st.integers(0, 3), st.integers(0, 4)))
+@settings(max_examples=80, deadline=None)
+def test_broadcast_postconditions(graph, raw_requirements):
+    initial = {
+        label: req
+        for label, req in raw_requirements.items()
+        if label < graph.num_labels
+    }
+    levels = broadcast_for_graph(graph, graph.num_labels, initial)
+    # 1. Broadcast never lowers a requirement.
+    for label, req in initial.items():
+        assert levels[label] >= req
+    # 2. The structural constraint holds on every label edge.
+    parents = label_parent_graph(graph, graph.num_labels)
+    for child in range(graph.num_labels):
+        for parent in parents[child]:
+            assert levels[parent] >= levels[child] - 1
+    # 3. Minimality: no level exceeds what some chain of constraints
+    #    forces (each level is either an initial requirement or one less
+    #    than some child's level).
+    for label, level in enumerate(levels):
+        if level == 0:
+            continue
+        children_of = [
+            c for c in range(graph.num_labels) if label in parents[c]
+        ]
+        forced = max(
+            [initial.get(label, 0)]
+            + [levels[c] - 1 for c in children_of]
+        )
+        assert level == forced

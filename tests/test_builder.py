@@ -1,0 +1,78 @@
+"""Unit tests for :mod:`repro.graph.builder`."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, graph_from_edges
+
+
+def test_named_nodes_and_edges():
+    b = GraphBuilder()
+    b.node("m", "movie", parent="root")
+    b.node("t", "title", parent="m")
+    g = b.graph
+    assert g.label(b.id_of("t")) == "title"
+    assert g.has_edge(b.id_of("m"), b.id_of("t"))
+
+
+def test_duplicate_name_rejected():
+    b = GraphBuilder()
+    b.node("m", "movie", parent="root")
+    with pytest.raises(GraphError):
+        b.node("m", "movie")
+
+
+def test_unknown_name_rejected():
+    b = GraphBuilder()
+    with pytest.raises(GraphError):
+        b.id_of("missing")
+    with pytest.raises(GraphError):
+        b.node("x", "a", parent="missing")
+
+
+def test_explicit_edge():
+    b = GraphBuilder()
+    b.node("a", "a", parent="root")
+    b.node("b", "b", parent="root")
+    b.edge("a", "b")
+    assert b.graph.has_edge(b.id_of("a"), b.id_of("b"))
+
+
+def test_tree_spec():
+    b = GraphBuilder()
+    root_name = b.tree({"movie": ["title", {"actor": ["name"]}]})
+    g = b.graph
+    assert root_name == "movie"
+    assert sorted(set(g.label_names())) == ["ROOT", "actor", "movie", "name", "title"]
+    movie = b.id_of("movie")
+    assert g.has_edge(g.root, movie)
+    assert g.has_edge(b.id_of("actor"), b.id_of("name"))
+
+
+def test_tree_fresh_names_for_repeats():
+    b = GraphBuilder()
+    first = b.tree({"movie": ["title"]})
+    second = b.tree({"movie": ["title"]})
+    assert first != second
+    assert b.graph.nodes_with_label("movie") == [
+        b.id_of(first), b.id_of(second)
+    ]
+
+
+def test_tree_rejects_multikey_mapping():
+    b = GraphBuilder()
+    with pytest.raises(GraphError):
+        b.tree({"a": [], "b": []})
+
+
+def test_graph_from_edges():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    assert g.num_nodes == 3
+    assert g.label(1) == "a"
+    assert g.label(2) == "b"
+    assert g.has_edge(1, 2)
+
+
+def test_graph_from_edges_empty():
+    g = graph_from_edges([], [])
+    assert g.num_nodes == 1

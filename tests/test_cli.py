@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_stats(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    code = main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    assert code == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out
+
+    code = main(["stats", str(out)])
+    assert code == 0
+    assert "nodes:" in capsys.readouterr().out
+
+
+def test_query_command(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["query", str(out), "item.name"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "index size:" in output
+    assert "matches" in output
+
+
+def test_query_command_with_k(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["query", str(out), "person.name", "--k", "2"])
+    assert code == 0
+
+
+def test_bench_command_small_scale(capsys):
+    code = main(["bench", "fig4", "--scale", "0.03"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "[FIG4]" in output
+    assert "D(k)" in output
+
+
+def test_stats_missing_file_is_clean_error(tmp_path, capsys):
+    # A nonexistent path raises OSError which is not a ReproError; the
+    # CLI wraps only library errors, so use a corrupt file instead.
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"format": "nope"}')
+    code = main(["stats", str(bad)])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_twig_command(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["twig", str(out), "item[incategory]/name"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "F&B index:" in output
+    assert "matches" in output
+
+
+def test_dot_command(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["dot", str(out), "--index"])
+    assert code == 0
+    assert "digraph" in capsys.readouterr().out
+
+
+def test_dot_command_size_guard(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    with pytest.raises(ValueError):
+        main(["dot", str(out), "--max-nodes", "3"])
+
+
+def test_conformance_command(capsys):
+    code = main(["conformance", "xmark", "--scale", "0.03"])
+    assert code == 0
+    assert "conforms" in capsys.readouterr().out
+
+
+def test_explain_command(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["explain", str(out), "item.name"])
+    assert code == 0
+    assert "sound" in capsys.readouterr().out
+    code = main(["explain", str(out), "site.regions.africa.item.name", "--k", "0"])
+    assert code == 0
+    assert "VALIDATES" in capsys.readouterr().out
+
+
+def test_conformance_command_dblp(capsys):
+    code = main(["conformance", "dblp", "--scale", "0.05"])
+    assert code == 0
+    assert "conforms" in capsys.readouterr().out
+
+
+def test_bad_query_syntax_is_clean_error(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    main(["generate", "xmark", "--out", str(out), "--scale", "0.03"])
+    code = main(["query", str(out), "item..name"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

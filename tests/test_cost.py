@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.paths.cost`."""
+
+from repro.paths.cost import CostCounter, CostSummary
+
+
+def test_counter_totals():
+    c = CostCounter()
+    c.visit_index_node(3)
+    c.visit_data_node(2)
+    assert c.index_nodes_visited == 3
+    assert c.data_nodes_visited == 2
+    assert c.total == 5
+
+
+def test_counter_validation_flags():
+    c = CostCounter()
+    assert c.validated_queries == 0
+    c.record_validation(candidates=7)
+    assert c.validations == 7
+    assert c.validated_queries == 1
+
+
+def test_counter_merge():
+    a = CostCounter(index_nodes_visited=1, data_nodes_visited=2)
+    b = CostCounter(index_nodes_visited=10, data_nodes_visited=20)
+    b.record_validation(5)
+    a.merge(b)
+    assert a.index_nodes_visited == 11
+    assert a.data_nodes_visited == 22
+    assert a.validations == 5
+    assert a.validated_queries == 1
+
+
+def test_summary_average():
+    s = CostSummary()
+    c1 = CostCounter(index_nodes_visited=10)
+    c2 = CostCounter(index_nodes_visited=20, data_nodes_visited=10)
+    c2.record_validation(3)
+    s.add(c1)
+    s.add(c2)
+    assert s.queries == 2
+    assert s.average_cost == 20.0
+    assert s.validation_fraction == 0.5
+    assert s.total_index_visits == 30
+    assert s.total_data_visits == 10
+
+
+def test_summary_empty():
+    s = CostSummary()
+    assert s.average_cost == 0.0
+    assert s.validation_fraction == 0.0
+
+
+def test_extent_nodes_are_free_by_construction():
+    # The cost model never charges for returning extents: only explicit
+    # visit_* calls count, so a counter untouched by extents stays 0.
+    c = CostCounter()
+    assert c.total == 0

@@ -1,0 +1,111 @@
+"""Tests for :mod:`repro.paths.evaluator` (data-graph evaluation).
+
+Includes the paper's Section 3 worked examples on the Figure 1 movie
+graph and property tests against the exhaustive path-search oracle.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import enumerate_label_path_matches, random_label_path, small_graphs
+from repro.graph.builder import graph_from_edges
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import build_label_map, evaluate_on_data_graph
+from repro.paths.query import LabelPathQuery, make_query
+
+
+def test_paper_example_director_movie_title(movie_graph):
+    g = movie_graph.graph
+    result = evaluate_on_data_graph(g, make_query("director.movie.title"))
+    expected = {
+        movie_graph.id_of("m1title"),
+        movie_graph.id_of("m2title"),
+    }
+    assert result == expected
+
+
+def test_paper_example_optional_wildcard(movie_graph):
+    g = movie_graph.graph
+    result = evaluate_on_data_graph(g, make_query("movieDB._?.movie.actor"))
+    # No actor below movie in our rendering; use the name query instead.
+    assert result == set()
+    names = evaluate_on_data_graph(g, make_query("movieDB._?.actor.name"))
+    assert names == {
+        movie_graph.id_of("a1name"),
+        movie_graph.id_of("a2name"),
+    }
+
+
+def test_unanchored_matches_anywhere():
+    g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (2, 3)])
+    assert evaluate_on_data_graph(g, make_query("b.b")) == {3}
+
+
+def test_anchored_requires_root_start():
+    g = graph_from_edges(["a", "a"], [(0, 1), (1, 2)])
+    assert evaluate_on_data_graph(g, make_query("/a")) == {1}
+    assert evaluate_on_data_graph(g, make_query("a")) == {1, 2}
+
+
+def test_unknown_label_yields_empty():
+    g = graph_from_edges(["a"], [(0, 1)])
+    assert evaluate_on_data_graph(g, make_query("nope")) == set()
+    assert evaluate_on_data_graph(g, make_query("nope|a")) == {1}
+
+
+def test_regex_star_over_cycle_terminates():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2), (2, 1)])
+    result = evaluate_on_data_graph(g, make_query("a.(b.a)*"))
+    assert 1 in result
+
+
+def test_cost_counter_counts_scan():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    counter = CostCounter()
+    evaluate_on_data_graph(g, make_query("a.b"), counter)
+    # Full scan of 3 nodes for the start frontier plus the b step.
+    assert counter.data_nodes_visited == g.num_nodes + 1
+    assert counter.index_nodes_visited == 0
+
+
+def test_label_map_reduces_scan_cost():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    label_map = build_label_map(g)
+    counter = CostCounter()
+    evaluate_on_data_graph(g, make_query("a.b"), counter, label_map)
+    assert counter.data_nodes_visited == 2  # one a start + one b step
+
+
+def test_anchored_regex():
+    g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (0, 3)])
+    assert evaluate_on_data_graph(g, make_query("/b")) == {3}
+    assert evaluate_on_data_graph(g, make_query("/a.b")) == {2}
+
+
+@given(small_graphs(), st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_label_path_eval_matches_oracle(graph, seed):
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    for anchored in (False, True):
+        query = LabelPathQuery(anchored=anchored, labels=tuple(labels))
+        got = evaluate_on_data_graph(graph, query)
+        want = enumerate_label_path_matches(graph, labels, anchored)
+        assert got == want
+
+
+@given(small_graphs(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_regex_chain_agrees_with_label_path(graph, seed):
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    chain = LabelPathQuery(anchored=False, labels=tuple(labels))
+    got_chain = evaluate_on_data_graph(graph, chain)
+    # a//b desugars to a._*.b, whose language contains a.b — so its
+    # result must be a superset of the plain chain's.
+    if len(labels) > 1:
+        regex = make_query("//" + "//".join(labels))
+        got_regex = evaluate_on_data_graph(graph, regex)
+        assert got_chain <= got_regex

@@ -1,0 +1,155 @@
+"""Tests for the XMark-like and NASA-like dataset builders."""
+
+import pytest
+
+from repro.datasets.nasa import NASA_REF_TARGETS, generate_nasa
+from repro.datasets.xmark import XMARK_REF_TARGETS, generate_xmark
+from repro.exceptions import DatasetError
+from repro.graph.stats import graph_stats
+
+
+def test_xmark_deterministic():
+    one = generate_xmark(scale=0.05, seed=9)
+    two = generate_xmark(scale=0.05, seed=9)
+    assert one.graph.num_nodes == two.graph.num_nodes
+    assert sorted(one.graph.edges()) == sorted(two.graph.edges())
+    other = generate_xmark(scale=0.05, seed=10)
+    assert sorted(one.graph.edges()) != sorted(other.graph.edges())
+
+
+def test_xmark_scale_controls_size():
+    small = generate_xmark(scale=0.05, seed=0)
+    large = generate_xmark(scale=0.2, seed=0)
+    assert large.graph.num_nodes > small.graph.num_nodes
+
+
+def test_xmark_structure():
+    doc = generate_xmark(scale=0.05, seed=0)
+    g = doc.graph
+    stats = graph_stats(g)
+    assert stats.unreachable_nodes == 0
+    assert stats.num_reference_edges > 0
+    # The auction-site backbone exists.
+    for label in ("site", "regions", "people", "open_auctions", "item", "person"):
+        assert g.nodes_with_label(label), label
+    # Every open_auction has a seller and an itemref.
+    for auction in g.nodes_with_label("open_auction")[:10]:
+        child_labels = {g.label(c) for c in g.children[auction]}
+        assert "seller" in child_labels
+        assert "itemref" in child_labels
+
+
+def test_xmark_reference_pairs_subset_of_spec():
+    doc = generate_xmark(scale=0.05, seed=0)
+    declared = {
+        (element, target) for (element, _attr), target in XMARK_REF_TARGETS.items()
+    }
+    assert set(doc.reference_pairs) <= declared
+
+
+def test_xmark_rejects_bad_scale():
+    with pytest.raises(DatasetError):
+        generate_xmark(scale=0)
+
+
+def test_xmark_keep_values_toggle():
+    doc = generate_xmark(scale=0.05, seed=0, keep_values=False)
+    assert not doc.graph.nodes_with_label("VALUE")
+
+
+def test_nasa_deterministic():
+    one = generate_nasa(scale=0.05, seed=4)
+    two = generate_nasa(scale=0.05, seed=4)
+    assert sorted(one.graph.edges()) == sorted(two.graph.edges())
+
+
+def test_nasa_structure():
+    doc = generate_nasa(scale=0.05, seed=0)
+    g = doc.graph
+    stats = graph_stats(g)
+    assert stats.unreachable_nodes == 0
+    assert stats.num_reference_edges > 0
+    for label in ("datasets", "dataset", "title", "author", "reference"):
+        assert g.nodes_with_label(label), label
+
+
+def test_nasa_has_eight_reference_kinds_declared():
+    assert len(NASA_REF_TARGETS) == 8  # the paper keeps 8 of 20
+
+
+def test_nasa_broader_label_alphabet_and_references():
+    nasa = generate_nasa(scale=0.1, seed=0)
+    assert len(nasa.reference_pairs) >= 4
+
+
+def test_nasa_rejects_bad_scale():
+    with pytest.raises(DatasetError):
+        generate_nasa(scale=-1)
+
+
+def test_dblp_structure():
+    from repro.datasets.dblp import DBLP_REF_TARGETS, generate_dblp
+
+    doc = generate_dblp(scale=0.1, seed=0)
+    g = doc.graph
+    stats = graph_stats(g)
+    assert stats.unreachable_nodes == 0
+    assert stats.max_depth <= 6  # shallow by design
+    for label in ("dblp", "article", "author", "title", "year"):
+        assert g.nodes_with_label(label), label
+    declared = {
+        (element, target) for (element, _a), target in DBLP_REF_TARGETS.items()
+    }
+    assert set(doc.reference_pairs) <= declared
+    assert doc.num_reference_edges > 0
+
+
+def test_dblp_deterministic_and_scaled():
+    from repro.datasets.dblp import generate_dblp
+
+    one = generate_dblp(scale=0.05, seed=3)
+    two = generate_dblp(scale=0.05, seed=3)
+    assert sorted(one.graph.edges()) == sorted(two.graph.edges())
+    big = generate_dblp(scale=0.2, seed=3)
+    assert big.graph.num_nodes > one.graph.num_nodes
+
+
+def test_dblp_conforms_to_its_dtd():
+    from repro.datasets.dblp import DBLP_DTD, generate_dblp
+    from repro.datasets.dtd import parse_dtd
+    from repro.datasets.validate import check_conformance
+
+    doc = generate_dblp(scale=0.08, seed=2)
+    report = check_conformance(doc.graph, parse_dtd(DBLP_DTD), "dblp")
+    assert report.ok, report.format()
+
+
+def test_dblp_rejects_bad_scale():
+    from repro.datasets.dblp import generate_dblp
+
+    with pytest.raises(DatasetError):
+        generate_dblp(scale=0)
+
+
+def test_dblp_headline_shape():
+    # The FIG4 shape must generalise to the third corpus.
+    from repro.bench.experiments import run_eval_before_updates
+    from repro.bench.harness import ExperimentConfig
+
+    result = run_eval_before_updates(
+        "dblp", ExperimentConfig(scale=0.15, num_queries=20)
+    )
+    by = {p.name: p for p in result.points}
+    best_ak = by["A(4)"]
+    assert by["D(k)"].avg_cost <= best_ak.avg_cost * 1.15
+    assert by["D(k)"].index_size < best_ak.index_size
+
+
+def test_datasets_differ_in_character():
+    # NASA is the bigger, reference-richer corpus (paper: 15M vs 10M).
+    xmark = generate_xmark(scale=0.2, seed=0)
+    nasa = generate_nasa(scale=0.2, seed=0)
+    assert nasa.graph.num_nodes != xmark.graph.num_nodes
+    assert set(l for l, _ in [(x, 0) for x in ("site",)]) - set(
+        nasa.graph.label_names()
+    )

@@ -1,0 +1,176 @@
+"""Tests for diagnostics auditing, workload persistence and CSV output."""
+
+import io
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import small_graphs
+from repro.bench.reporting import ExperimentResult, SeriesPoint
+from repro.core.dindex import DKIndex
+from repro.core.updates import dk_add_edge
+from repro.exceptions import SerializationError
+from repro.graph.builder import graph_from_edges
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.diagnostics import audit_similarities
+from repro.indexes.oneindex import build_1index
+from repro.paths.query import make_query
+from repro.paths.twig import parse_twig
+from repro.workload.queryload import QueryLoad
+from repro.workload.serialize import (
+    load_from_dict,
+    load_query_load,
+    load_to_dict,
+    save_query_load,
+)
+
+
+# ------------------------- audit_similarities --------------------------
+
+
+def two_x_graph():
+    return graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+
+
+def test_audit_clean_on_fresh_indexes():
+    g = two_x_graph()
+    for index in (build_ak_index(g, 0), build_ak_index(g, 3), build_1index(g)):
+        report = audit_similarities(index)
+        assert report.ok, report.format()
+        assert report.nodes_checked > 0
+        assert "clean" in report.format()
+
+
+def test_audit_detects_overstated_k():
+    g = two_x_graph()
+    index = build_ak_index(g, 0)
+    index.k[index.node_of[3]] = 2  # the {x, x} extent is only 0-consistent
+    report = audit_similarities(index)
+    assert not report.ok
+    finding = report.findings[0]
+    assert finding.label == "x"
+    assert finding.assigned_k == 2
+    assert "x" in str(finding)
+    assert "claims" in report.format()
+
+
+def test_audit_clean_after_update_stream():
+    g = two_x_graph()
+    dk = DKIndex.build(g, {"x": 2})
+    dk_add_edge(g, dk.index, 3, 4)  # x -> x reference
+    dk_add_edge(g, dk.index, 1, 4)
+    report = audit_similarities(dk.index)
+    assert report.ok, report.format()
+
+
+def test_audit_skips_on_path_budget():
+    # A dense cyclic blob exceeds a tiny path budget -> skipped, not hung.
+    g = graph_from_edges(
+        ["a", "a", "a"],
+        [(0, 1), (0, 2), (0, 3), (1, 2), (2, 3), (3, 1), (1, 3), (2, 1)],
+    )
+    index = build_ak_index(g, 3)
+    report = audit_similarities(index, max_paths=3)
+    assert report.nodes_skipped >= 1
+
+
+@given(small_graphs(max_nodes=8))
+@settings(max_examples=50, deadline=None)
+def test_audit_clean_on_random_dk(graph):
+    dk = DKIndex.build(
+        graph, {graph.label_name(i): 2 for i in range(graph.num_labels)}
+    )
+    assert audit_similarities(dk.index, max_paths=50_000).ok
+
+
+# ------------------------- workload persistence ------------------------
+
+
+def sample_load():
+    load = QueryLoad()
+    load.add(make_query("a.b"), 3)
+    load.add(make_query("/site.regions"), 1)
+    load.add(make_query("a.(b|c)*"), 2)
+    load.add(parse_twig("m[a]/t"), 4)
+    return load
+
+
+def test_query_load_roundtrip_stream():
+    load = sample_load()
+    buffer = io.StringIO()
+    save_query_load(load, buffer)
+    buffer.seek(0)
+    restored = load_query_load(buffer)
+    assert restored.total_weight == load.total_weight
+    assert restored.num_distinct == load.num_distinct
+    assert restored.weight(make_query("a.b")) == 3
+
+
+def test_query_load_roundtrip_file(tmp_path):
+    path = tmp_path / "load.json"
+    save_query_load(sample_load(), path)
+    restored = load_query_load(path)
+    assert restored.total_weight == 10
+
+
+def test_query_load_twig_prefix_roundtrips():
+    load = QueryLoad()
+    load.add(parse_twig("a[b]/c"), 2)
+    data = load_to_dict(load)
+    assert data["queries"][0][0].startswith("twig:")
+    restored = load_from_dict(data)
+    restored_query = next(iter(restored))
+    assert restored_query.to_text() == parse_twig("a[b]/c").to_text()
+    assert restored.weight(restored_query) == 2
+
+
+def test_query_load_rejects_corruption():
+    with pytest.raises(SerializationError):
+        load_from_dict({"format": "nope"})
+    with pytest.raises(SerializationError):
+        load_from_dict(
+            {"format": "repro-queryload", "version": 1, "queries": [["a"]]}
+        )
+    with pytest.raises(SerializationError):
+        load_from_dict(
+            {"format": "repro-queryload", "version": 2, "queries": []}
+        )
+    with pytest.raises(SerializationError):
+        load_from_dict([1])
+
+
+def test_mined_requirements_survive_roundtrip():
+    from repro.workload.mining import exact_requirements
+
+    load = sample_load()
+    buffer = io.StringIO()
+    save_query_load(load, buffer)
+    buffer.seek(0)
+    assert exact_requirements(load_query_load(buffer)) == exact_requirements(load)
+
+
+# ------------------------- CSV output -----------------------------------
+
+
+def test_experiment_result_to_csv():
+    result = ExperimentResult("FIG4", "demo")
+    result.points.append(SeriesPoint("A(0)", 72, 1921.14, 1.0))
+    result.points.append(SeriesPoint("D(k)", 692, 67.4, 0.0, note="a, b"))
+    csv = result.to_csv()
+    lines = csv.splitlines()
+    assert lines[0] == "index,size,avg_cost,validated,note"
+    assert lines[1] == "A(0),72,1921.1,1.00,"
+    assert lines[2] == "D(k),692,67.4,0.00,a; b"  # comma sanitised
+
+
+def test_cli_bench_csv(capsys):
+    from repro.cli import main
+
+    code = main(["bench", "fig4", "--scale", "0.03", "--csv"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "# FIG4 xmark" in output
+    assert "index,size,avg_cost,validated,note" in output

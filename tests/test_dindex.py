@@ -1,0 +1,110 @@
+"""Tests for the :class:`repro.core.dindex.DKIndex` facade."""
+
+import pytest
+
+from repro.core.dindex import DKIndex, check_dk_constraint
+from repro.exceptions import IndexInvariantError
+from repro.graph.builder import graph_from_edges
+from repro.graph.xmlio import parse_xml
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import make_query
+
+
+def movie_xml_graph():
+    return parse_xml(
+        "<movieDB>"
+        "<director><name>m</name><movie><title>H</title></movie></director>"
+        "<director><name>s</name><movie><title>J</title></movie></director>"
+        "<actor><name>a</name></actor>"
+        "</movieDB>"
+    )
+
+
+def test_build_and_query():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 2})
+    dk.check_invariants()
+    q = make_query("director.movie.title")
+    assert dk.evaluate(q) == evaluate_on_data_graph(g, q)
+
+
+def test_from_query_load_mines_requirements():
+    g = movie_xml_graph()
+    queries = [make_query("director.movie.title"), make_query("movie.title")]
+    dk = DKIndex.from_query_load(g, queries)
+    assert dk.requirements == {"title": 2}
+    counter = CostCounter()
+    dk.evaluate(queries[0], counter)
+    assert counter.validated_queries == 0
+
+
+def test_size_and_stats():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 2})
+    stats = dk.stats()
+    assert stats.index_nodes == dk.size
+    assert stats.data_nodes == g.num_nodes
+    assert stats.max_k >= 2
+    assert "index nodes" in stats.format()
+    assert "DKIndex" in repr(dk)
+
+
+def test_add_edge_keeps_exactness():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 2})
+    actors = g.nodes_with_label("actor")
+    movies = g.nodes_with_label("movie")
+    dk.add_edge(actors[0], movies[0])
+    dk.check_invariants()
+    q = make_query("actor.movie.title")
+    assert dk.evaluate(q) == evaluate_on_data_graph(dk.graph, q)
+
+
+def test_add_subgraph_merges_documents():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 2})
+    h = parse_xml("<movieDB><director><movie><title>X</title></movie></director></movieDB>")
+    mapping = dk.add_subgraph(h)
+    dk.check_invariants()
+    assert dk.graph.label(mapping[1]) == "movieDB"
+    q = make_query("director.movie.title")
+    assert dk.evaluate(q) == evaluate_on_data_graph(dk.graph, q)
+
+
+def test_promote_merges_new_requirements():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 1})
+    dk.promote({"name": 2})
+    assert dk.requirements == {"title": 1, "name": 2}
+    counter = CostCounter()
+    dk.evaluate(make_query("movieDB.director.name"), counter)
+    assert counter.validated_queries == 0
+
+
+def test_demote_shrinks_and_replaces_requirements():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {"title": 3})
+    before = dk.size
+    removed = dk.demote({"title": 0})
+    assert removed >= 0
+    assert dk.size <= before
+    assert dk.requirements == {"title": 0}
+    dk.check_invariants()
+
+
+def test_check_dk_constraint_detects_violation():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    dk = DKIndex.build(g, {"b": 1})
+    dk.index.k[dk.index.node_of[2]] = 5  # corrupt
+    with pytest.raises(IndexInvariantError):
+        check_dk_constraint(dk.index)
+
+
+def test_evaluate_validate_false_is_superset():
+    g = movie_xml_graph()
+    dk = DKIndex.build(g, {})
+    q = make_query("director.movie.title")
+    raw = dk.evaluate(q, validate=False)
+    exact = dk.evaluate(q)
+    assert exact <= raw

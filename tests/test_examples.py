@@ -1,0 +1,38 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are documentation; broken documentation is worse than none.
+Each script runs as a subprocess (so import-time and __main__ paths are
+both exercised) with a small scale argument where supported.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Per-script extra argv (smaller scales keep the suite quick).
+EXTRA_ARGS = {"auction_site.py": ["0.1"]}
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 3, "the deliverable requires >= 3 examples"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_cleanly(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *EXTRA_ARGS.get(script, [])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,126 @@
+"""Smoke tests for the experiment runners at tiny scale.
+
+These re-assert the paper's qualitative shapes end-to-end at a scale
+small enough for the unit-test suite; the benchmark suite re-runs them
+at full scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_demote,
+    run_eval_after_updates,
+    run_eval_before_updates,
+    run_promote,
+    run_subgraph,
+    run_update_table,
+)
+from repro.bench.harness import ExperimentConfig
+
+TINY = ExperimentConfig(scale=0.06, num_queries=20, num_update_edges=10)
+
+
+def points_by_name(result):
+    return {p.name: p for p in result.points}
+
+
+@pytest.mark.parametrize("dataset", ["xmark", "nasa"])
+def test_eval_before_updates_shape(dataset):
+    result = run_eval_before_updates(dataset, TINY)
+    by = points_by_name(result)
+    assert set(by) == {"A(0)", "A(1)", "A(2)", "A(3)", "A(4)", "D(k)"}
+    # A(k) sizes grow with k; costs shrink with k.
+    sizes = [by[f"A({k})"].index_size for k in range(5)]
+    assert sizes == sorted(sizes)
+    assert by["A(0)"].avg_cost >= by["A(4)"].avg_cost
+    # D(k) is tuned: never validates.
+    assert by["D(k)"].validation_fraction == 0.0
+
+
+def test_update_table_contains_all_indexes():
+    result = run_update_table("xmark", TINY)
+    by = points_by_name(result)
+    assert set(by) == {"A(1)", "A(2)", "A(3)", "A(4)", "D(k)"}
+    assert "Table 1" in result.extra_lines[0]
+
+
+def test_eval_after_updates_dk_size_constant():
+    before = run_eval_before_updates("xmark", TINY)
+    after = run_eval_after_updates("xmark", TINY)
+    assert (
+        points_by_name(after)["D(k)"].index_size
+        == points_by_name(before)["D(k)"].index_size
+    )
+
+
+def test_promote_experiment_recovers():
+    result = run_promote("xmark", TINY)
+    by = points_by_name(result)
+    assert by["D(k) promoted"].avg_cost <= by["D(k) updated"].avg_cost
+    assert by["D(k) promoted"].validation_fraction == 0.0
+
+
+def test_demote_experiment_shrinks():
+    result = run_demote("xmark", TINY)
+    by = points_by_name(result)
+    assert by["D(k) demoted"].index_size <= by["D(k) exact reqs"].index_size
+
+
+def test_subgraph_experiment_matches_rebuild():
+    result = run_subgraph("xmark", TINY)
+    by = points_by_name(result)
+    assert (
+        by["D(k) incremental"].index_size == by["D(k) rebuilt"].index_size
+    )
+
+
+def test_registry_covers_all_paper_artefacts():
+    assert {"fig4", "fig5", "table1", "fig6", "fig7"} <= set(EXPERIMENTS)
+    assert {"promote", "demote", "subgraph", "construct",
+            "precision", "twig", "drift"} <= set(EXPERIMENTS)
+    for runner, datasets in EXPERIMENTS.values():
+        assert callable(runner)
+        assert set(datasets) <= {"xmark", "nasa", "dblp"}
+
+
+def test_precision_experiment_shape():
+    from repro.bench.experiments import run_precision
+
+    result = run_precision("xmark", TINY)
+    by = points_by_name(result)
+    assert by["D(k)"].avg_cost == pytest.approx(1.0)  # perfect raw precision
+    precisions = [by[f"A({k})"].avg_cost for k in range(5)]
+    assert all(a <= b + 1e-9 for a, b in zip(precisions, precisions[1:]))
+
+
+def test_twig_experiment_shape():
+    from repro.bench.experiments import run_twig
+
+    result = run_twig("nasa", TINY)
+    by = points_by_name(result)
+    assert by["F&B"].avg_cost <= by["data graph"].avg_cost
+    assert by["F&B"].index_size >= by["1-index (size ref)"].index_size
+
+
+def test_drift_experiment_shape():
+    from repro.bench.experiments import run_drift
+
+    result = run_drift("xmark", TINY)
+    by = points_by_name(result)
+    assert by["adaptive long"].avg_cost <= by["static long"].avg_cost
+
+
+def test_dataguide_experiment_shape():
+    from repro.bench.experiments import run_dataguide
+
+    result = run_dataguide("xmark", TINY)
+    by = points_by_name(result)
+    assert by["1-index"].index_size < by["data graph"].index_size
+    assert "strong DataGuide" in by
+
+
+def test_results_render():
+    result = run_eval_before_updates("xmark", TINY)
+    text = result.render()
+    assert "A(0)" in text and "D(k)" in text

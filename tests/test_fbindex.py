@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.indexes.fbindex` (F&B-index + twig evaluation)."""
+
+from hypothesis import given, settings
+
+from conftest import small_graphs
+from repro.graph.builder import graph_from_edges
+from repro.indexes.base import IndexGraph
+from repro.indexes.fbindex import build_fb_index, evaluate_twig_on_fb, fb_partition
+from repro.indexes.oneindex import build_1index
+from repro.paths.cost import CostCounter
+from repro.paths.twig import evaluate_twig, parse_twig
+from test_twig import brute_force_twig, twig_queries
+
+
+def actor_graph():
+    """Two movies identical for incoming paths; only one has an actor."""
+    return graph_from_edges(
+        ["m", "m", "t", "t", "a"],
+        [(0, 1), (0, 2), (1, 3), (2, 4), (2, 5)],
+    )
+
+
+def test_fb_splits_where_1index_does_not():
+    g = actor_graph()
+    one = build_1index(g)
+    fb = build_fb_index(g)
+    assert len(one.nodes_with_label("m")) == 1
+    assert len(fb.nodes_with_label("m")) == 2
+    fb.check_invariants()
+
+
+def test_fb_refines_1index():
+    g = actor_graph()
+    fb = build_fb_index(g)
+    one = build_1index(g)
+    assert fb.to_partition().refines(one.to_partition())
+
+
+def test_fb_partition_is_stable_both_ways():
+    g = actor_graph()
+    partition, rounds = fb_partition(g)
+    assert rounds >= 1
+    block_of = partition.block_of
+    # Forward and backward signature stability.
+    for adjacency in (g.parents, g.children):
+        for members in partition.blocks:
+            first = frozenset(block_of[n] for n in adjacency[members[0]])
+            for member in members[1:]:
+                assert frozenset(block_of[n] for n in adjacency[member]) == first
+
+
+def test_twig_on_fb_is_exact():
+    g = actor_graph()
+    fb = build_fb_index(g)
+    for text in ("m[a]/t", "m/t", "m[t]/a", "/m[a]/t", "m[a][t]/t"):
+        query = parse_twig(text)
+        assert evaluate_twig_on_fb(fb, query) == evaluate_twig(g, query), text
+
+
+def test_twig_on_1index_can_be_wrong_without_fb():
+    # Evaluating a branching query naively over the 1-index quotient
+    # merges the two movies and over-reports — the reason F&B exists.
+    g = actor_graph()
+    one = build_1index(g)
+    query = parse_twig("m[a]/t")
+    naive = evaluate_twig_on_fb(one, query)  # same machinery, wrong index
+    exact = evaluate_twig(g, query)
+    assert naive > exact  # strictly over-approximates here
+
+
+def test_twig_on_fb_counts_index_visits():
+    g = actor_graph()
+    fb = build_fb_index(g)
+    counter = CostCounter()
+    evaluate_twig_on_fb(fb, parse_twig("m[a]/t"), counter)
+    assert counter.index_nodes_visited > 0
+    assert counter.data_nodes_visited == 0
+
+
+def test_fb_size_at_least_1index_on_datasets():
+    from repro.datasets.xmark import generate_xmark
+
+    g = generate_xmark(scale=0.04, seed=2).graph
+    fb = build_fb_index(g)
+    one = build_1index(g)
+    assert fb.num_nodes >= one.num_nodes
+    fb.check_invariants()
+
+
+@given(small_graphs(max_nodes=8))
+@settings(max_examples=60, deadline=None)
+def test_fb_index_invariants_random(graph):
+    fb = build_fb_index(graph)
+    fb.check_invariants()
+    one = build_1index(graph)
+    assert fb.to_partition().refines(one.to_partition())
+
+
+@given(small_graphs(max_nodes=7), twig_queries())
+@settings(max_examples=120, deadline=None)
+def test_twig_on_fb_matches_oracle_random(graph, query):
+    fb = build_fb_index(graph)
+    assert evaluate_twig_on_fb(fb, query) == brute_force_twig(graph, query)

@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.bench.harness` (tiny scale)."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentConfig,
+    load_dataset,
+    sample_reference_edges,
+    workload_average_cost,
+)
+from repro.datasets.xmark import generate_xmark
+from repro.exceptions import DatasetError
+
+TINY = ExperimentConfig(scale=0.03, num_queries=15, num_update_edges=10)
+
+
+def test_load_dataset_builds_bundle():
+    bundle = load_dataset("xmark", TINY)
+    assert bundle.name == "xmark"
+    assert bundle.load.total_weight == 15
+    assert bundle.requirements
+    assert len(bundle.update_edges) <= 10
+    assert bundle.graph.num_nodes > 100
+
+
+def test_load_dataset_cached():
+    one = load_dataset("xmark", TINY)
+    two = load_dataset("xmark", TINY)
+    assert one is two
+
+
+def test_load_dataset_unknown_name():
+    with pytest.raises(DatasetError):
+        load_dataset("enron", TINY)
+
+
+def test_fresh_graph_is_a_copy():
+    bundle = load_dataset("xmark", TINY)
+    fresh = bundle.fresh_graph()
+    assert fresh is not bundle.graph
+    fresh.add_node("scratch")
+    assert fresh.num_nodes == bundle.graph.num_nodes + 1
+
+
+def test_fresh_dk_builds_over_copy():
+    bundle = load_dataset("xmark", TINY)
+    dk = bundle.fresh_dk()
+    assert dk.graph is not bundle.graph
+    dk.check_invariants()
+
+
+def test_sample_reference_edges_protocol():
+    doc = generate_xmark(scale=0.03, seed=0)
+    rng = random.Random(1)
+    edges = sample_reference_edges(doc.graph, doc.reference_pairs, 10, rng)
+    assert len(edges) == 10
+    assert len(set(edges)) == 10
+    label_pairs = {
+        (doc.graph.label(src), doc.graph.label(dst)) for src, dst in edges
+    }
+    assert label_pairs <= set(doc.reference_pairs)
+    for src, dst in edges:
+        assert not doc.graph.has_edge(src, dst)
+
+
+def test_sample_reference_edges_requires_pairs():
+    doc = generate_xmark(scale=0.03, seed=0)
+    with pytest.raises(DatasetError):
+        sample_reference_edges(doc.graph, [], 5, random.Random(0))
+
+
+def test_workload_average_cost_zero_validation_for_tuned_dk():
+    bundle = load_dataset("xmark", TINY)
+    dk = bundle.fresh_dk(bundle.graph)
+    cost, validated = workload_average_cost(dk.index, bundle.load)
+    assert cost > 0
+    assert validated == 0.0
+
+
+def test_config_scaled_copy():
+    assert TINY.scaled(0.5).scale == 0.5
+    assert TINY.scale == 0.03

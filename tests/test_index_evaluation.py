@@ -1,0 +1,180 @@
+"""Tests for index-graph evaluation, validation, safety and soundness.
+
+The decisive properties (Section 3's safety/soundness and Section 4's
+Theorem 1 consequences):
+
+- *safety*: the raw (unvalidated) index answer contains the data answer,
+  for every index and every query;
+- *exactness with validation*: index + validation equals the data answer;
+- *soundness within k*: an A(k)-index never validates queries of at most
+  k edges, and the D(k) terminal rule never lets a false positive
+  through.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import random_label_path, small_graphs
+from repro.core.construction import build_dk_index
+from repro.graph.builder import graph_from_edges
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.evaluation import evaluate_on_index, match_index_nodes
+from repro.indexes.labelsplit import build_labelsplit_index
+from repro.indexes.oneindex import build_1index
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import LabelPathQuery, make_query
+
+
+def two_x_graph():
+    return graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+
+
+def test_sound_query_answers_from_index_alone():
+    g = two_x_graph()
+    idx = build_ak_index(g, 1)
+    counter = CostCounter()
+    result = evaluate_on_index(idx, make_query("a.x"), counter)
+    assert result == {3}
+    assert counter.data_nodes_visited == 0
+    assert counter.validated_queries == 0
+
+
+def test_short_query_on_coarse_index_validates():
+    # On A(0) the x extent is {3, 4}; "a.x" (1 edge) needs k >= 1.
+    g = two_x_graph()
+    idx = build_labelsplit_index(g)
+    counter = CostCounter()
+    result = evaluate_on_index(idx, make_query("a.x"), counter)
+    assert result == {3}
+    assert counter.validated_queries == 1
+    assert counter.data_nodes_visited > 0
+
+
+def test_unvalidated_answer_is_safe_superset():
+    g = two_x_graph()
+    idx = build_labelsplit_index(g)
+    raw = evaluate_on_index(idx, make_query("a.x"), validate=False)
+    assert raw == {3, 4}  # safe but unsound
+
+
+def test_single_label_unanchored_never_validates():
+    g = two_x_graph()
+    idx = build_labelsplit_index(g)
+    counter = CostCounter()
+    assert evaluate_on_index(idx, make_query("x"), counter) == {3, 4}
+    assert counter.validated_queries == 0
+
+
+def test_anchored_needs_one_more_level():
+    # /a is anchored: on A(0) even a single label validates (the match
+    # must start at a child of the root); on A(1) it is sound.
+    g = graph_from_edges(["a", "a"], [(0, 1), (1, 2)])
+    coarse = build_labelsplit_index(g)
+    counter = CostCounter()
+    assert evaluate_on_index(coarse, make_query("/a"), counter) == {1}
+    assert counter.validated_queries == 1
+    fine = build_ak_index(g, 1)
+    counter = CostCounter()
+    assert evaluate_on_index(fine, make_query("/a"), counter) == {1}
+    assert counter.validated_queries == 0
+
+
+def test_match_index_nodes():
+    g = two_x_graph()
+    idx = build_ak_index(g, 1)
+    terminals = match_index_nodes(idx, make_query("a.x"))
+    assert len(terminals) == 1
+    assert idx.extents[next(iter(terminals))] == [3]
+
+
+def test_unknown_label_query_is_empty():
+    g = two_x_graph()
+    idx = build_ak_index(g, 1)
+    assert evaluate_on_index(idx, make_query("zzz.x")) == set()
+    assert match_index_nodes(idx, make_query("zzz")) == set()
+
+
+def test_regex_on_index_exact_with_validation():
+    g = graph_from_edges(
+        ["a", "b", "c", "x"],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (1, 4)],
+    )
+    for index in (build_labelsplit_index(g), build_ak_index(g, 2), build_1index(g)):
+        for text in ("a.(b.c)?._", "a//x", "b|c", "_._"):
+            query = make_query(text)
+            got = evaluate_on_index(index, query)
+            want = evaluate_on_data_graph(g, query)
+            assert got == want, (text, type(index))
+
+
+def test_regex_sound_on_1index_without_validation():
+    g = two_x_graph()
+    idx = build_1index(g)
+    counter = CostCounter()
+    result = evaluate_on_index(idx, make_query("a.x"), counter)
+    assert result == {3}
+    assert counter.data_nodes_visited == 0
+
+
+def test_index_cost_much_smaller_than_data_scan():
+    g = two_x_graph()
+    idx = build_ak_index(g, 1)
+    index_counter = CostCounter()
+    evaluate_on_index(idx, make_query("a.x"), index_counter)
+    data_counter = CostCounter()
+    evaluate_on_data_graph(g, make_query("a.x"), data_counter)
+    assert index_counter.total < data_counter.total
+
+
+# ----------------------------------------------------------------------
+# Properties over random graphs, indexes and queries
+# ----------------------------------------------------------------------
+
+
+@given(small_graphs(), st.integers(0, 3), st.integers(0, 10_000))
+@settings(max_examples=120, deadline=None)
+def test_ak_index_safe_and_exact(graph, k, seed):
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    index = build_ak_index(graph, k)
+    for anchored in (False, True):
+        query = LabelPathQuery(anchored=anchored, labels=tuple(labels))
+        want = evaluate_on_data_graph(graph, query)
+        raw = evaluate_on_index(index, query, validate=False)
+        assert want <= raw, "safety violated"
+        got = evaluate_on_index(index, query)
+        assert got == want, "validated answer differs from ground truth"
+
+
+@given(small_graphs(), st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_ak_never_validates_within_k(graph, seed):
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    k = len(labels) - 1
+    index = build_ak_index(graph, k)
+    counter = CostCounter()
+    evaluate_on_index(
+        index, LabelPathQuery(anchored=False, labels=tuple(labels)), counter
+    )
+    assert counter.validated_queries == 0
+    assert counter.data_nodes_visited == 0
+
+
+@given(small_graphs(), st.integers(0, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_dk_index_exact_for_random_requirements(graph, seed):
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    requirements = {
+        graph.label_name(i): rng.randint(0, 2) for i in range(graph.num_labels)
+    }
+    index, _levels = build_dk_index(graph, requirements)
+    index.check_invariants()
+    query = LabelPathQuery(anchored=False, labels=tuple(labels))
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(graph, query)

@@ -1,0 +1,138 @@
+"""End-to-end integration scenarios tying the whole stack together.
+
+Each scenario is a miniature of the paper's lifecycle: parse/generate
+data, mine a workload, build the D(k)-index, query, update, re-tune —
+checking exactness against the data graph at every step.
+"""
+
+import random
+
+from repro.bench.harness import sample_reference_edges
+from repro.core.dindex import DKIndex
+from repro.datasets.nasa import generate_nasa
+from repro.datasets.xmark import generate_xmark
+from repro.graph.serialize import dumps, loads
+from repro.graph.xmlio import parse_xml
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.evaluation import evaluate_on_index
+from repro.indexes.oneindex import build_1index
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import make_query
+from repro.workload.generator import WorkloadConfig, generate_test_paths
+from repro.workload.mining import exact_requirements
+
+
+def test_full_lifecycle_on_xmark():
+    doc = generate_xmark(scale=0.08, seed=11)
+    graph = doc.graph
+    load = generate_test_paths(graph, WorkloadConfig(count=30), seed=12)
+    requirements = exact_requirements(load)
+
+    dk = DKIndex.from_query_load(graph, list(load))
+    assert dk.requirements == requirements
+    dk.check_invariants()
+
+    # 1. Tuned queries are sound and exact.
+    for query in load:
+        counter = CostCounter()
+        assert dk.evaluate(query, counter) == evaluate_on_data_graph(graph, query)
+        assert counter.validated_queries == 0
+
+    # 2. Apply reference-edge updates; exactness survives via validation.
+    edges = sample_reference_edges(
+        graph, doc.reference_pairs, 12, random.Random(13)
+    )
+    for src, dst in edges:
+        dk.add_edge(src, dst)
+    dk.check_invariants()
+    for query in list(load)[:10]:
+        assert dk.evaluate(query) == evaluate_on_data_graph(graph, query)
+
+    # 3. Promote restores soundness.
+    dk.promote()
+    dk.check_invariants()
+    for query in list(load)[:10]:
+        counter = CostCounter()
+        assert dk.evaluate(query, counter) == evaluate_on_data_graph(graph, query)
+        assert counter.validated_queries == 0
+
+    # 4. Demote to nothing: back to a label-split-sized index, still exact.
+    dk.demote({})
+    dk.check_invariants()
+    assert dk.size <= graph.num_labels
+    for query in list(load)[:5]:
+        assert dk.evaluate(query) == evaluate_on_data_graph(graph, query)
+
+
+def test_document_insert_lifecycle_on_nasa():
+    doc = generate_nasa(scale=0.06, seed=21)
+    graph = doc.graph
+    load = generate_test_paths(graph, WorkloadConfig(count=20), seed=22)
+    dk = DKIndex.from_query_load(graph, list(load))
+
+    newcomer = generate_nasa(scale=0.02, seed=23)
+    dk.add_subgraph(newcomer.graph)
+    dk.check_invariants()
+    for query in list(load)[:8]:
+        assert dk.evaluate(query) == evaluate_on_data_graph(dk.graph, query)
+
+
+def test_dk_point_dominates_ak_curve_small_scale():
+    doc = generate_xmark(scale=0.08, seed=31)
+    graph = doc.graph
+    load = generate_test_paths(graph, WorkloadConfig(count=30), seed=32)
+    dk = DKIndex.from_query_load(graph, list(load))
+
+    def average(index):
+        total = 0
+        for query, weight in load.items():
+            counter = CostCounter()
+            evaluate_on_index(index, query, counter)
+            total += counter.total * weight
+        return total / load.total_weight
+
+    dk_cost = average(dk.index)
+    a4 = build_ak_index(graph, 4)
+    assert dk.size < a4.num_nodes
+    assert dk_cost <= average(a4) * 1.2
+
+
+def test_one_index_is_sound_for_everything():
+    doc = generate_xmark(scale=0.05, seed=41)
+    graph = doc.graph
+    one = build_1index(graph)
+    load = generate_test_paths(graph, WorkloadConfig(count=15), seed=42)
+    for query in load:
+        counter = CostCounter()
+        assert evaluate_on_index(one, query, counter) == evaluate_on_data_graph(
+            graph, query
+        )
+        assert counter.data_nodes_visited == 0
+
+
+def test_serialize_then_index_roundtrip():
+    doc = generate_xmark(scale=0.04, seed=51)
+    restored = loads(dumps(doc.graph))
+    dk_original = DKIndex.build(doc.graph, {"name": 2})
+    dk_restored = DKIndex.build(restored, {"name": 2})
+    assert dk_original.size == dk_restored.size
+    q = make_query("person.name")
+    assert dk_original.evaluate(q) == dk_restored.evaluate(q)
+
+
+def test_xml_to_index_pipeline():
+    xml = (
+        "<catalog>"
+        + "".join(
+            f'<book id="b{i}"><title>t</title><ref idref="b{(i + 1) % 4}"/></book>'
+            for i in range(4)
+        )
+        + "</catalog>"
+    )
+    graph = parse_xml(xml)
+    dk = DKIndex.build(graph, {"title": 3})
+    dk.check_invariants()
+    q = make_query("book.ref.book.title")
+    assert dk.evaluate(q) == evaluate_on_data_graph(graph, q)
+    assert dk.evaluate(q)  # the reference cycle makes this non-empty

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.paths.lexer`."""
+
+import pytest
+
+from repro.exceptions import PathSyntaxError
+from repro.paths.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind.name for t in tokenize(text)]
+
+
+def test_basic_tokens():
+    assert kinds("a.b|c") == ["LABEL", "DOT", "LABEL", "PIPE", "LABEL", "EOF"]
+
+
+def test_star_and_qmark():
+    assert kinds("a*b?") == ["LABEL", "STAR", "LABEL", "QMARK", "EOF"]
+
+
+def test_parens():
+    assert kinds("(a)") == ["LPAREN", "LABEL", "RPAREN", "EOF"]
+
+
+def test_wildcard_vs_label_with_underscore():
+    tokens = tokenize("_ _x x_")
+    assert [t.kind for t in tokens[:3]] == [
+        TokenKind.WILDCARD,
+        TokenKind.LABEL,
+        TokenKind.LABEL,
+    ]
+    assert tokens[1].text == "_x"
+    assert tokens[2].text == "x_"
+
+
+def test_slash_forms():
+    assert kinds("//a/b") == ["DSLASH", "LABEL", "SLASH", "LABEL", "EOF"]
+
+
+def test_label_characters():
+    tokens = tokenize("open_auction ns:tag data-set x9")
+    assert [t.text for t in tokens[:-1]] == [
+        "open_auction",
+        "ns:tag",
+        "data-set",
+        "x9",
+    ]
+
+
+def test_whitespace_skipped():
+    assert kinds("  a .  b ") == ["LABEL", "DOT", "LABEL", "EOF"]
+
+
+def test_positions_recorded():
+    tokens = tokenize("ab.cd")
+    assert tokens[0].position == 0
+    assert tokens[1].position == 2
+    assert tokens[2].position == 3
+
+
+def test_bad_character_raises_with_position():
+    with pytest.raises(PathSyntaxError) as info:
+        tokenize("a.$b")
+    assert info.value.position == 2
+
+
+def test_empty_input_gives_only_eof():
+    assert kinds("") == ["EOF"]

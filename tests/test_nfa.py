@@ -1,0 +1,164 @@
+"""Unit tests for :mod:`repro.paths.nfa`.
+
+The property test compares NFA membership with a brute-force language
+oracle that enumerates short words directly from the AST.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paths.ast import (
+    AnyLabel,
+    Concat,
+    Label,
+    Optional_,
+    PathExpr,
+    Star,
+    Union_,
+)
+from repro.paths.nfa import compile_nfa
+from repro.paths.parser import parse_path_expression
+
+
+ALPHABET = ["a", "b", "c"]
+
+
+def accepts(text: str, word: list[str]) -> bool:
+    expr, _ = parse_path_expression(text)
+    return compile_nfa(expr).accepts(word)
+
+
+def test_single_label():
+    assert accepts("a", ["a"])
+    assert not accepts("a", ["b"])
+    assert not accepts("a", [])
+    assert not accepts("a", ["a", "a"])
+
+
+def test_concat():
+    assert accepts("a.b", ["a", "b"])
+    assert not accepts("a.b", ["a"])
+    assert not accepts("a.b", ["b", "a"])
+
+
+def test_union():
+    assert accepts("a|b", ["a"])
+    assert accepts("a|b", ["b"])
+    assert not accepts("a|b", ["c"])
+
+
+def test_optional():
+    assert accepts("a.b?", ["a"])
+    assert accepts("a.b?", ["a", "b"])
+    assert not accepts("a.b?", ["a", "b", "b"])
+
+
+def test_star():
+    assert accepts("a*", [])
+    assert accepts("a*", ["a"] * 5)
+    assert not accepts("a*", ["a", "b"])
+
+
+def test_wildcard():
+    assert accepts("_", ["anything"])
+    assert accepts("a._.c", ["a", "zz", "c"])
+    assert not accepts("a._.c", ["a", "c"])
+
+
+def test_descendant_sugar():
+    assert accepts("a//b", ["a", "b"])
+    assert accepts("a//b", ["a", "x", "y", "b"])
+    assert not accepts("a//b", ["a"])
+
+
+def test_paper_optional_wildcard_example():
+    # movieDB.(_)?.movie matches with or without an intermediate label.
+    assert accepts("movieDB._?.movie", ["movieDB", "movie"])
+    assert accepts("movieDB._?.movie", ["movieDB", "director", "movie"])
+    assert not accepts("movieDB._?.movie", ["movieDB", "x", "y", "movie"])
+
+
+def test_accepts_empty_flag():
+    expr, _ = parse_path_expression("a*")
+    assert compile_nfa(expr).accepts_empty
+    expr, _ = parse_path_expression("a")
+    assert not compile_nfa(expr).accepts_empty
+
+
+def test_bind_drops_unknown_labels():
+    expr, _ = parse_path_expression("a|zzz")
+    nfa = compile_nfa(expr)
+    bound = nfa.bind({"a": 0})
+    assert bound.is_accepting(bound.step(frozenset({bound.start}), 0))
+
+
+def test_bind_wildcard_matches_any_id():
+    expr, _ = parse_path_expression("_")
+    bound = compile_nfa(expr).bind({"a": 0, "b": 1})
+    assert bound.is_accepting(bound.step(frozenset({bound.start}), 1))
+
+
+# ----------------------------------------------------------------------
+# Property: NFA membership equals a brute-force language oracle.
+# ----------------------------------------------------------------------
+
+
+def language_contains(expr: PathExpr, word: tuple[str, ...]) -> bool:
+    """Brute-force membership from the AST semantics."""
+    if isinstance(expr, Label):
+        return len(word) == 1 and word[0] == expr.name
+    if isinstance(expr, AnyLabel):
+        return len(word) == 1
+    if isinstance(expr, Concat):
+        return any(
+            language_contains(expr.left, word[:i])
+            and language_contains(expr.right, word[i:])
+            for i in range(len(word) + 1)
+        )
+    if isinstance(expr, Union_):
+        return language_contains(expr.left, word) or language_contains(
+            expr.right, word
+        )
+    if isinstance(expr, Optional_):
+        return not word or language_contains(expr.inner, word)
+    if isinstance(expr, Star):
+        if not word:
+            return True
+        return any(
+            language_contains(expr.inner, word[:i])
+            and language_contains(expr, word[i:])
+            for i in range(1, len(word) + 1)
+        )
+    raise TypeError(expr)
+
+
+@st.composite
+def path_exprs(draw, depth: int = 3) -> PathExpr:
+    if depth == 0:
+        return draw(
+            st.one_of(
+                st.sampled_from([Label(l) for l in ALPHABET]),
+                st.just(AnyLabel()),
+            )
+        )
+    branch = draw(st.integers(0, 5))
+    if branch <= 1:
+        return draw(path_exprs(depth=0))
+    inner = draw(path_exprs(depth=depth - 1))
+    if branch == 2:
+        return Concat(inner, draw(path_exprs(depth=depth - 1)))
+    if branch == 3:
+        return Union_(inner, draw(path_exprs(depth=depth - 1)))
+    if branch == 4:
+        return Optional_(inner)
+    return Star(inner)
+
+
+@given(
+    path_exprs(),
+    st.lists(st.sampled_from(ALPHABET), max_size=4),
+)
+@settings(max_examples=200, deadline=None)
+def test_nfa_matches_language_oracle(expr, word):
+    nfa = compile_nfa(expr)
+    assert nfa.accepts(word) == language_contains(expr, tuple(word))

@@ -1,0 +1,105 @@
+"""Tests for :mod:`repro.graph.numbering` (interval numbering)."""
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import small_graphs
+from repro.exceptions import GraphError
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.graph.traversal import reachable_from
+from repro.graph.numbering import number_tree, skeleton_descendants
+
+
+def tree():
+    #     root -> a -> (b, c); c -> d
+    return graph_from_edges(
+        ["a", "b", "c", "d"], [(0, 1), (1, 2), (1, 3), (3, 4)]
+    )
+
+
+def test_preorder_intervals():
+    numbering = number_tree(tree())
+    assert numbering.start[0] == 1
+    assert numbering.end[0] == 5  # whole document
+    assert numbering.complete
+
+
+def test_is_ancestor_matches_reachability_on_trees():
+    g = tree()
+    numbering = number_tree(g)
+    for ancestor in g.nodes():
+        below = reachable_from(g, g.children[ancestor])
+        for descendant in g.nodes():
+            assert numbering.is_ancestor(ancestor, descendant) == (
+                descendant in below
+            )
+
+
+def test_is_ancestor_is_strict():
+    numbering = number_tree(tree())
+    assert not numbering.is_ancestor(1, 1)
+
+
+def test_depth():
+    numbering = number_tree(tree())
+    assert numbering.depth(0) == 0
+    assert numbering.depth(1) == 1
+    assert numbering.depth(4) == 3
+
+
+def test_depth_unreachable_raises():
+    g = DataGraph()
+    g.add_node("orphan")
+    numbering = number_tree(g)
+    with pytest.raises(GraphError):
+        numbering.depth(1)
+
+
+def test_reference_edges_make_it_incomplete():
+    g = tree()
+    g.add_edge(4, 2)  # a reference edge (d -> b)
+    numbering = number_tree(g)
+    assert not numbering.complete  # intervals no longer equal reachability
+
+
+def test_skeleton_descendants():
+    g = tree()
+    numbering = number_tree(g)
+    assert sorted(skeleton_descendants(numbering, 1)) == [2, 3, 4]
+    assert skeleton_descendants(numbering, 2) == []
+
+
+def test_tree_parents():
+    numbering = number_tree(tree())
+    assert numbering.tree_parent[0] == -1
+    assert numbering.tree_parent[1] == 0
+    assert numbering.tree_parent[4] == 3
+
+
+@given(small_graphs(max_nodes=10, extra_edge_factor=0))
+@settings(max_examples=60, deadline=None)
+def test_numbering_on_random_trees(graph):
+    # The strategy with extra_edge_factor=0 yields pure trees (each node
+    # gets exactly one parent edge).
+    numbering = number_tree(graph)
+    assert numbering.complete
+    for ancestor in graph.nodes():
+        below = reachable_from(graph, graph.children[ancestor])
+        for descendant in graph.nodes():
+            assert numbering.is_ancestor(ancestor, descendant) == (
+                descendant in below
+            )
+
+
+@given(small_graphs(max_nodes=10))
+@settings(max_examples=40, deadline=None)
+def test_numbering_skeleton_is_sound_on_graphs(graph):
+    # On general graphs the skeleton-ancestor relation must be a
+    # *subset* of true reachability (never a false positive).
+    numbering = number_tree(graph)
+    for ancestor in list(graph.nodes())[:6]:
+        below = reachable_from(graph, graph.children[ancestor])
+        for descendant in graph.nodes():
+            if numbering.is_ancestor(ancestor, descendant):
+                assert descendant in below

@@ -1,0 +1,196 @@
+"""Tests for :mod:`repro.core.promote` (Algorithm 6 + demoting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import (
+    extent_is_homogeneous,
+    extent_paths_consistent,
+    label_requirements,
+    random_label_path,
+    small_graphs,
+)
+from repro.core.construction import build_dk_index
+from repro.core.dindex import check_dk_constraint
+from repro.core.promote import demote_index, promote_nodes, promote_requirements
+from repro.core.updates import dk_add_edge
+from repro.exceptions import UpdateError
+from repro.graph.builder import graph_from_edges
+from repro.indexes.evaluation import evaluate_on_index
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import LabelPathQuery, make_query
+
+
+def two_x_graph():
+    return graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+
+
+def test_promote_splits_to_requested_level():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {})  # label split, all k = 0
+    x_block = next(iter(index.nodes_with_label("x")))
+    report = promote_nodes(g, index, {x_block: 1})
+    assert report.index_nodes_split >= 1
+    assert len(index.nodes_with_label("x")) == 2
+    index.check_invariants()
+    check_dk_constraint(index)
+
+
+def test_promote_noop_when_already_high():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {"x": 2})
+    size = index.num_nodes
+    report = promote_nodes(g, index, {next(iter(index.nodes_with_label("x"))): 1})
+    assert report.index_nodes_split == 0
+    assert index.num_nodes == size
+
+
+def test_promote_requirements_matches_fresh_build():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {})
+    promote_requirements(g, index, {"x": 2})
+    fresh, _ = build_dk_index(g, {"x": 2})
+    assert index.to_partition() == fresh.to_partition()
+    # Promoted ks meet the broadcast levels.
+    assert all(
+        index.k[n] >= fresh.k[m]
+        for n in range(index.num_nodes)
+        for m in [fresh.node_of[index.extents[n][0]]]
+    )
+
+
+def test_promote_rejects_foreign_graph():
+    g = two_x_graph()
+    other = two_x_graph()
+    index, _ = build_dk_index(other, {})
+    with pytest.raises(UpdateError):
+        promote_nodes(g, index, {0: 1})
+
+
+def test_promote_rejects_negative_target():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {})
+    with pytest.raises(ValueError):
+        promote_nodes(g, index, {0: -1})
+
+
+def test_promote_handles_cycles():
+    # a self-referential pair: promotion through the cycle terminates
+    # and produces honest similarities.
+    g = graph_from_edges(
+        ["a", "a", "b"], [(0, 1), (1, 2), (2, 1), (1, 3), (2, 3)]
+    )
+    index, _ = build_dk_index(g, {})
+    promote_requirements(g, index, {"b": 3})
+    index.check_invariants()
+    check_dk_constraint(index)
+    for node in range(index.num_nodes):
+        assert extent_is_homogeneous(g, index.extents[node], index.k[node])
+
+
+def test_promote_after_updates_restores_soundness():
+    g = graph_from_edges(
+        ["q", "x1", "x2", "x3"],
+        [(0, 1), (0, 2), (2, 3), (3, 4)],
+    )
+    index, _ = build_dk_index(g, {"x3": 3})
+    dk_add_edge(g, index, 1, 2)
+    counter = CostCounter()
+    query = make_query("q.x1.x2.x3")
+    assert evaluate_on_index(index, query, counter) == evaluate_on_data_graph(
+        g, query
+    )
+    assert counter.validated_queries == 1  # erosion forces validation
+
+    promote_requirements(g, index, {"x3": 3})
+    index.check_invariants()
+    check_dk_constraint(index)
+    counter = CostCounter()
+    assert evaluate_on_index(index, query, counter) == evaluate_on_data_graph(
+        g, query
+    )
+    assert counter.validated_queries == 0  # soundness restored
+
+
+# ------------------------- demoting -----------------------------------
+
+
+def test_demote_merges_back_to_lower_requirements():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {"x": 2})
+    coarse = demote_index(index, {})
+    fresh, _ = build_dk_index(g, {})
+    assert coarse.to_partition() == fresh.to_partition()
+    assert coarse.num_nodes == fresh.num_nodes
+    coarse.check_invariants()
+    check_dk_constraint(coarse)
+
+
+def test_demote_leaves_input_untouched():
+    g = two_x_graph()
+    index, _ = build_dk_index(g, {"x": 2})
+    size = index.num_nodes
+    demote_index(index, {})
+    assert index.num_nodes == size
+
+
+@given(small_graphs(), label_requirements(max_k=2), label_requirements(max_k=2))
+@settings(max_examples=60, deadline=None)
+def test_demote_to_lower_requirements_equals_fresh_build(graph, high, low):
+    # Make `low` pointwise <= `high` so demoting is truly a demotion.
+    merged_high = dict(low)
+    merged_high.update(
+        {label: max(high.get(label, 0), low.get(label, 0)) for label in high}
+    )
+    index, _ = build_dk_index(graph, merged_high)
+    demoted = demote_index(index, low)
+    fresh, _ = build_dk_index(graph, low)
+    assert demoted.to_partition() == fresh.to_partition()
+    demoted.check_invariants()
+    check_dk_constraint(demoted)
+
+
+@given(small_graphs(max_nodes=8), label_requirements(max_k=3), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_promote_requirements_exact_and_honest(graph, requirements, seed):
+    index, _ = build_dk_index(graph, {})
+    promote_requirements(graph, index, requirements)
+    index.check_invariants()
+    check_dk_constraint(index)
+    for node in range(index.num_nodes):
+        assert extent_is_homogeneous(graph, index.extents[node], index.k[node])
+    fresh, _ = build_dk_index(graph, requirements)
+    assert index.to_partition() == fresh.to_partition()
+    rng = random.Random(seed)
+    labels = random_label_path(graph, rng)
+    query = LabelPathQuery(anchored=False, labels=tuple(labels))
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(graph, query)
+
+
+@given(small_graphs(max_nodes=8), label_requirements(max_k=3), st.integers(0, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_promote_after_random_updates_is_honest(graph, requirements, seed):
+    rng = random.Random(seed)
+    index, _ = build_dk_index(graph, requirements)
+    nodes = list(graph.nodes())
+    for _ in range(3):
+        src, dst = rng.choice(nodes), rng.choice(nodes)
+        if src == dst or graph.has_edge(src, dst) or dst == graph.root:
+            continue
+        dk_add_edge(graph, index, src, dst)
+    promote_requirements(graph, index, requirements)
+    index.check_invariants()
+    check_dk_constraint(index)
+    # After updates only the weak label-path invariant is guaranteed
+    # (promotion splits against blocks that themselves only satisfy it).
+    for node in range(index.num_nodes):
+        assert extent_paths_consistent(graph, index.extents[node], index.k[node])
+    labels = random_label_path(graph, rng)
+    query = LabelPathQuery(anchored=False, labels=tuple(labels))
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(graph, query)

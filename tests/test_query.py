@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.paths.query`."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.paths.query import LabelPathQuery, RegexQuery, make_query
+
+
+def test_make_query_plain_chain():
+    q = make_query("movie.title")
+    assert isinstance(q, LabelPathQuery)
+    assert q.labels == ("movie", "title")
+    assert q.anchored is False
+
+
+def test_make_query_dslash_chain():
+    q = make_query("//movie.title")
+    assert isinstance(q, LabelPathQuery)
+    assert q.anchored is False
+
+
+def test_make_query_anchored_chain():
+    q = make_query("/db.movie")
+    assert isinstance(q, LabelPathQuery)
+    assert q.anchored is True
+
+
+def test_make_query_regex_forms():
+    assert isinstance(make_query("a.b*"), RegexQuery)
+    assert isinstance(make_query("a|b"), RegexQuery)
+    assert isinstance(make_query("_.a"), RegexQuery)
+    assert isinstance(make_query("a.b?"), RegexQuery)
+
+
+def test_label_path_lengths():
+    q = make_query("a.b.c")
+    assert q.length == 3
+    assert q.num_edges == 2
+    assert q.target_label == "c"
+
+
+def test_label_path_to_text_roundtrips():
+    for text in ["a.b", "/a.b", "//a.b.c"]:
+        q = make_query(text)
+        assert make_query(q.to_text()) == q
+    assert make_query("/a.b").to_text() == "/a.b"
+    assert LabelPathQuery(anchored=False, labels=("a", "b")).to_text() == "//a.b"
+
+
+def test_empty_label_path_rejected():
+    with pytest.raises(WorkloadError):
+        LabelPathQuery(anchored=False, labels=())
+
+
+def test_regex_query_nfa_cached():
+    q = make_query("a.(b|c)*")
+    assert q.nfa is q.nfa
+
+
+def test_regex_max_length():
+    assert make_query("a.b?").max_length == 2
+    assert make_query("a.b*").max_length is None
+
+
+def test_queries_hashable_and_equal():
+    assert make_query("a.b") == make_query("a.b")
+    assert make_query("a.b") != make_query("//a.c")
+    assert len({make_query("a.b"), make_query("a.b")}) == 1
+
+
+def test_regex_to_text():
+    q = make_query("//a.(b|c)")
+    assert q.to_text() == "//a.(b|c)"

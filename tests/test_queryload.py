@@ -1,0 +1,66 @@
+"""Tests for :mod:`repro.workload.queryload`."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.paths.query import make_query
+from repro.workload.queryload import QueryLoad
+
+
+def test_add_and_weight():
+    load = QueryLoad()
+    q = make_query("a.b")
+    load.add(q)
+    load.add(q, weight=2)
+    assert load.weight(q) == 3
+    assert load.weight(make_query("x")) == 0
+
+
+def test_constructor_counts_duplicates():
+    load = QueryLoad([make_query("a.b"), make_query("a.b"), make_query("c")])
+    assert load.num_distinct == 2
+    assert load.total_weight == 3
+    assert len(load) == 2
+
+
+def test_nonpositive_weight_rejected():
+    load = QueryLoad()
+    with pytest.raises(WorkloadError):
+        load.add(make_query("a"), weight=0)
+
+
+def test_iteration_and_items():
+    load = QueryLoad([make_query("a"), make_query("b"), make_query("a")])
+    assert list(load) == [make_query("a"), make_query("b")]
+    assert dict(load.items())[make_query("a")] == 2
+
+
+def test_expanded_multiplicity():
+    load = QueryLoad([make_query("a"), make_query("a"), make_query("b")])
+    assert sorted(q.to_text() for q in load.expanded()) == ["//a", "//a", "//b"]
+
+
+def test_label_path_queries_filters_regex():
+    load = QueryLoad([make_query("a.b"), make_query("a|b")])
+    assert load.label_path_queries() == [make_query("a.b")]
+
+
+def test_by_target_label():
+    load = QueryLoad([make_query("a.t"), make_query("b.t"), make_query("x")])
+    groups = load.by_target_label()
+    assert set(groups) == {"t", "x"}
+    assert len(groups["t"]) == 2
+
+
+def test_merge():
+    left = QueryLoad([make_query("a")])
+    right = QueryLoad([make_query("a"), make_query("b")])
+    merged = left.merge(right)
+    assert merged.weight(make_query("a")) == 2
+    assert merged.weight(make_query("b")) == 1
+    assert left.weight(make_query("a")) == 1  # inputs untouched
+
+
+def test_length_histogram():
+    load = QueryLoad([make_query("a"), make_query("a.b"), make_query("c.d")])
+    assert load.length_histogram() == {1: 1, 2: 2}

@@ -1,0 +1,74 @@
+"""Cross-cutting property: regex queries are exact on every index.
+
+Random regular path expressions (from the NFA test strategy) evaluated
+over random graphs through random indexes must always equal the
+data-graph answer — the validation machinery and the finite-language
+soundness shortcut may change *cost*, never *answers*.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_graphs
+from repro.core.construction import build_dk_index
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.evaluation import evaluate_on_index
+from repro.indexes.oneindex import build_1index
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import RegexQuery
+from test_nfa import path_exprs
+
+
+@given(
+    small_graphs(max_nodes=8),
+    path_exprs(),
+    st.integers(0, 2),
+    st.booleans(),
+)
+@settings(max_examples=150, deadline=None)
+def test_regex_exact_on_ak_index(graph, expr, k, anchored):
+    query = RegexQuery(anchored=anchored, expr=expr)
+    index = build_ak_index(graph, k)
+    want = evaluate_on_data_graph(graph, query)
+    got = evaluate_on_index(index, query)
+    assert got == want
+    raw = evaluate_on_index(index, query, validate=False)
+    assert want <= raw
+
+
+@given(small_graphs(max_nodes=8), path_exprs(), st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_regex_exact_on_1index(graph, expr, anchored):
+    query = RegexQuery(anchored=anchored, expr=expr)
+    index = build_1index(graph)
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(
+        graph, query
+    )
+
+
+@given(small_graphs(max_nodes=8), path_exprs())
+@settings(max_examples=80, deadline=None)
+def test_finite_regex_never_validates_on_1index(graph, expr):
+    query = RegexQuery(anchored=False, expr=expr)
+    index = build_1index(graph)
+    counter = CostCounter()
+    evaluate_on_index(index, query, counter)
+    if expr.is_finite():
+        assert counter.validated_queries == 0, "1-index must be sound"
+
+
+@given(small_graphs(max_nodes=8), path_exprs(), st.integers(0, 10_000))
+@settings(max_examples=100, deadline=None)
+def test_regex_exact_on_dk_index(graph, expr, seed):
+    import random
+
+    rng = random.Random(seed)
+    requirements = {
+        graph.label_name(i): rng.randint(0, 2) for i in range(graph.num_labels)
+    }
+    index, _levels = build_dk_index(graph, requirements)
+    query = RegexQuery(anchored=False, expr=expr)
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(
+        graph, query
+    )

@@ -1,0 +1,199 @@
+"""Tests for the extension features: edge removal, DOT export, metrics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import (
+    extent_is_homogeneous,
+    extent_paths_consistent,
+    label_requirements,
+    random_label_path,
+    small_graphs,
+)
+from repro.core.construction import build_dk_index
+from repro.core.dindex import check_dk_constraint
+from repro.core.updates import dk_add_edge, dk_remove_edge
+from repro.exceptions import GraphError, UpdateError
+from repro.graph.builder import graph_from_edges
+from repro.graph.visualize import data_graph_to_dot, index_graph_to_dot
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.evaluation import evaluate_on_index
+from repro.indexes.labelsplit import build_labelsplit_index
+from repro.indexes.metrics import index_metrics, load_precision, query_precision
+from repro.indexes.oneindex import build_1index
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import LabelPathQuery, make_query
+from repro.workload.queryload import QueryLoad
+
+
+# ------------------------- DataGraph.remove_edge -----------------------
+
+
+def test_remove_edge_basic():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2), (0, 2)])
+    g.remove_edge(0, 2)
+    assert not g.has_edge(0, 2)
+    assert g.num_edges == 2
+    assert 0 not in g.parents[2]
+
+
+def test_remove_missing_edge_rejected():
+    g = graph_from_edges(["a"], [(0, 1)])
+    with pytest.raises(GraphError):
+        g.remove_edge(1, 0)
+
+
+# ------------------------- dk_remove_edge ------------------------------
+
+
+def test_dk_remove_edge_keeps_exactness():
+    g = graph_from_edges(
+        ["a", "b", "t", "t"], [(0, 1), (0, 2), (1, 3), (2, 4), (1, 4)]
+    )
+    index, _ = build_dk_index(g, {"t": 2})
+    report = dk_remove_edge(g, index, 1, 4)
+    assert not g.has_edge(1, 4)
+    index.check_invariants()
+    check_dk_constraint(index)
+    assert report.lowered  # similarity eroded
+    q = make_query("a.t")
+    assert evaluate_on_index(index, q) == evaluate_on_data_graph(g, q)
+
+
+def test_dk_remove_edge_drops_dead_index_edge():
+    g = graph_from_edges(["a", "t"], [(0, 1), (1, 2)])
+    index, _ = build_dk_index(g, {"t": 1})
+    a_block, t_block = index.node_of[1], index.node_of[2]
+    dk_remove_edge(g, index, 1, 2)
+    assert t_block not in index.children[a_block]
+
+
+def test_dk_remove_edge_keeps_live_index_edge():
+    # Two a->t data edges cross the same index edge; removing one keeps it.
+    g = graph_from_edges(["a", "a", "t"], [(0, 1), (0, 2), (1, 3), (2, 3)])
+    index = build_labelsplit_index(g)
+    a_block, t_block = index.node_of[1], index.node_of[3]
+    dk_remove_edge(g, index, 1, 3)
+    assert t_block in index.children[a_block]
+    index.check_invariants()
+
+
+def test_dk_remove_edge_rejects_missing():
+    g = graph_from_edges(["a", "t"], [(0, 1), (1, 2)])
+    index, _ = build_dk_index(g, {})
+    with pytest.raises(UpdateError):
+        dk_remove_edge(g, index, 2, 1)
+
+
+@given(small_graphs(max_nodes=9), label_requirements(), st.integers(0, 10_000))
+@settings(max_examples=60, deadline=None)
+def test_dk_add_then_remove_stays_exact_and_honest(graph, requirements, seed):
+    rng = random.Random(seed)
+    index, _ = build_dk_index(graph, requirements)
+    nodes = list(graph.nodes())
+    added = []
+    for _ in range(3):
+        src, dst = rng.choice(nodes), rng.choice(nodes)
+        if src == dst or graph.has_edge(src, dst) or dst == graph.root:
+            continue
+        dk_add_edge(graph, index, src, dst)
+        added.append((src, dst))
+    for src, dst in added[:2]:
+        dk_remove_edge(graph, index, src, dst)
+    index.check_invariants()
+    check_dk_constraint(index)
+    for node in range(index.num_nodes):
+        assert extent_paths_consistent(graph, index.extents[node], index.k[node])
+    labels = random_label_path(graph, rng)
+    query = LabelPathQuery(anchored=False, labels=tuple(labels))
+    assert evaluate_on_index(index, query) == evaluate_on_data_graph(graph, query)
+
+
+# ------------------------- DOT export ----------------------------------
+
+
+def test_data_graph_to_dot_contains_nodes_and_edges():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    dot = data_graph_to_dot(g, highlight=[2])
+    assert dot.startswith("digraph data")
+    assert "n1 -> n2" in dot
+    assert "fillcolor" in dot  # the highlight
+
+
+def test_data_graph_to_dot_size_guard():
+    g = graph_from_edges(["a"] * 20, [(0, i + 1) for i in range(20)])
+    with pytest.raises(ValueError):
+        data_graph_to_dot(g, max_nodes=5)
+
+
+def test_index_graph_to_dot():
+    g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (1, 3)])
+    index, _ = build_dk_index(g, {"b": 1})
+    dot = index_graph_to_dot(index)
+    assert "digraph index" in dot
+    assert "|ext|=2" in dot
+    assert "k=1" in dot
+
+
+def test_index_graph_to_dot_unbounded_k():
+    g = graph_from_edges(["a"], [(0, 1)])
+    dot = index_graph_to_dot(build_1index(g))
+    assert "k=∞" in dot
+
+
+def test_dot_escapes_quotes():
+    g = graph_from_edges(['we"ird'], [(0, 1)])
+    dot = data_graph_to_dot(g)
+    assert '\\"' in dot
+
+
+# ------------------------- metrics -------------------------------------
+
+
+def test_index_metrics_shape():
+    g = graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    metrics = index_metrics(build_ak_index(g, 0))
+    assert metrics.index_nodes == 4
+    assert metrics.data_nodes == 5
+    assert metrics.compression == pytest.approx(5 / 4)
+    assert metrics.max_extent == 2
+    assert metrics.singleton_extents == 3
+    assert metrics.k_histogram == {0: 4}
+
+
+def test_metrics_compression_shrinks_with_k():
+    g = graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    coarse = index_metrics(build_ak_index(g, 0))
+    fine = index_metrics(build_ak_index(g, 2))
+    assert fine.compression <= coarse.compression
+
+
+def test_query_precision_bounds_and_exactness():
+    g = graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    coarse = build_labelsplit_index(g)
+    fine = build_ak_index(g, 1)
+    q = make_query("a.x")
+    assert query_precision(coarse, q) == 0.5  # raw answer {3, 4}, exact {3}
+    assert query_precision(fine, q) == 1.0
+    assert query_precision(fine, make_query("zzz")) == 1.0  # empty raw
+
+
+def test_load_precision_weighted():
+    g = graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    coarse = build_labelsplit_index(g)
+    load = QueryLoad()
+    load.add(make_query("a.x"), weight=1)   # precision 0.5
+    load.add(make_query("x"), weight=1)     # precision 1.0
+    assert load_precision(coarse, load) == pytest.approx(0.75)
+    assert load_precision(coarse, QueryLoad()) == 1.0

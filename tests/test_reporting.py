@@ -1,0 +1,47 @@
+"""Tests for :mod:`repro.bench.reporting`."""
+
+from repro.bench.reporting import (
+    ExperimentResult,
+    SeriesPoint,
+    render_series,
+    render_table,
+)
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "value"], [["abc", 1], ["x", 22.5]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert lines[1].startswith("----")
+    assert "22.5" in lines[3]
+
+
+def test_render_table_title():
+    text = render_table(["a"], [[1]], title="hello")
+    assert text.splitlines()[0] == "hello"
+
+
+def test_render_table_float_formatting():
+    text = render_table(["v"], [[3.14159]])
+    assert "3.1" in text
+    assert "3.14159" not in text
+
+
+def test_render_series():
+    points = [
+        SeriesPoint("A(0)", 72, 604.9, 1.0),
+        SeriesPoint("D(k)", 582, 39.1, 0.0, note="tuned"),
+    ]
+    text = render_series(points, "figure 4")
+    assert "figure 4" in text
+    assert "A(0)" in text and "D(k)" in text
+    assert "tuned" in text
+
+
+def test_experiment_result_render():
+    result = ExperimentResult("FIG4", "demo")
+    result.points.append(SeriesPoint("A(0)", 1, 2.0))
+    result.extra_lines.append("footer")
+    text = result.render()
+    assert text.startswith("[FIG4] demo")
+    assert text.endswith("footer")

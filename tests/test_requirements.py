@@ -1,0 +1,85 @@
+"""Tests for :mod:`repro.core.requirements` and :mod:`repro.workload.mining`."""
+
+import pytest
+
+from repro.core.requirements import (
+    merge_requirements,
+    required_similarity,
+    requirements_from_queries,
+)
+from repro.exceptions import WorkloadError
+from repro.paths.query import make_query
+from repro.workload.mining import (
+    coverage_requirements,
+    exact_requirements,
+    requirement_gain,
+)
+from repro.workload.queryload import QueryLoad
+
+
+def test_required_similarity_label_path():
+    assert required_similarity(make_query("a.b.t")) == ("t", 2)
+    assert required_similarity(make_query("/a.t")) == ("t", 2)  # +1 anchored
+    assert required_similarity(make_query("t")) == ("t", 0)
+    assert required_similarity(make_query("a|b")) is None
+
+
+def test_requirements_take_max_per_label():
+    load = [make_query("b.t"), make_query("a.b.c.t"), make_query("a.b")]
+    assert requirements_from_queries(load) == {"t": 3, "b": 1}
+
+
+def test_requirements_from_finite_regex():
+    reqs = requirements_from_queries([make_query("a.b?.t")])
+    # max length 3 -> requirement 2 on every mentioned label.
+    assert reqs == {"a": 2, "b": 2, "t": 2}
+
+
+def test_requirements_ignore_unbounded_regex():
+    assert requirements_from_queries([make_query("a*.t")]) == {}
+
+
+def test_merge_requirements():
+    assert merge_requirements({"a": 1, "b": 3}, {"b": 1, "c": 2}) == {
+        "a": 1,
+        "b": 3,
+        "c": 2,
+    }
+
+
+def test_exact_requirements_from_load():
+    load = QueryLoad([make_query("a.b.t"), make_query("b.t")])
+    assert exact_requirements(load) == {"t": 2}
+
+
+def test_coverage_requirements_quantile():
+    load = QueryLoad()
+    for _ in range(99):
+        load.add(make_query("b.t"))
+    load.add(make_query("a.a.a.a.t"))
+    assert coverage_requirements(load, coverage=0.95) == {"t": 1}
+    assert coverage_requirements(load, coverage=1.0) == {"t": 4}
+
+
+def test_coverage_requirements_validates_range():
+    load = QueryLoad([make_query("a.b")])
+    with pytest.raises(WorkloadError):
+        coverage_requirements(load, coverage=0.0)
+    with pytest.raises(WorkloadError):
+        coverage_requirements(load, coverage=1.5)
+
+
+def test_coverage_requirements_weighted():
+    load = QueryLoad()
+    load.add(make_query("b.t"), weight=9)
+    load.add(make_query("a.b.t"), weight=1)
+    assert coverage_requirements(load, coverage=0.9) == {"t": 1}
+    assert coverage_requirements(load, coverage=0.91) == {"t": 2}
+
+
+def test_requirement_gain_split():
+    raise_map, lower_map = requirement_gain(
+        {"a": 1, "b": 2, "c": 3}, {"a": 2, "b": 1, "d": 1}
+    )
+    assert raise_map == {"a": 2, "d": 1}
+    assert lower_map == {"b": 1, "c": 0}

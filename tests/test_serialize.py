@@ -1,0 +1,125 @@
+"""Unit tests for :mod:`repro.graph.serialize`."""
+
+import json
+
+import pytest
+from hypothesis import given
+
+from conftest import small_graphs
+from repro.exceptions import SerializationError
+from repro.graph.builder import graph_from_edges
+from repro.graph.serialize import (
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    loads,
+    save_graph,
+)
+
+
+def sample():
+    return graph_from_edges(["a", "b", "a"], [(0, 1), (1, 2), (0, 3), (3, 2)])
+
+
+def test_roundtrip_string():
+    g = sample()
+    restored = loads(dumps(g))
+    assert restored.num_nodes == g.num_nodes
+    assert sorted(restored.edges()) == sorted(g.edges())
+    assert [restored.label(i) for i in restored.nodes()] == [
+        g.label(i) for i in g.nodes()
+    ]
+
+
+def test_roundtrip_file(tmp_path):
+    g = sample()
+    path = tmp_path / "graph.json"
+    save_graph(g, path)
+    restored = load_graph(path)
+    assert sorted(restored.edges()) == sorted(g.edges())
+
+
+def test_dict_shape():
+    data = graph_to_dict(sample())
+    assert data["format"] == "repro-datagraph"
+    assert data["version"] == 1
+    assert data["labels"][data["nodes"][0]] == "ROOT"
+
+
+def test_rejects_wrong_format():
+    data = graph_to_dict(sample())
+    data["format"] = "nope"
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_wrong_version():
+    data = graph_to_dict(sample())
+    data["version"] = 99
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_bad_root():
+    data = graph_to_dict(sample())
+    data["nodes"][0] = 1  # not the ROOT label id
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_out_of_range_label():
+    data = graph_to_dict(sample())
+    data["nodes"].append(999)
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_malformed_edge():
+    data = graph_to_dict(sample())
+    data["edges"].append([1])
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_edge_to_unknown_node():
+    data = graph_to_dict(sample())
+    data["edges"].append([0, 999])
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_duplicate_edge():
+    data = graph_to_dict(sample())
+    data["edges"].append(data["edges"][0])
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_rejects_non_object():
+    with pytest.raises(SerializationError):
+        graph_from_dict([1, 2, 3])
+
+
+def test_rejects_empty_nodes():
+    data = graph_to_dict(sample())
+    data["nodes"] = []
+    with pytest.raises(SerializationError):
+        graph_from_dict(data)
+
+
+def test_json_is_plain():
+    text = dumps(sample())
+    parsed = json.loads(text)
+    assert isinstance(parsed, dict)
+
+
+@given(small_graphs())
+def test_roundtrip_random_graphs(graph):
+    restored = loads(dumps(graph))
+    assert restored.num_nodes == graph.num_nodes
+    assert restored.num_edges == graph.num_edges
+    assert sorted(restored.edges()) == sorted(graph.edges())
+    assert [restored.label(i) for i in restored.nodes()] == [
+        graph.label(i) for i in graph.nodes()
+    ]

@@ -1,0 +1,86 @@
+"""Deterministic randomized soak test over the whole stack.
+
+A long seeded sequence of mixed operations (queries, edge additions,
+edge removals, document inserts, promotes, demotes) against a
+mid-size dataset, with exactness re-verified against the data graph
+after every phase and all invariants re-checked.  This is the "does the
+system as a whole stay correct under sustained churn" test the unit
+tests cannot give.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.harness import sample_reference_edges
+from repro.core.dindex import DKIndex
+from repro.core.updates import dk_remove_edge
+from repro.datasets.nasa import generate_nasa
+from repro.datasets.xmark import generate_xmark
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.workload.generator import WorkloadConfig, generate_test_paths
+from repro.workload.mining import coverage_requirements
+
+
+@pytest.mark.parametrize(
+    "builder, seed",
+    [(generate_xmark, 1), (generate_nasa, 2)],
+    ids=["xmark", "nasa"],
+)
+def test_sustained_churn_stays_exact(builder, seed):
+    rng = random.Random(seed)
+    document = builder(scale=0.1, seed=seed)
+    graph = document.graph
+    load = generate_test_paths(graph, WorkloadConfig(count=25), seed=seed + 1)
+    dk = DKIndex.from_query_load(graph, list(load))
+    queries = list(load)
+
+    def verify(sample: int = 8) -> None:
+        dk.check_invariants()
+        for query in queries[:sample]:
+            assert dk.evaluate(query) == evaluate_on_data_graph(
+                dk.graph, query
+            ), f"divergence on {query}"
+
+    verify()
+
+    # Phase 1: a stream of edge additions.
+    added = sample_reference_edges(
+        dk.graph, document.reference_pairs, 30, rng
+    )
+    for src, dst in added:
+        dk.add_edge(src, dst)
+    verify()
+
+    # Phase 2: remove a third of them again.
+    for src, dst in added[::3]:
+        dk_remove_edge(dk.graph, dk.index, src, dst)
+    verify()
+
+    # Phase 3: insert a smaller second document.
+    newcomer = builder(scale=0.03, seed=seed + 7)
+    dk.add_subgraph(newcomer.graph)
+    verify()
+
+    # Phase 4: promote back to standing requirements.
+    dk.promote()
+    verify()
+    for query in queries[:8]:
+        # After promotion the standing load must be index-only again.
+        from repro.paths.cost import CostCounter
+
+        counter = CostCounter()
+        dk.evaluate(query, counter)
+        assert counter.validated_queries == 0
+
+    # Phase 5: demote to median-coverage requirements and keep going.
+    dk.demote(coverage_requirements(load, coverage=0.5))
+    verify()
+
+    # Phase 6: a second burst of additions on the *grown* graph.
+    more = sample_reference_edges(
+        dk.graph, document.reference_pairs, 15, rng
+    )
+    for src, dst in more:
+        dk.add_edge(src, dst)
+    verify(sample=12)

@@ -1,0 +1,58 @@
+"""Unit tests for :mod:`repro.graph.stats`."""
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.graph.stats import graph_stats
+
+
+def test_counts():
+    g = graph_from_edges(["a", "b", "b"], [(0, 1), (1, 2), (1, 3), (2, 3)])
+    s = graph_stats(g)
+    assert s.num_nodes == 4
+    assert s.num_edges == 4
+    assert s.num_labels == 3  # ROOT, a, b
+
+
+def test_tree_vs_reference_edges():
+    # A pure tree has zero reference edges; each extra edge adds one.
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2)])
+    assert graph_stats(g).num_reference_edges == 0
+    g.add_edge(0, 2)
+    s = graph_stats(g)
+    assert s.num_tree_edges == 2
+    assert s.num_reference_edges == 1
+
+
+def test_depths():
+    g = graph_from_edges(["a", "b", "c"], [(0, 1), (1, 2), (2, 3)])
+    s = graph_stats(g)
+    assert s.max_depth == 3
+    assert s.avg_depth == (0 + 1 + 2 + 3) / 4
+
+
+def test_degrees():
+    g = graph_from_edges(["a", "b", "c"], [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)])
+    s = graph_stats(g)
+    assert s.max_out_degree == 3
+    assert s.max_in_degree == 3
+
+
+def test_unreachable_nodes_counted():
+    g = DataGraph()
+    g.add_node("orphan")
+    s = graph_stats(g)
+    assert s.unreachable_nodes == 1
+
+
+def test_label_histogram():
+    g = graph_from_edges(["a", "a", "b"], [(0, 1), (0, 2), (0, 3)])
+    s = graph_stats(g)
+    assert s.label_histogram["a"] == 2
+    assert s.label_histogram["b"] == 1
+
+
+def test_format_renders():
+    g = graph_from_edges(["a"], [(0, 1)])
+    text = graph_stats(g).format()
+    assert "nodes:" in text
+    assert "top labels:" in text

@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.graph.traversal`."""
+
+from hypothesis import given
+
+from conftest import small_graphs
+from repro.graph.builder import graph_from_edges
+from repro.graph.traversal import (
+    ancestors_within,
+    bfs_distances,
+    bfs_order,
+    descendants_within,
+    iter_label_paths_to,
+    label_path_exists,
+    reachable_from,
+    topological_order,
+)
+
+
+def diamond():
+    #      root -> a -> b,c -> d
+    return graph_from_edges(
+        ["a", "b", "c", "d"],
+        [(0, 1), (1, 2), (1, 3), (2, 4), (3, 4)],
+    )
+
+
+def test_bfs_order_starts_at_start():
+    g = diamond()
+    order = bfs_order(g, g.root)
+    assert order[0] == g.root
+    assert set(order) == set(g.nodes())
+
+
+def test_bfs_distances():
+    g = diamond()
+    dist = bfs_distances(g, g.root)
+    assert dist[0] == 0
+    assert dist[1] == 1
+    assert dist[4] == 3
+
+
+def test_reachable_from_subset():
+    g = diamond()
+    assert reachable_from(g, [2]) == {2, 4}
+    assert reachable_from(g, [2, 3]) == {2, 3, 4}
+
+
+def test_ancestors_within_radius():
+    g = diamond()
+    anc = ancestors_within(g, 4, radius=1)
+    assert anc == {4: 0, 2: 1, 3: 1}
+    anc2 = ancestors_within(g, 4, radius=10)
+    assert set(anc2) == {0, 1, 2, 3, 4}
+
+
+def test_descendants_within_radius():
+    g = diamond()
+    desc = descendants_within(g, 1, radius=1)
+    assert desc == {1: 0, 2: 1, 3: 1}
+
+
+def test_topological_order_acyclic():
+    g = diamond()
+    order = topological_order(g)
+    assert order is not None
+    position = {node: i for i, node in enumerate(order)}
+    for src, dst in g.edges():
+        assert position[src] < position[dst]
+
+
+def test_topological_order_cycle_returns_none():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2), (2, 1)])
+    assert topological_order(g) is None
+
+
+def test_iter_label_paths_to():
+    g = diamond()
+    paths = set(iter_label_paths_to(g, g.label_ids, 4, length=3))
+    b, c, d = g.label_id("b"), g.label_id("c"), g.label_id("d")
+    a = g.label_id("a")
+    assert (a, b, d) in paths
+    assert (a, c, d) in paths
+    assert len(paths) == 2
+
+
+def test_iter_label_paths_limit():
+    g = diamond()
+    paths = list(iter_label_paths_to(g, g.label_ids, 4, length=3, limit=1))
+    assert len(paths) == 1
+
+
+def test_label_path_exists_positive_and_negative():
+    g = diamond()
+    a, b, d = g.label_id("a"), g.label_id("b"), g.label_id("d")
+    assert label_path_exists(g, g.label_ids, 4, [a, b, d])
+    assert label_path_exists(g, g.label_ids, 4, [b, d])
+    assert not label_path_exists(g, g.label_ids, 4, [b, b, d])
+    assert not label_path_exists(g, g.label_ids, 4, [])
+    assert not label_path_exists(g, g.label_ids, 4, [a])  # wrong tail label
+
+
+def test_label_path_exists_with_cycle():
+    g = graph_from_edges(["a", "b"], [(0, 1), (1, 2), (2, 1)])
+    a, b = g.label_id("a"), g.label_id("b")
+    # a -> b -> a(cycle node labeled 'a'? no: 1='a', 2='b'; cycle b->a)
+    assert label_path_exists(g, g.label_ids, 2, [a, b])
+    assert label_path_exists(g, g.label_ids, 2, [b, a, b])
+
+
+@given(small_graphs())
+def test_bfs_order_visits_each_reachable_node_once(graph):
+    order = bfs_order(graph, graph.root)
+    assert len(order) == len(set(order))
+    assert set(order) == reachable_from(graph, [graph.root])
+
+
+@given(small_graphs())
+def test_label_paths_agree_with_exists(graph):
+    label_ids = graph.label_ids
+    for node in list(graph.nodes())[:5]:
+        for path in iter_label_paths_to(graph, label_ids, node, 2, limit=5):
+            assert label_path_exists(graph, label_ids, node, list(path))

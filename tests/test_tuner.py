@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.core.tuner` (adaptive promote/demote policy)."""
+
+from repro.core.dindex import DKIndex
+from repro.core.tuner import AdaptiveTuner, TunerConfig
+from repro.graph.builder import graph_from_edges
+from repro.paths.cost import CostCounter
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import make_query
+
+
+def chain_graph():
+    labels = ["a", "b", "c", "d", "t"]
+    edges = [(i, i + 1) for i in range(5)]
+    edges += [(0, 5), (1, 5)]  # extra t parents so t needs refining
+    return graph_from_edges(labels, edges)
+
+
+def test_tuner_promotes_on_long_query_arrival():
+    g = chain_graph()
+    dk = DKIndex.build(g, {})
+    tuner = AdaptiveTuner(
+        dk, TunerConfig(window=50, min_queries=5, check_every=5)
+    )
+    long_query = make_query("a.b.c.d.t")
+    actions = [tuner.observe(long_query) for _ in range(10)]
+    taken = [a for a in actions if a]
+    assert taken, "tuner should promote for the new long query"
+    assert "t" in taken[0].promoted
+    counter = CostCounter()
+    assert dk.evaluate(long_query, counter) == evaluate_on_data_graph(
+        g, long_query
+    )
+    assert counter.validated_queries == 0
+
+
+def test_tuner_demotes_when_long_queries_leave():
+    g = chain_graph()
+    dk = DKIndex.build(g, {"t": 4})
+    tuner = AdaptiveTuner(
+        dk, TunerConfig(window=20, min_queries=5, check_every=5, demote_slack=2)
+    )
+    short_query = make_query("d.t")
+    size_before = dk.size
+    for _ in range(30):
+        tuner.observe(short_query)
+    assert dk.requirements.get("t", 0) < 4
+    assert dk.size <= size_before
+
+
+def test_tuner_hysteresis_blocks_small_demotions():
+    g = chain_graph()
+    dk = DKIndex.build(g, {"t": 2})
+    tuner = AdaptiveTuner(
+        dk, TunerConfig(window=20, min_queries=5, check_every=5, demote_slack=3)
+    )
+    for _ in range(30):
+        tuner.observe(make_query("d.t"))  # would mine t: 1 (drop of 1 < 3)
+    assert dk.requirements.get("t") == 2  # unchanged
+
+
+def test_tuner_respects_min_queries():
+    g = chain_graph()
+    dk = DKIndex.build(g, {})
+    tuner = AdaptiveTuner(
+        dk, TunerConfig(window=50, min_queries=100, check_every=1)
+    )
+    assert tuner.observe(make_query("a.b.c.d.t")) is None
+
+
+def test_tuner_answers_stay_exact_throughout():
+    g = chain_graph()
+    dk = DKIndex.build(g, {})
+    tuner = AdaptiveTuner(dk, TunerConfig(window=30, min_queries=4, check_every=4))
+    stream = (
+        [make_query("b.c")] * 10
+        + [make_query("a.b.c.d.t")] * 10
+        + [make_query("c.d")] * 10
+    )
+    for query in stream:
+        assert dk.evaluate(query) == evaluate_on_data_graph(g, query)
+        tuner.observe(query)
+        dk.check_invariants()
+    assert tuner.actions  # it did adapt along the way
+
+
+def test_window_load_reflects_recent_queries():
+    g = chain_graph()
+    dk = DKIndex.build(g, {})
+    tuner = AdaptiveTuner(dk, TunerConfig(window=3))
+    for text in ("a.b", "b.c", "c.d", "d.t"):
+        tuner.observe(make_query(text))
+    load = tuner.window_load()
+    assert load.total_weight == 3  # window evicted the oldest
+    assert load.weight(make_query("a.b")) == 0

@@ -1,0 +1,223 @@
+"""Tests for :mod:`repro.paths.twig` (branching path queries).
+
+The property tests check the two-phase evaluator against a brute-force
+homomorphism-enumeration oracle built straight from twig semantics.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_graphs
+from repro.exceptions import PathSyntaxError
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.graph.traversal import reachable_from
+from repro.paths.twig import TwigNode, TwigQuery, evaluate_twig, parse_twig
+
+
+# ------------------------- parsing -------------------------------------
+
+
+def test_parse_simple_chain():
+    q = parse_twig("a/b/c")
+    assert q.root.label == "a"
+    assert q.root.children[0].label == "b"
+    assert q.output.label == "c"
+    assert not q.anchored
+
+
+def test_parse_predicate():
+    q = parse_twig("movie[actor/name]/title")
+    movie = q.root
+    assert movie.label == "movie"
+    labels = [c.label for c in movie.children]
+    assert "actor" in labels and "title" in labels
+    assert q.output.label == "title"
+    actor = movie.children[labels.index("actor")]
+    assert actor.children[0].label == "name"
+    assert not actor.children[0].is_output
+
+
+def test_parse_descendant_axes():
+    q = parse_twig("a//b[//c]/d")
+    a = q.root
+    assert a.axes == ["descendant"]
+    b = a.children[0]
+    assert set(b.axes) == {"descendant", "child"}
+
+
+def test_parse_anchoring():
+    assert parse_twig("/a/b").anchored
+    assert not parse_twig("//a/b").anchored
+    assert not parse_twig("a/b").anchored
+
+
+def test_parse_wildcard():
+    q = parse_twig("*/b")
+    assert q.root.label is None
+
+
+def test_parse_errors():
+    with pytest.raises(PathSyntaxError):
+        parse_twig("a[b")
+    with pytest.raises(PathSyntaxError):
+        parse_twig("a/")
+    with pytest.raises(PathSyntaxError):
+        parse_twig("a]b")
+    with pytest.raises(PathSyntaxError):
+        parse_twig("")
+
+
+def test_to_text_roundtrips():
+    for text in ("a/b", "a//b", "a[b]/c", "a[//b][c/d]//e", "*[b]/c"):
+        q = parse_twig(text)
+        again = parse_twig(q.to_text())
+        assert again.to_text() == q.to_text()
+
+
+def test_output_uniqueness():
+    q = parse_twig("a[b]/c[d]")
+    outputs = [n for n in q.nodes() if n.is_output]
+    assert len(outputs) == 1
+    assert outputs[0].label == "c"
+
+
+# ------------------------- evaluation ----------------------------------
+
+
+def cinema_graph():
+    # movies: m1 has actor+title, m2 only title, m3 under a collection.
+    return graph_from_edges(
+        ["db", "movie", "title", "actor", "movie", "title",
+         "collection", "movie", "title", "actor"],
+        [
+            (0, 1),
+            (1, 2), (2, 3), (2, 4),
+            (1, 5), (5, 6),
+            (1, 7), (7, 8), (8, 9), (8, 10),
+        ],
+    )
+
+
+def test_twig_predicate_filters():
+    g = cinema_graph()
+    result = evaluate_twig(g, parse_twig("movie[actor]/title"))
+    # Only the movies that *have* an actor contribute their titles.
+    assert result == {3, 9}
+
+
+def test_twig_plain_chain_equals_linear():
+    from repro.paths.evaluator import evaluate_on_data_graph
+    from repro.paths.query import make_query
+
+    g = cinema_graph()
+    assert evaluate_twig(g, parse_twig("movie/title")) == evaluate_on_data_graph(
+        g, make_query("movie.title")
+    )
+
+
+def test_twig_descendant_axis():
+    g = cinema_graph()
+    assert evaluate_twig(g, parse_twig("db//title")) == {3, 6, 9}
+    assert evaluate_twig(g, parse_twig("db//movie[actor]/title")) == {3, 9}
+
+
+def test_twig_anchored():
+    g = cinema_graph()
+    assert evaluate_twig(g, parse_twig("/db/movie/title")) == {3, 6}
+    assert evaluate_twig(g, parse_twig("/movie/title")) == set()
+
+
+def test_twig_wildcard():
+    g = cinema_graph()
+    assert evaluate_twig(g, parse_twig("collection/*/title")) == {9}
+
+
+def test_twig_unknown_label_empty():
+    g = cinema_graph()
+    assert evaluate_twig(g, parse_twig("alien/title")) == set()
+    assert evaluate_twig(g, parse_twig("movie[alien]/title")) == set()
+
+
+def test_twig_over_reference_cycle():
+    g = graph_from_edges(
+        ["a", "b", "c"], [(0, 1), (1, 2), (2, 3), (3, 1)]
+    )
+    assert evaluate_twig(g, parse_twig("c//b")) == {2}
+    assert evaluate_twig(g, parse_twig("b[c]/c")) == {3}
+
+
+# ------------------------- brute-force oracle --------------------------
+
+
+def brute_force_twig(graph: DataGraph, query: TwigQuery) -> set[int]:
+    """Enumerate all pattern-to-graph homomorphisms directly."""
+    reach_cache: dict[int, set[int]] = {}
+
+    def strict_descendants(node: int) -> set[int]:
+        if node not in reach_cache:
+            reach_cache[node] = reachable_from(graph, graph.children[node])
+        return reach_cache[node]
+
+    def label_ok(pattern: TwigNode, node: int) -> bool:
+        return pattern.label is None or (
+            graph.has_label(pattern.label)
+            and graph.label_ids[node] == graph.label_id(pattern.label)
+        )
+
+    def matches(pattern: TwigNode, node: int) -> set[int] | None:
+        """Return the output-node images if pattern matches at node."""
+        if not label_ok(pattern, node):
+            return None
+        outputs: set[int] = {node} if pattern.is_output else set()
+        for child, axis in zip(pattern.children, pattern.axes):
+            targets = (
+                graph.children[node]
+                if axis == "child"
+                else strict_descendants(node)
+            )
+            branch_outputs: set[int] = set()
+            matched = False
+            for target in targets:
+                sub = matches(child, target)
+                if sub is not None:
+                    matched = True
+                    branch_outputs |= sub
+            if not matched:
+                return None
+            outputs |= branch_outputs
+        return outputs
+
+    candidates = (
+        graph.children[graph.root] if query.anchored else list(graph.nodes())
+    )
+    result: set[int] = set()
+    for node in candidates:
+        sub = matches(query.root, node)
+        if sub is not None:
+            result |= sub
+    return result
+
+
+@st.composite
+def twig_queries(draw, labels: str = "abc", max_nodes: int = 4):
+    count = draw(st.integers(1, max_nodes))
+    nodes = [
+        TwigNode(label=draw(st.one_of(st.sampled_from(labels), st.none())))
+        for _ in range(count)
+    ]
+    for position in range(1, count):
+        parent = nodes[draw(st.integers(0, position - 1))]
+        axis = draw(st.sampled_from(["child", "descendant"]))
+        parent.add_child(nodes[position], axis)
+    nodes[draw(st.integers(0, count - 1))].is_output = True
+    return TwigQuery(root=nodes[0], anchored=draw(st.booleans()))
+
+
+@given(small_graphs(max_nodes=8), twig_queries())
+@settings(max_examples=150, deadline=None)
+def test_twig_evaluator_matches_oracle(graph, query):
+    assert evaluate_twig(graph, query) == brute_force_twig(graph, query)

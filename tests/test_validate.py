@@ -1,0 +1,186 @@
+"""Tests for :mod:`repro.datasets.validate` (DTD conformance checker)."""
+
+import pytest
+
+from repro.datasets.dtd import parse_dtd
+from repro.datasets.nasa import NASA_DTD, generate_nasa
+from repro.datasets.validate import ConformanceReport, check_conformance
+from repro.datasets.xmark import XMARK_DTD, generate_xmark
+from repro.graph.xmlio import XmlOptions, parse_xml
+
+MOVIE_DTD = parse_dtd(
+    """
+    <!ELEMENT db (movie*, person?)>
+    <!ELEMENT movie (title, year?, genre+)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+    <!ELEMENT genre (#PCDATA)>
+    <!ELEMENT person (name)>
+    <!ELEMENT name (#PCDATA)>
+    """
+)
+
+
+def check(xml: str, **kwargs) -> ConformanceReport:
+    return check_conformance(parse_xml(xml), MOVIE_DTD, "db", **kwargs)
+
+
+def test_conforming_document():
+    report = check("<db><movie><title>H</title><genre>x</genre></movie></db>")
+    assert report.ok
+    assert report.checked_elements > 0
+    assert "conforms" in report.format()
+
+
+def test_optional_and_plus():
+    assert check(
+        "<db><movie><title>H</title><year>1</year>"
+        "<genre>a</genre><genre>b</genre></movie></db>"
+    ).ok
+
+
+def test_missing_required_child():
+    report = check(
+        "<db><movie><genre>a</genre></movie></db>", allow_truncation=False
+    )
+    assert not report.ok
+    assert any(v.element == "movie" for v in report.violations)
+
+
+def test_wrong_order():
+    report = check(
+        "<db><movie><genre>a</genre><title>H</title></movie></db>"
+    )
+    assert not report.ok
+
+
+def test_unexpected_child():
+    report = check("<db><title>stray</title></db>")
+    assert not report.ok
+    assert any(v.element == "db" for v in report.violations)
+
+
+def test_truncation_allowance():
+    xml = "<db><movie/></db>"
+    assert check(xml).ok  # empty movie accepted as truncated
+    assert not check(xml, allow_truncation=False).ok
+
+
+def test_wrong_document_element():
+    g = parse_xml("<movie><title>H</title><genre>g</genre></movie>")
+    report = check_conformance(g, MOVIE_DTD, "db")
+    assert not report.ok
+    assert any(v.element == "ROOT" for v in report.violations)
+
+
+def test_pcdata_accepts_value_nodes():
+    assert check("<db><movie><title>text here</title>"
+                 "<genre>g</genre></movie></db>").ok
+
+
+def test_reference_edges_do_not_count_as_children():
+    dtd = parse_dtd(
+        "<!ELEMENT db (a, b)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>"
+        "<!ATTLIST a id ID #REQUIRED><!ATTLIST b ref IDREF #REQUIRED>"
+    )
+    g = parse_xml(
+        '<db><a id="x"/><b ref="x"/></db>', XmlOptions(keep_values=False)
+    )
+    # b -> a is a reference edge; b's content model is EMPTY and must
+    # still pass because reference edges are not document structure.
+    assert check_conformance(g, dtd, "db").ok
+
+
+def test_mixed_content():
+    dtd = parse_dtd(
+        "<!ELEMENT p (#PCDATA | em)*><!ELEMENT em (#PCDATA)>"
+        "<!ELEMENT db (p)>"
+    )
+    ok = parse_xml("<db><p>text<em>bold</em>tail</p></db>")
+    assert check_conformance(ok, dtd, "db").ok
+    bad = parse_xml("<db><p><db/></p></db>")
+    report = check_conformance(bad, dtd, "db")
+    assert not report.ok
+    assert "mixed content" in report.violations[0].reason
+
+
+def test_violation_str_and_format_limit():
+    report = check(
+        "<db>" + "<title>s</title>" * 3 + "</db>"
+    )
+    assert not report.ok
+    text = report.format(limit=0)
+    assert "more" in text or "violations" in text
+    assert "node" in str(report.violations[0])
+
+
+def test_random_dtds_generate_conforming_documents():
+    """Cross-validate the generator against the checker on random DTDs."""
+    import random
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.datasets.dtd import (
+        DTD,
+        DTDGeneratorConfig,
+        ChoiceParticle,
+        ElementDecl,
+        EmptyContent,
+        NameParticle,
+        PCDataParticle,
+        RandomDocumentGenerator,
+        SeqParticle,
+    )
+
+    @st.composite
+    def random_dtds(draw):
+        names = [f"e{i}" for i in range(draw(st.integers(2, 6)))]
+
+        def particle(depth: int):
+            kind = draw(st.integers(0, 5 if depth > 0 else 2))
+            occurrence = draw(st.sampled_from(["", "?", "*", "+"]))
+            if kind == 0:
+                return PCDataParticle()
+            if kind == 1:
+                return EmptyContent()
+            if kind == 2:
+                return NameParticle(
+                    occurrence=occurrence, name=draw(st.sampled_from(names))
+                )
+            items = tuple(
+                particle(depth - 1) for _ in range(draw(st.integers(1, 3)))
+            )
+            maker = SeqParticle if kind == 3 else ChoiceParticle
+            return maker(occurrence=occurrence, items=items)
+
+        dtd = DTD()
+        for name in names:
+            dtd.elements[name] = ElementDecl(name=name, content=particle(2))
+        return dtd
+
+    @given(random_dtds(), st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def run(dtd, seed):
+        generator = RandomDocumentGenerator(
+            dtd,
+            DTDGeneratorConfig(max_depth=10, max_repeat=4, soft_node_cap=300),
+        )
+        root = dtd.element_names()[0]
+        document = generator.generate(root, random.Random(seed))
+        report = check_conformance(document.graph, dtd, root)
+        assert report.ok, report.format()
+
+    run()
+
+
+def test_generated_xmark_conforms():
+    doc = generate_xmark(scale=0.08, seed=6)
+    report = check_conformance(doc.graph, parse_dtd(XMARK_DTD), "site")
+    assert report.ok, report.format()
+
+
+def test_generated_nasa_conforms():
+    doc = generate_nasa(scale=0.08, seed=6)
+    report = check_conformance(doc.graph, parse_dtd(NASA_DTD), "datasets")
+    assert report.ok, report.format()
