@@ -1,14 +1,33 @@
 # Convenience targets; everything is plain pytest / python underneath.
 
 PYTHON ?= python
+export PYTHONPATH := src
 
-.PHONY: install test bench bench-full results examples clean
+.PHONY: help install test lint typecheck bench bench-full results examples clean
+
+help:
+	@echo "Targets:"
+	@echo "  install    editable install (pip install -e .)"
+	@echo "  test       run the test suite (PYTHONPATH=src)"
+	@echo "  lint       run the repro.analysis invariant linter over src/ and tests/"
+	@echo "  typecheck  run mypy (strict on repro.core/indexes/partition/analysis)"
+	@echo "  bench      quick benchmark pass (PYTHONPATH=src)"
+	@echo "  bench-full full-scale benchmark pass"
+	@echo "  results    regenerate docs/results-scale-1.0.txt"
+	@echo "  examples   run every example script"
+	@echo "  clean      remove caches and build artifacts"
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro lint src tests
+
+typecheck:
+	$(PYTHON) -m mypy src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -16,7 +16,11 @@ and workload changes.  This package implements the paper end to end:
 - the experimental apparatus (Section 6): XMark/NASA-style dataset
   generators, the 100-test-path workload protocol and the visited-node
   cost model — :mod:`repro.datasets`, :mod:`repro.workload`,
-  :mod:`repro.bench`.
+  :mod:`repro.bench`;
+- the in-repo static-analysis framework that enforces the codebase's
+  own invariants (extent ownership, cost-counter threading, seeded
+  randomness, ...) — :mod:`repro.analysis` and ``dkindex lint``; see
+  ``docs/static-analysis.md``.
 
 Quickstart::
 
@@ -27,6 +31,7 @@ Quickstart::
     titles = dk.evaluate(make_query("//movie.title"))
 """
 
+from repro import analysis
 from repro.core.dindex import DKIndex
 from repro.core.tuner import AdaptiveTuner, TunerConfig
 from repro.engine import Database
@@ -57,6 +62,7 @@ __all__ = [
     "TunerConfig",
     "TwigQuery",
     "__version__",
+    "analysis",
     "build_1index",
     "build_ak_index",
     "build_fb_index",

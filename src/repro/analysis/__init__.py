@@ -1,0 +1,58 @@
+"""``repro.analysis`` — AST-based invariant linting for this codebase.
+
+The D(k)-index's correctness rests on invariants a runtime check can
+only spot after the fact: extents partition the data graph, partition
+state is owned by the refinement layer, cost counters thread through
+every evaluation.  This package enforces those contracts *statically* —
+a small visitor engine (:mod:`repro.analysis.engine`), a pack of
+domain rules (:mod:`repro.analysis.rules`), per-line/per-file
+suppression comments (:mod:`repro.analysis.suppress`) and a committed
+baseline for incremental adoption (:mod:`repro.analysis.baseline`).
+
+Run it as ``dkindex lint [paths...]`` or ``make lint``; see
+``docs/static-analysis.md`` for the rule catalogue.
+
+Quickstart::
+
+    from repro.analysis import LintEngine, all_rules
+
+    engine = LintEngine(all_rules())
+    for finding in engine.check_source(open("mymodule.py").read()):
+        print(finding.format())
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    LintEngine,
+    LintReport,
+    ModuleContext,
+    Rule,
+    iter_python_files,
+    module_name_for,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import RULE_CLASSES, all_rules, get_rules
+from repro.analysis.suppress import SuppressionIndex
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleContext",
+    "RULE_CLASSES",
+    "Rule",
+    "SuppressionIndex",
+    "all_rules",
+    "get_rules",
+    "iter_python_files",
+    "load_baseline",
+    "module_name_for",
+    "write_baseline",
+]

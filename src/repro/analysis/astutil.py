@@ -1,0 +1,91 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+#: Node types that start a new lexical scope for name lookups.
+SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
+
+#: Loop constructs (comprehensions re-evaluate their parts per element).
+LOOP_TYPES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The called function's terminal name (``x.y.f(...)`` → ``f``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def chain_attribute(
+    node: ast.expr, names: Iterable[str]
+) -> ast.Attribute | None:
+    """First attribute access named in ``names`` along the value chain.
+
+    Walks ``a.b[i].c`` style chains (Attribute / Subscript links) from
+    the outside in and returns the matching :class:`ast.Attribute`, or
+    None.  Call boundaries are not crossed: ``f().extents`` matches but
+    ``x.extents_of()`` does not.
+    """
+    wanted = set(names)
+    current: ast.expr | None = node
+    while current is not None:
+        if isinstance(current, ast.Attribute):
+            if current.attr in wanted:
+                return current
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        else:
+            return None
+    return None
+
+
+def assignment_targets(statement: ast.stmt) -> list[ast.expr]:
+    """Target expressions mutated by an assignment-like statement."""
+    if isinstance(statement, ast.Assign):
+        return list(statement.targets)
+    if isinstance(statement, (ast.AugAssign, ast.AnnAssign)):
+        return [statement.target]
+    if isinstance(statement, ast.Delete):
+        return list(statement.targets)
+    return []
+
+
+def walk_scope(scope: ast.AST) -> Iterable[ast.AST]:
+    """All nodes lexically inside ``scope``, not entering nested scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,130 @@
+"""Committed lint baselines for incremental adoption.
+
+A baseline is a JSON file recording the *accepted* pre-existing findings
+of a codebase.  ``dkindex lint`` subtracts the baseline from the current
+findings, so a rule can be introduced without fixing (or suppressing)
+every historical violation at once — while still failing the build on
+any **new** violation.  Entries are fingerprinted on
+``(rule id, path, stripped source line)`` with a count, so they survive
+line-number drift from unrelated edits.
+
+This repository ships lint-clean: its committed baseline is empty and
+should stay that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.exceptions import ReproError
+
+#: Format marker written to baseline files.
+BASELINE_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """Raised for malformed baseline files."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    entries: Counter[tuple[str, str, str]] = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        return cls(Counter(finding.fingerprint() for finding in findings))
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int]:
+        """Split findings into (new, number matched by the baseline).
+
+        Each baseline entry absorbs at most ``count`` findings with the
+        same fingerprint; the rest are new.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        matched = 0
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                matched += 1
+            else:
+                new.append(finding)
+        return new, matched
+
+    def to_json(self) -> str:
+        """Serialise to the committed-file format (stable ordering)."""
+        records = [
+            {"rule": rule, "path": path, "snippet": snippet, "count": count}
+            for (rule, path, snippet), count in sorted(self.entries.items())
+            if count > 0
+        ]
+        return json.dumps(
+            {"version": BASELINE_VERSION, "findings": records}, indent=2
+        ) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Baseline":
+        """Parse the committed-file format.
+
+        Raises:
+            BaselineError: on malformed JSON or a wrong schema version.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline is not valid JSON: {error}") from None
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"unsupported baseline version: {data.get('version')!r}"
+                if isinstance(data, dict)
+                else "baseline must be a JSON object"
+            )
+        entries: Counter[tuple[str, str, str]] = Counter()
+        records = data.get("findings", [])
+        if not isinstance(records, list):
+            raise BaselineError("baseline 'findings' must be a list")
+        for record in records:
+            if not isinstance(record, dict):
+                raise BaselineError("baseline entries must be objects")
+            try:
+                key = (
+                    str(record["rule"]),
+                    str(record["path"]),
+                    str(record["snippet"]),
+                )
+                count = int(record.get("count", 1))
+            except KeyError as missing:
+                raise BaselineError(
+                    f"baseline entry missing key: {missing}"
+                ) from None
+            entries[key] += max(count, 0)
+        return cls(entries)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return Baseline()
+    return Baseline.from_json(file_path.read_text(encoding="utf-8"))
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> Baseline:
+    """Write a baseline accepting the given findings; returns it."""
+    baseline = Baseline.from_findings(findings)
+    Path(path).write_text(baseline.to_json(), encoding="utf-8")
+    return baseline

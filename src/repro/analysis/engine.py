@@ -1,0 +1,273 @@
+"""The lint engine: file discovery, parsing, rule dispatch.
+
+The engine owns everything rule-agnostic — finding the files, parsing
+them, deriving dotted module names (so rules can reason about package
+ownership), building a parent map over the AST, honouring suppression
+comments — and hands each file to every applicable :class:`Rule`.
+
+Rules are small classes; see :mod:`repro.analysis.rules` for the shipped
+pack and :doc:`docs/static-analysis` for how to write a new one.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import SuppressionIndex
+from repro.exceptions import ReproError
+
+#: Pseudo-rule id attached to unparseable files.
+PARSE_ERROR_RULE_ID = "DK000"
+PARSE_ERROR_RULE_NAME = "parse-error"
+
+#: Directory names never descended into during file discovery.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis"})
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name implied by a file path.
+
+    The segment after the last ``src`` component is taken as the
+    package-relative path (matching this repo's ``src`` layout), so
+    ``src/repro/core/updates.py`` → ``repro.core.updates``.  Paths with
+    no ``src`` component (tests, benchmarks, examples) keep their
+    relative shape: ``tests/test_cli.py`` → ``tests.test_cli``.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        last_src = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[last_src + 1 :]
+    parts = [part for part in parts if part not in (".", "", "/")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not any(
+                    part in _SKIPPED_DIRS or part.startswith(".")
+                    for part in candidate.parts
+                )
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may want to know about one file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: list[str]
+    suppressions: SuppressionIndex
+    parents: dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, module: str | None = None
+    ) -> "ModuleContext":
+        """Parse source text into a ready-to-lint context.
+
+        Raises:
+            SyntaxError: when the source does not parse.
+        """
+        tree = ast.parse(source, filename=path)
+        context = cls(
+            path=path,
+            module=module_name_for(Path(path)) if module is None else module,
+            tree=tree,
+            lines=source.splitlines(),
+            suppressions=SuppressionIndex.from_source(source),
+        )
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                context.parents[id(child)] = parent
+        return context
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Lexical parent of ``node`` (None for the module itself)."""
+        return self.parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Parents of ``node`` from innermost to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def source_line(self, lineno: int) -> str:
+        """The 1-based source line, stripped (empty if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class of lint rules.
+
+    Subclasses set the three class attributes, optionally restrict
+    themselves to packages via ``module_prefixes`` (empty = everywhere),
+    and implement :meth:`check` yielding findings.
+    """
+
+    rule_id: ClassVar[str] = "DK999"
+    name: ClassVar[str] = "unnamed-rule"
+    description: ClassVar[str] = ""
+
+    #: Packages the rule applies to; a prefix ``p`` matches module ``p``
+    #: and everything under ``p.``.
+    module_prefixes: ClassVar[tuple[str, ...]] = ()
+
+    def applies(self, context: ModuleContext) -> bool:
+        """Whether the rule should run on this module at all."""
+        if not self.module_prefixes:
+            return True
+        module = context.module
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.module_prefixes
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(
+        self, context: ModuleContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        return Finding(
+            path=context.path,
+            line=line,
+            column=column,
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+            snippet=context.source_line(line),
+        )
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run (before baseline subtraction)."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    baseline_matched: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format_text(self) -> str:
+        """Compiler-style listing plus a one-line summary."""
+        lines = [finding.format() for finding in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+        )
+        extras = []
+        if self.suppressed:
+            extras.append(f"{self.suppressed} suppressed")
+        if self.baseline_matched:
+            extras.append(f"{self.baseline_matched} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report."""
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "suppressed": self.suppressed,
+                "baseline_matched": self.baseline_matched,
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+        )
+
+
+class LintEngine:
+    """Runs a rule pack over files and collects findings."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def _check(
+        self, source: str, path: str, module: str | None
+    ) -> tuple[list[Finding], int]:
+        """Findings of one module plus how many were suppressed."""
+        try:
+            context = ModuleContext.from_source(source, path, module)
+        except SyntaxError as error:
+            parse_finding = Finding(
+                path=path,
+                line=error.lineno or 1,
+                column=(error.offset or 1) - 1,
+                rule_id=PARSE_ERROR_RULE_ID,
+                rule_name=PARSE_ERROR_RULE_NAME,
+                message=f"file does not parse: {error.msg}",
+            )
+            return [parse_finding], 0
+        kept: list[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies(context):
+                continue
+            for finding in rule.check(context):
+                if context.suppressions.is_suppressed(
+                    finding.rule_id, finding.rule_name, finding.line
+                ):
+                    suppressed += 1
+                else:
+                    kept.append(finding)
+        return sorted(kept), suppressed
+
+    def check_source(
+        self, source: str, path: str = "<string>", module: str | None = None
+    ) -> list[Finding]:
+        """Lint one in-memory module (the unit-test entry point)."""
+        findings, _ = self._check(source, path, module)
+        return findings
+
+    def run(self, paths: Sequence[str | Path]) -> LintReport:
+        """Lint files/directories; suppressions already subtracted."""
+        report = LintReport()
+        collected: list[Finding] = []
+        for file_path in iter_python_files(paths):
+            report.files_checked += 1
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as error:
+                raise ReproError(f"cannot read {file_path}: {error}") from error
+            display = str(PurePosixPath(file_path))
+            findings, suppressed = self._check(source, display, None)
+            report.suppressed += suppressed
+            collected.extend(findings)
+        report.findings = sorted(collected)
+        return report

@@ -1,0 +1,64 @@
+"""Machine-readable lint findings.
+
+A :class:`Finding` pins one rule violation to a ``file:line:column``
+anchor.  Findings carry the (stripped) source line as a *snippet*; the
+baseline machinery fingerprints on ``(rule, path, snippet)`` rather than
+line numbers, so unrelated edits above a violation do not churn the
+baseline file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes:
+        path: file path as given to the engine (posix separators).
+        line: 1-based line number.
+        column: 0-based column offset.
+        rule_id: stable machine id, e.g. ``"DK101"``.
+        rule_name: human slug, e.g. ``"extent-mutation"``.
+        message: what is wrong and what to do instead.
+        snippet: the stripped source line — the baseline fingerprint.
+    """
+
+    path: str
+    line: int
+    column: int
+    rule_id: str
+    rule_name: str
+    message: str
+    snippet: str = ""
+
+    def format(self) -> str:
+        """Render as a compiler-style one-liner."""
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (all fields)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            path=str(data["path"]),
+            line=int(data["line"]),
+            column=int(data["column"]),
+            rule_id=str(data["rule_id"]),
+            rule_name=str(data["rule_name"]),
+            message=str(data["message"]),
+            snippet=str(data.get("snippet", "")),
+        )

@@ -1,0 +1,85 @@
+"""The shipped rule pack.
+
+Each rule encodes one of this repository's domain contracts; see
+``docs/static-analysis.md`` for the catalogue and for how to add one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.cost_accounting import CostAccountingRule
+from repro.analysis.rules.extent_ownership import ExtentOwnershipRule
+from repro.analysis.rules.frozen_setattr import FrozenSetattrRule
+from repro.analysis.rules.quadratic_membership import QuadraticMembershipRule
+from repro.analysis.rules.seeded_random import SeededRandomRule
+from repro.analysis.rules.typed_defs import TypedDefsRule
+from repro.exceptions import ReproError
+
+#: Rule classes in rule-id order.
+RULE_CLASSES: tuple[type[Rule], ...] = (
+    ExtentOwnershipRule,
+    CostAccountingRule,
+    FrozenSetattrRule,
+    SeededRandomRule,
+    QuadraticMembershipRule,
+    TypedDefsRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of the full rule pack."""
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def get_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The rule pack filtered by id or name.
+
+    Args:
+        select: if given, keep only these rules (ids or names).
+        ignore: drop these rules (applied after ``select``).
+
+    Raises:
+        ReproError: if a selector matches no rule.
+    """
+    rules = all_rules()
+    known = {token for rule in rules for token in (rule.rule_id, rule.name)}
+
+    def normalise(tokens: Iterable[str] | None) -> set[str]:
+        requested = {token.strip() for token in tokens or () if token.strip()}
+        unknown = requested - known
+        if unknown:
+            raise ReproError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return requested
+
+    selected = normalise(select)
+    ignored = normalise(ignore)
+    result = []
+    for rule in rules:
+        tokens = {rule.rule_id, rule.name}
+        if selected and not (tokens & selected):
+            continue
+        if tokens & ignored:
+            continue
+        result.append(rule)
+    return result
+
+
+__all__: Sequence[str] = [
+    "CostAccountingRule",
+    "ExtentOwnershipRule",
+    "FrozenSetattrRule",
+    "QuadraticMembershipRule",
+    "RULE_CLASSES",
+    "SeededRandomRule",
+    "TypedDefsRule",
+    "all_rules",
+    "get_rules",
+]

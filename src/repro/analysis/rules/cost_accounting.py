@@ -1,0 +1,62 @@
+"""DK102: evaluation code must thread the caller's CostCounter.
+
+The paper's figures report visited-node counts; they are only sound if
+every traversal a query triggers lands in the *same* counter the
+harness is aggregating.  An evaluation/validation helper that quietly
+does ``counter = CostCounter()`` forks the books: its visits vanish
+from the caller's totals.  The sanctioned pattern is an optional
+parameter with an explicit fallback at the API boundary::
+
+    def evaluate(..., counter: CostCounter | None = None) -> set[int]:
+        counter = counter if counter is not None else CostCounter()
+
+Construction at the true evaluation root (CLI, bench harness, engine)
+is the caller's business and not covered by this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import call_name
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+
+class CostAccountingRule(Rule):
+    """Flags bare ``CostCounter()`` construction in evaluation layers."""
+
+    rule_id: ClassVar[str] = "DK102"
+    name: ClassVar[str] = "cost-counter-fork"
+    description: ClassVar[str] = (
+        "evaluation/validation code must thread the caller's CostCounter; "
+        "a silent fresh counter drops cost accounting"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = (
+        "repro.indexes",
+        "repro.paths",
+        "repro.core",
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) != "CostCounter":
+                continue
+            if self._is_boundary_fallback(context, node):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "fresh CostCounter() forks the cost accounting; accept a "
+                "`counter: CostCounter | None = None` parameter and fall "
+                "back with `counter if counter is not None else "
+                "CostCounter()` so callers' totals stay sound",
+            )
+
+    @staticmethod
+    def _is_boundary_fallback(context: ModuleContext, call: ast.Call) -> bool:
+        """True for ``x if ... else CostCounter()`` / ``x or CostCounter()``."""
+        return isinstance(context.parent(call), (ast.IfExp, ast.BoolOp))

@@ -1,0 +1,118 @@
+"""DK101: index-extent state is owned by the refinement layer.
+
+The D(k)-index's safety argument (extents partition the data graph,
+Definition 3's ``k`` constraint) only holds if extent state is mutated
+by the code that maintains the partition invariants: the partition
+package, the update algorithms, and :class:`~repro.indexes.base.IndexGraph`
+itself.  Everybody else gets a read-only view — evaluation, diagnostics
+and benchmarks must not reach in and edit ``extents``/``node_of``.
+
+A class managing its own extent state through ``self`` (e.g.
+``IndexGraph._append_node``, ``DataGuide``) is the owner by definition
+and is exempt; the rule polices *foreign* writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import assignment_targets, chain_attribute
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Attributes whose mutation is reserved to the owning layer.
+OWNED_ATTRIBUTES = frozenset({"extents", "node_of"})
+
+#: Modules allowed to mutate extent state.
+OWNER_MODULES = ("repro.partition", "repro.core.updates", "repro.indexes.base")
+
+#: Method names that mutate lists/sets/dicts in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "remove",
+        "clear",
+        "sort",
+        "reverse",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+    }
+)
+
+
+class ExtentOwnershipRule(Rule):
+    """Flags writes to ``.extents`` / ``.node_of`` outside the owners."""
+
+    rule_id: ClassVar[str] = "DK101"
+    name: ClassVar[str] = "extent-mutation"
+    description: ClassVar[str] = (
+        "index extents / node_of may only be mutated by repro.partition, "
+        "repro.core.updates and IndexGraph itself"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = ("repro",)
+
+    def applies(self, context: ModuleContext) -> bool:
+        if not super().applies(context):
+            return False
+        return not any(
+            context.module == owner or context.module.startswith(owner + ".")
+            for owner in OWNER_MODULES
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+            ):
+                for target in assignment_targets(node):
+                    attribute = chain_attribute(target, OWNED_ATTRIBUTES)
+                    if attribute is not None and not self._self_owned(
+                        context, node, attribute
+                    ):
+                        yield self._violation(context, node, attribute.attr)
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                ):
+                    attribute = chain_attribute(func.value, OWNED_ATTRIBUTES)
+                    if attribute is not None and not self._self_owned(
+                        context, node, attribute
+                    ):
+                        yield self._violation(context, node, attribute.attr)
+
+    @staticmethod
+    def _self_owned(
+        context: ModuleContext, node: ast.AST, attribute: ast.Attribute
+    ) -> bool:
+        """True for ``self.extents...`` mutations inside a class body —
+        the owning structure managing its own state."""
+        if not (
+            isinstance(attribute.value, ast.Name)
+            and attribute.value.id == "self"
+        ):
+            return False
+        return any(
+            isinstance(ancestor, ast.ClassDef)
+            for ancestor in context.ancestors(node)
+        )
+
+    def _violation(
+        self, context: ModuleContext, node: ast.AST, attribute: str
+    ) -> Finding:
+        owners = ", ".join(OWNER_MODULES)
+        return self.finding(
+            context,
+            node,
+            f"mutation of index `{attribute}` outside the owning layer "
+            f"({owners}); route this through an IndexGraph/partition API "
+            "so the partition invariants stay checkable",
+        )

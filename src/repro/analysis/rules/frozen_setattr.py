@@ -1,0 +1,57 @@
+"""DK103: no ``object.__setattr__`` on frozen dataclasses from outside.
+
+Frozen dataclasses are this codebase's immutability primitive (query
+ASTs, configs, findings).  ``object.__setattr__`` is the documented
+loophole a frozen class may use on *itself* (``__post_init__`` caching
+and the like) — used on someone else's instance it silently breaks the
+immutability contract and every aliasing assumption built on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+
+class FrozenSetattrRule(Rule):
+    """Flags ``object.__setattr__(x, ...)`` except ``self`` in-class."""
+
+    rule_id: ClassVar[str] = "DK103"
+    name: ClassVar[str] = "frozen-setattr"
+    description: ClassVar[str] = (
+        "object.__setattr__ is only allowed on `self` inside the defining "
+        "class; elsewhere it defeats frozen-dataclass immutability"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) != "object.__setattr__":
+                continue
+            if self._is_self_in_class(context, node):
+                continue
+            yield self.finding(
+                context,
+                node,
+                "object.__setattr__ on a foreign instance bypasses frozen-"
+                "dataclass immutability; only the defining class may use it "
+                "on `self` (e.g. in __post_init__) — otherwise replace the "
+                "object or add a constructor that carries the change",
+            )
+
+    @staticmethod
+    def _is_self_in_class(context: ModuleContext, call: ast.Call) -> bool:
+        if not call.args:
+            return False
+        first = call.args[0]
+        if not (isinstance(first, ast.Name) and first.id == "self"):
+            return False
+        return any(
+            isinstance(ancestor, ast.ClassDef)
+            for ancestor in context.ancestors(call)
+        )

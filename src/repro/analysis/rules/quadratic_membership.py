@@ -1,0 +1,224 @@
+"""DK105: no linear list-membership tests inside loops.
+
+The hot paths of this library iterate over graph nodes, extents and
+partitions; an ``x in some_list`` inside such a loop turns an intended
+O(n) pass into O(n·m).  At XMark scale-1 sizes (hundreds of thousands
+of nodes) that is the difference between milliseconds and minutes.  The
+rule flags ``in``/``not in`` against expressions that are provably
+list-valued when they sit inside a loop; hoist a ``set(...)`` out of
+the loop instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import LOOP_TYPES, SCOPE_TYPES, call_name, walk_scope
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Attribute names that hold lists of data-node lists in this codebase.
+LIST_VALUED_ATTRIBUTES = frozenset({"extents", "blocks"})
+
+#: Calls that definitely return lists.
+LIST_RETURNING_CALLS = frozenset({"list", "sorted"})
+
+#: Calls that return constant-time-membership containers.
+FAST_CONTAINER_CALLS = frozenset({"set", "frozenset", "dict"})
+
+_BOUNDARY_TYPES = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.Lambda,
+    ast.ClassDef,
+)
+
+
+class QuadraticMembershipRule(Rule):
+    """Flags list-membership tests re-evaluated per loop iteration."""
+
+    rule_id: ClassVar[str] = "DK105"
+    name: ClassVar[str] = "quadratic-membership"
+    description: ClassVar[str] = (
+        "`x in <list>` inside a loop rescans the list every iteration; "
+        "hoist a set out of the loop"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = ("repro",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not self._inside_loop(context, node):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.In, ast.NotIn)):
+                    continue
+                reason = self._list_valued(context, node, comparator)
+                if reason is not None:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"membership test against {reason} inside a loop "
+                        "scans the whole list on every iteration; build a "
+                        "set once before the loop and test against that",
+                    )
+
+    @staticmethod
+    def _inside_loop(context: ModuleContext, node: ast.AST) -> bool:
+        """Loop-nested, without crossing a function/class boundary.
+
+        A ``for`` iterable and a comprehension's *first* source are
+        evaluated once and do not count.
+        """
+        child: ast.AST = node
+        for ancestor in context.ancestors(node):
+            if isinstance(ancestor, _BOUNDARY_TYPES):
+                return False
+            if isinstance(ancestor, (ast.For, ast.AsyncFor)):
+                if child is not ancestor.iter:
+                    return True
+            elif isinstance(ancestor, ast.While):
+                return True
+            elif isinstance(ancestor, LOOP_TYPES):  # comprehensions
+                generators = getattr(ancestor, "generators", [])
+                if not (generators and child is generators[0].iter):
+                    return True
+            child = ancestor
+        return False
+
+    def _list_valued(
+        self, context: ModuleContext, compare: ast.Compare, expr: ast.expr
+    ) -> str | None:
+        """A human description if ``expr`` is provably a list, else None."""
+        if isinstance(expr, ast.List):
+            return "a list literal"
+        if isinstance(expr, ast.ListComp):
+            return "a list comprehension"
+        if isinstance(expr, ast.Call):
+            called = call_name(expr)
+            if called in LIST_RETURNING_CALLS:
+                return f"a {called}(...) result"
+            return None
+        if isinstance(expr, ast.Subscript):
+            value = expr.value
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in LIST_VALUED_ATTRIBUTES
+            ):
+                return f"an `{value.attr}[...]` extent list"
+            return None
+        if isinstance(expr, ast.Name):
+            if self._name_is_list(context, compare, expr.id):
+                return f"the list `{expr.id}`"
+        return None
+
+    def _name_is_list(
+        self, context: ModuleContext, compare: ast.Compare, name: str
+    ) -> bool:
+        """True when every visible binding of ``name`` is list-valued."""
+        scope: ast.AST = context.tree
+        for ancestor in context.ancestors(compare):
+            if isinstance(ancestor, SCOPE_TYPES):
+                scope = ancestor
+                break
+        list_evidence = False
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            arguments = scope.args
+            for arg in (
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ):
+                if arg.arg == name:
+                    if self._annotation_is_list(arg.annotation):
+                        list_evidence = True
+                    else:
+                        return False  # unannotated/non-list parameter
+        for node in walk_scope(scope):
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            else:
+                if self._binds_name_opaquely(node, name):
+                    return False
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == name
+                for target in targets
+            ):
+                continue
+            if isinstance(node, ast.AnnAssign) and self._annotation_is_list(
+                node.annotation
+            ):
+                list_evidence = True
+                continue
+            verdict = self._expression_is_list(value)
+            if verdict is True:
+                list_evidence = True
+            else:
+                return False  # non-list or unknown rebinding
+        return list_evidence
+
+    @staticmethod
+    def _binds_name_opaquely(node: ast.AST, name: str) -> bool:
+        """Bindings we cannot type: loop vars, `with ... as`, augmented."""
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(node.target)
+            )
+        if isinstance(node, ast.AugAssign):
+            return isinstance(node.target, ast.Name) and node.target.id == name
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return any(
+                item.optional_vars is not None
+                and any(
+                    isinstance(sub, ast.Name) and sub.id == name
+                    for sub in ast.walk(item.optional_vars)
+                )
+                for item in node.items
+            )
+        if isinstance(node, ast.comprehension):
+            return any(
+                isinstance(sub, ast.Name) and sub.id == name
+                for sub in ast.walk(node.target)
+            )
+        return False
+
+    @classmethod
+    def _expression_is_list(cls, expr: ast.expr | None) -> bool | None:
+        """True = definitely a list, None = unknown, False = not a list."""
+        if expr is None:
+            return None
+        if isinstance(expr, (ast.List, ast.ListComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            called = call_name(expr)
+            if called in LIST_RETURNING_CALLS:
+                return True
+            if called in FAST_CONTAINER_CALLS:
+                return False
+            return None
+        if isinstance(expr, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.Add, ast.Mult)
+        ):
+            left = cls._expression_is_list(expr.left)
+            right = cls._expression_is_list(expr.right)
+            if True in (left, right):
+                return True
+            return None
+        return None
+
+    @staticmethod
+    def _annotation_is_list(annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return False
+        target = annotation
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        return isinstance(target, ast.Name) and target.id in ("list", "List")

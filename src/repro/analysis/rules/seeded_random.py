@@ -1,0 +1,89 @@
+"""DK104: benchmarks and workloads must use seeded randomness.
+
+The paper's experiments (and this repo's regression baselines) are only
+reproducible if every random draw flows from an explicit seed.  Using
+the module-level ``random`` singleton — or ``random.Random()`` without
+a seed — makes workload generation and benchmark sampling drift between
+runs.  Pass a seeded :class:`random.Random` (``rng``) down instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Module-level sampling functions of the stdlib ``random`` singleton.
+SINGLETON_SAMPLERS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+class SeededRandomRule(Rule):
+    """Flags unseeded randomness in bench/workload code."""
+
+    rule_id: ClassVar[str] = "DK104"
+    name: ClassVar[str] = "unseeded-random"
+    description: ClassVar[str] = (
+        "bench/workload code must draw from a seeded random.Random, not "
+        "the global singleton or an unseeded Random()"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = (
+        "repro.bench",
+        "repro.workload",
+        "repro.datasets",
+        "bench",
+        "benchmarks",
+        "workload",
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+            ):
+                continue
+            if func.attr in SINGLETON_SAMPLERS:
+                yield self.finding(
+                    context,
+                    node,
+                    f"random.{func.attr}() draws from the process-global "
+                    "singleton, so results change run to run; thread a "
+                    "seeded random.Random through instead",
+                )
+            elif func.attr == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    context,
+                    node,
+                    "random.Random() without a seed is OS-entropy seeded and "
+                    "irreproducible; pass an explicit seed",
+                )

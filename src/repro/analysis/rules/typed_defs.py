@@ -1,0 +1,76 @@
+"""DK106: every function is fully annotated (the local typing gate).
+
+CI runs ``mypy`` in strict mode over the core packages; this rule is
+the in-repo tripwire that catches missing annotations without needing
+mypy installed — `strict` refuses to call untyped functions, so one
+unannotated helper anywhere in the import graph breaks the gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Parameter names conventionally left unannotated.
+IMPLICIT_PARAMS = frozenset({"self", "cls"})
+
+
+class TypedDefsRule(Rule):
+    """Flags function definitions with missing annotations."""
+
+    rule_id: ClassVar[str] = "DK106"
+    name: ClassVar[str] = "untyped-def"
+    description: ClassVar[str] = (
+        "functions must annotate every parameter and the return type "
+        "(mypy strict gate)"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = ("repro",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if self._is_overload(node):
+                continue
+            missing = self._missing_annotations(node)
+            if missing:
+                yield self.finding(
+                    context,
+                    node,
+                    f"`{node.name}` is missing annotations for "
+                    f"{', '.join(missing)}; the strict mypy gate refuses "
+                    "untyped defs (and calls to them)",
+                )
+
+    @staticmethod
+    def _is_overload(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        return any(
+            (dotted_name(decorator) or "").endswith("overload")
+            for decorator in node.decorator_list
+            if isinstance(decorator, (ast.Name, ast.Attribute))
+        )
+
+    @staticmethod
+    def _missing_annotations(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[str]:
+        missing: list[str] = []
+        arguments = node.args
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        ):
+            if arg.annotation is None and arg.arg not in IMPLICIT_PARAMS:
+                missing.append(f"parameter `{arg.arg}`")
+        if arguments.vararg is not None and arguments.vararg.annotation is None:
+            missing.append(f"parameter `*{arguments.vararg.arg}`")
+        if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+            missing.append(f"parameter `**{arguments.kwarg.arg}`")
+        if node.returns is None:
+            missing.append("the return type")
+        return missing

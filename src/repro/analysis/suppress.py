@@ -1,0 +1,69 @@
+"""Suppression comments for the lint engine.
+
+Two forms are recognised, matching the usual ``noqa`` ergonomics but
+namespaced so they cannot collide with other tools:
+
+- ``# lint: disable=DK101,quadratic-membership`` — suppress the listed
+  rules (by id or name, ``all`` for everything) *on that line*;
+- ``# lint: disable-file=DK104`` — anywhere in the file, suppress the
+  listed rules for the whole file.
+
+Suppressions are an escape hatch for intentional violations (e.g. a test
+that corrupts an index on purpose); fixable violations should be fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*lint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+#: Wildcard accepted in place of a rule id/name.
+ALL_RULES_TOKEN = "all"
+
+
+@dataclass
+class SuppressionIndex:
+    """Parsed suppression directives of one file.
+
+    Attributes:
+        line_rules: ``{line number: set of rule tokens}``.
+        file_rules: rule tokens suppressed for the whole file.
+    """
+
+    line_rules: dict[int, set[str]] = field(default_factory=dict)
+    file_rules: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan source text for ``# lint:`` directives."""
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            for match in _DIRECTIVE_RE.finditer(text):
+                tokens = {
+                    token.strip().lower()
+                    for token in match.group("rules").split(",")
+                    if token.strip()
+                }
+                if match.group("kind") == "disable-file":
+                    index.file_rules |= tokens
+                else:
+                    index.line_rules.setdefault(lineno, set()).update(tokens)
+        return index
+
+    @staticmethod
+    def _matches(tokens: Iterable[str], rule_id: str, rule_name: str) -> bool:
+        candidates = {rule_id.lower(), rule_name.lower(), ALL_RULES_TOKEN}
+        return any(token in candidates for token in tokens)
+
+    def is_suppressed(self, rule_id: str, rule_name: str, line: int) -> bool:
+        """True if the rule is disabled at ``line`` (or file-wide)."""
+        if self._matches(self.file_rules, rule_id, rule_name):
+            return True
+        tokens = self.line_rules.get(line)
+        return tokens is not None and self._matches(tokens, rule_id, rule_name)

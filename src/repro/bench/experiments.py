@@ -21,6 +21,7 @@ from repro.core.construction import build_dk_index
 from repro.core.dindex import DKIndex
 from repro.core.updates import ak_propagate_add_edge
 from repro.indexes.akindex import build_ak_index
+from repro.indexes.base import IndexGraph
 from repro.workload.mining import coverage_requirements
 
 
@@ -118,9 +119,11 @@ def run_update_table(
     return result
 
 
-def _updated_indexes(bundle: DatasetBundle, config: ExperimentConfig):
+def _updated_indexes(
+    bundle: DatasetBundle, config: ExperimentConfig
+) -> tuple[list[tuple[int, IndexGraph]], DKIndex]:
     """A(k) and D(k) after applying the shared update-edge list."""
-    ak_after = []
+    ak_after: list[tuple[int, IndexGraph]] = []
     for k in config.ks:
         graph = bundle.fresh_graph()
         index = build_ak_index(graph, k)
@@ -446,8 +449,10 @@ def run_drift(
     )
     phases = [("short", short), ("long", long), ("short again", short)]
 
-    def play(dk, tuner=None):
-        outcomes = []
+    def play(
+        dk: DKIndex, tuner: AdaptiveTuner | None = None
+    ) -> list[tuple[float, int]]:
+        outcomes: list[tuple[float, int]] = []
         for _name, load in phases:
             total = 0
             for query in load.expanded():

@@ -16,6 +16,8 @@ Commands:
 - ``dkindex dot FILE [--index] [--max-nodes N]`` — Graphviz DOT export.
 - ``dkindex conformance <xmark|nasa> [--scale S] [--seed N]`` — generate
   a dataset and verify it against its own DTD.
+- ``dkindex lint [paths...]`` — run the repo's AST invariant linter
+  (see ``docs/static-analysis.md``); exits 1 on new findings.
 """
 
 from __future__ import annotations
@@ -149,6 +151,32 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LintEngine, get_rules, load_baseline, write_baseline
+
+    rules = get_rules(select=args.select, ignore=args.ignore)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.name:24} {rule.description}")
+        return 0
+
+    engine = LintEngine(rules)
+    report = engine.run(args.paths)
+
+    if args.write_baseline:
+        baseline = write_baseline(args.baseline, report.findings)
+        print(
+            f"wrote {args.baseline}: {len(baseline)} accepted finding(s) "
+            f"from {report.files_checked} file(s)"
+        )
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    report.findings, report.baseline_matched = baseline.filter(report.findings)
+    print(report.to_json() if args.format == "json" else report.format_text())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dkindex",
@@ -207,6 +235,25 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--scale", type=float, default=0.1)
     conformance.add_argument("--seed", type=int, default=0)
     conformance.set_defaults(func=_cmd_conformance)
+
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter over the codebase"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="findings as text lines or a JSON report")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="baseline file of accepted findings")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="accept all current findings into the baseline")
+    lint.add_argument("--select", action="append", default=None,
+                      metavar="RULE", help="run only these rules (id or name)")
+    lint.add_argument("--ignore", action="append", default=None,
+                      metavar="RULE", help="skip these rules (id or name)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the (selected) rule catalogue and exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

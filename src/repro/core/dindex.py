@@ -15,7 +15,10 @@ requirements and every operation of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # runtime import stays lazy, see DKIndex.explain
+    from repro.indexes.explain import Explanation
 
 from repro.core.construction import build_dk_index
 from repro.core.promote import (
@@ -156,7 +159,7 @@ class DKIndex:
         """
         return evaluate_on_index(self.index, query, counter, validate)
 
-    def explain(self, query: Query) -> "object":
+    def explain(self, query: Query) -> "Explanation":
         """EXPLAIN the evaluation plan of a query (terminals, soundness,
         validation and a tuning hint); see
         :func:`repro.indexes.explain.explain`."""

@@ -15,7 +15,12 @@ Supported DTD subset (everything the XMark and NASA schemas need):
 
 Generation is depth-bounded: near the depth budget the generator prefers
 non-recursive choice branches and drops optional content, using a
-precomputed minimal-expansion-depth per element.
+precomputed minimal-expansion-depth per element.  The depth bound is
+*soft* for required content: a ``+``/sequence child the DTD demands is
+still generated (minimally — shallowest choice branches, no optional
+content) even when it overshoots ``max_depth``, so documents always
+conform.  Roots whose required content recurses unconditionally (no
+finite document exists) are rejected with :class:`~repro.exceptions.DTDError`.
 """
 
 from __future__ import annotations
@@ -34,6 +39,9 @@ from repro.graph.datagraph import VALUE_LABEL, DataGraph
 
 #: Occurrence modifiers: exactly one, optional, any number, one or more.
 OCCURRENCES = ("", "?", "*", "+")
+
+#: Sentinel minimal depth of elements that cannot derive a finite tree.
+_UNSATISFIABLE = 10**9
 
 
 @dataclass(frozen=True)
@@ -350,8 +358,7 @@ class RandomDocumentGenerator:
 
     def _compute_min_depths(self) -> dict[str, int]:
         """Fixpoint of the minimal tree depth each element needs."""
-        infinity = 10**9
-        depth = {name: infinity for name in self.dtd.elements}
+        depth = {name: _UNSATISFIABLE for name in self.dtd.elements}
 
         def particle_depth(particle: Particle) -> int:
             if isinstance(particle, (EmptyContent, AnyContent, PCDataParticle)):
@@ -395,9 +402,16 @@ class RandomDocumentGenerator:
         members of their target element's ID pool.
 
         Raises:
-            DTDError: if ``root_element`` is not declared.
+            DTDError: if ``root_element`` is not declared, or if its
+                required content recurses unconditionally so that no
+                finite conforming document exists.
         """
         decl = self.dtd.element(root_element)  # fail fast
+        if self._element_min_depth(root_element) >= _UNSATISFIABLE:
+            raise DTDError(
+                f"element {root_element!r} cannot derive a finite document: "
+                "its required content recurses unconditionally"
+            )
         graph = DataGraph()
         id_pools: dict[str, list[int]] = {}
         pending_refs: list[tuple[int, str, str]] = []  # (src node, src label, target)
@@ -424,7 +438,12 @@ class RandomDocumentGenerator:
         )
 
     def _count_for(
-        self, particle: Particle, depth: int, rng: random.Random, num_nodes: int
+        self,
+        particle: Particle,
+        depth: int,
+        rng: random.Random,
+        num_nodes: int,
+        forced: bool = False,
     ) -> int:
         """How many instances of a repeatable particle to produce."""
         config = self.config
@@ -432,7 +451,7 @@ class RandomDocumentGenerator:
             config.soft_node_cap is not None and num_nodes >= config.soft_node_cap
         )
         minimum = 1 if particle.occurrence == "+" else 0
-        if capped:
+        if capped or forced:
             return minimum
         if (
             isinstance(particle, NameParticle)
@@ -456,6 +475,7 @@ class RandomDocumentGenerator:
         rng: random.Random,
         id_pools: dict[str, list[int]],
         pending_refs: list[tuple[int, str, str]],
+        forced: bool = False,
     ) -> None:
         node = graph.add_node(decl.name)
         graph.add_edge(parent, node)
@@ -469,7 +489,8 @@ class RandomDocumentGenerator:
                     pending_refs.append((node, decl.name, target))
 
         self._expand_particle(
-            graph, node, decl.content, depth, rng, id_pools, pending_refs
+            graph, node, decl.content, depth, rng, id_pools, pending_refs,
+            forced=forced,
         )
 
     def _expand_particle(
@@ -481,35 +502,54 @@ class RandomDocumentGenerator:
         rng: random.Random,
         id_pools: dict[str, list[int]],
         pending_refs: list[tuple[int, str, str]],
+        forced: bool = False,
     ) -> None:
+        """Expand one particle under ``node``.
+
+        ``forced`` marks minimal-completion mode: the depth budget is
+        already overshot, but the particle is *required*, so it must
+        still be produced — with no optional content, minimum
+        repetitions and shallowest choice branches — to keep the
+        document conforming.
+        """
         config = self.config
         if isinstance(particle, (EmptyContent, AnyContent)):
             return
         if isinstance(particle, PCDataParticle):
+            if forced:
+                return  # text is always optional; minimal mode skips it
             if config.keep_values and rng.random() < config.value_prob:
                 value = graph.add_node(VALUE_LABEL)
                 graph.add_edge(node, value)
             return
 
         if particle.occurrence in ("*", "+"):
-            count = self._count_for(particle, depth, rng, graph.num_nodes)
+            count = self._count_for(
+                particle, depth, rng, graph.num_nodes, forced
+            )
             once = _strip_occurrence(particle)
+            floor = _particle_floor(self, once)
             minimum = 1 if particle.occurrence == "+" else 0
             for produced in range(count):
-                # Re-check the soft cap per repetition: a deep subtree
+                # Re-check the budgets per repetition: a deep subtree
                 # expanded for an earlier sibling may have consumed the
-                # whole budget in the meantime.
-                if (
-                    produced >= minimum
-                    and config.soft_node_cap is not None
-                    and graph.num_nodes >= config.soft_node_cap
-                ):
-                    break
+                # whole node budget (or this repetition's instance may
+                # no longer fit the depth budget) in the meantime.
+                if produced >= minimum:
+                    capped = (
+                        config.soft_node_cap is not None
+                        and graph.num_nodes >= config.soft_node_cap
+                    )
+                    if capped or depth + floor > config.max_depth:
+                        break
                 self._expand_particle(
-                    graph, node, once, depth, rng, id_pools, pending_refs
+                    graph, node, once, depth, rng, id_pools, pending_refs,
+                    forced=forced or depth + floor > config.max_depth,
                 )
             return
         if particle.occurrence == "?":
+            if forced:
+                return
             capped = (
                 config.soft_node_cap is not None
                 and graph.num_nodes >= config.soft_node_cap
@@ -531,29 +571,55 @@ class RandomDocumentGenerator:
                 leaf = graph.add_node(particle.name)
                 graph.add_edge(node, leaf)
                 return
-            if depth + self._element_min_depth(particle.name) > config.max_depth:
-                return  # depth budget exhausted; drop (document truncated)
+            child_floor = self._element_min_depth(particle.name)
+            if child_floor >= _UNSATISFIABLE:
+                # No finite expansion exists; nothing useful to emit.
+                # (Unreachable from a satisfiable root: choices avoid
+                # unsatisfiable branches and requiring one makes the
+                # parent unsatisfiable too.)
+                return
             self._expand(
-                graph, node, child_decl, depth + 1, rng, id_pools, pending_refs
+                graph, node, child_decl, depth + 1, rng, id_pools,
+                pending_refs,
+                forced=forced or depth + child_floor > config.max_depth,
             )
             return
         if isinstance(particle, SeqParticle):
             for item in particle.items:
                 self._expand_particle(
-                    graph, node, item, depth, rng, id_pools, pending_refs
+                    graph, node, item, depth, rng, id_pools, pending_refs,
+                    forced=forced,
                 )
             return
         if isinstance(particle, ChoiceParticle):
-            budget = config.max_depth - depth
-            viable = [
-                item
-                for item in particle.items
-                if _particle_floor(self, item) <= budget
-            ]
-            pool = viable or list(particle.items)
+            floors = [_particle_floor(self, item) for item in particle.items]
+            if forced:
+                best = min(floors)
+                pool = [
+                    item
+                    for item, item_floor in zip(particle.items, floors)
+                    if item_floor == best
+                ]
+            else:
+                budget = config.max_depth - depth
+                pool = [
+                    item
+                    for item, item_floor in zip(particle.items, floors)
+                    if item_floor <= budget
+                ]
+                if not pool:
+                    # Nothing fits the budget; take the shallowest
+                    # branch(es) and complete them minimally.
+                    best = min(floors)
+                    pool = [
+                        item
+                        for item, item_floor in zip(particle.items, floors)
+                        if item_floor == best
+                    ]
             chosen = rng.choice(pool)
             self._expand_particle(
-                graph, node, chosen, depth, rng, id_pools, pending_refs
+                graph, node, chosen, depth, rng, id_pools, pending_refs,
+                forced=forced,
             )
             return
         raise TypeError(f"unknown particle: {particle!r}")

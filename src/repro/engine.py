@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Mapping
+from typing import IO, Any, Mapping
 
 from repro.core.dindex import DKIndex
 from repro.core.tuner import AdaptiveTuner, TunerConfig
@@ -34,6 +34,8 @@ from repro.exceptions import ReproError
 from repro.graph.datagraph import DataGraph
 from repro.graph.stats import GraphStats, graph_stats
 from repro.graph.xmlio import parse_xml
+from repro.indexes.base import IndexGraph
+from repro.indexes.explain import Explanation
 from repro.indexes.fbindex import build_fb_index, evaluate_twig_on_fb
 from repro.paths.cost import CostCounter, CostSummary
 from repro.paths.query import Query, make_query
@@ -93,7 +95,7 @@ class Database:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_xml(cls, xml: str, **kwargs) -> "Database":
+    def from_xml(cls, xml: str, **kwargs: Any) -> "Database":
         """Create a database from one XML document."""
         return cls(graph=parse_xml(xml), **kwargs)
 
@@ -144,7 +146,7 @@ class Database:
         """Convenience: the labels of a result set, sorted by node id."""
         return [self._dk.graph.label(node) for node in sorted(nodes)]
 
-    def explain(self, expression: str | Query):
+    def explain(self, expression: str | Query) -> "Explanation":
         """EXPLAIN a linear query's evaluation plan (does not execute it
         through the statistics, and twig patterns are not supported)."""
         query = self._coerce(expression)
@@ -152,7 +154,9 @@ class Database:
             raise ValueError("explain supports linear path expressions only")
         return self._dk.explain(query)
 
-    def _coerce(self, expression: str | Query | TwigQuery):
+    def _coerce(
+        self, expression: str | Query | TwigQuery
+    ) -> Query | TwigQuery:
         if isinstance(expression, (Query, TwigQuery)):
             return expression
         if not isinstance(expression, str):
@@ -204,7 +208,7 @@ class Database:
         save_dk_index(self._dk, target)
 
     @classmethod
-    def load(cls, source: str | Path | IO[str], **kwargs) -> "Database":
+    def load(cls, source: str | Path | IO[str], **kwargs: Any) -> "Database":
         """Restore a database written by :meth:`save`.
 
         Raises:
@@ -229,7 +233,7 @@ class Database:
         if self._fb is not None:
             self._fb.check_invariants()
 
-    def _fb_index(self):
+    def _fb_index(self) -> IndexGraph:
         if self._fb is None:
             self._fb = build_fb_index(self._dk.graph)
         return self._fb

@@ -47,6 +47,14 @@ class DataGuide:
     def root(self) -> int:
         return 0
 
+    def _append_node(self, label_id: int, extent: list[int]) -> int:
+        """Add a DataGuide node; extent state is owned by this class."""
+        node = self.num_nodes
+        self.label_ids.append(label_id)
+        self.extents.append(extent)
+        self.children.append({})
+        return node
+
     def evaluate_label_path(self, labels: list[str]) -> set[int]:
         """Evaluate an *anchored* label path by deterministic descent.
 
@@ -100,11 +108,8 @@ def build_strong_dataguide(graph: DataGraph, max_nodes: int = 1_000_000) -> Data
                 f"strong DataGuide exceeded {max_nodes} nodes; "
                 "the data graph is too entangled for determinization"
             )
-        node = guide.num_nodes
+        node = guide._append_node(label_id, sorted(target_set))
         table[target_set] = node
-        guide.label_ids.append(label_id)
-        guide.extents.append(sorted(target_set))
-        guide.children.append({})
         return node
 
     intern(root_set, graph.label_ids[graph.root])

@@ -91,12 +91,17 @@ class Explanation:
         return "\n".join(lines)
 
 
-def explain(index: IndexGraph, query: Query) -> Explanation:
+def explain(
+    index: IndexGraph, query: Query, counter: CostCounter | None = None
+) -> Explanation:
     """Explain how ``query`` evaluates against ``index``.
 
     Runs the actual evaluation (so costs and the result size are real),
     then annotates every terminal with its soundness verdict and, when
     validation happened, suggests the promotion that would avoid it.
+    The evaluation's visits are recorded in ``counter`` when the caller
+    passes one (so an EXPLAIN inside a measured run stays accounted),
+    and in the returned explanation's own counter otherwise.
 
     Example:
         >>> from repro.graph.builder import graph_from_edges
@@ -111,7 +116,7 @@ def explain(index: IndexGraph, query: Query) -> Explanation:
         >>> "promote" in report.suggestion
         True
     """
-    counter = CostCounter()
+    counter = counter if counter is not None else CostCounter()
     result = evaluate_on_index(index, query, counter)
 
     if isinstance(query, LabelPathQuery):

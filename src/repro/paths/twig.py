@@ -21,7 +21,7 @@ Evaluation over the F&B index lives in :mod:`repro.indexes.fbindex`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Protocol, Sequence
 
 from repro.exceptions import PathSyntaxError
 from repro.graph.datagraph import DataGraph
@@ -245,8 +245,23 @@ def parse_twig(text: str) -> TwigQuery:
 # ----------------------------------------------------------------------
 
 
+class Adjacency(Protocol):
+    """Anything with per-node children/parents adjacency.
+
+    Structurally satisfied by :class:`~repro.graph.datagraph.DataGraph`
+    (lists of lists) and :class:`~repro.indexes.base.IndexGraph`
+    (lists of sets).
+    """
+
+    @property
+    def children(self) -> Sequence[Iterable[int]]: ...
+
+    @property
+    def parents(self) -> Sequence[Iterable[int]]: ...
+
+
 def evaluate_twig_over(
-    adjacency,
+    adjacency: Adjacency,
     label_ids: Sequence[int],
     label_table: dict[str, int],
     root_node: int,
@@ -342,7 +357,7 @@ def evaluate_twig_over(
     return allowed.get(id(query.output), set())
 
 
-def _strictly_above(adjacency, targets: set[int]) -> set[int]:
+def _strictly_above(adjacency: Adjacency, targets: set[int]) -> set[int]:
     """Nodes with a path of >= 1 edge into ``targets``."""
     seen: set[int] = set()
     stack: list[int] = []

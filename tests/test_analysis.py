@@ -1,0 +1,484 @@
+"""Tests for the repro.analysis invariant linter.
+
+Each rule gets at least one positive fixture (a violation the rule must
+flag) and one negative fixture (the sanctioned idiom it must not flag);
+plus engine-level tests: module-name derivation, suppression comments,
+parse-error reporting, rule selection and baseline round-trips.
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineError,
+    LintEngine,
+    all_rules,
+    get_rules,
+    load_baseline,
+    module_name_for,
+    write_baseline,
+)
+from repro.analysis.engine import PARSE_ERROR_RULE_ID
+from repro.analysis.rules import (
+    CostAccountingRule,
+    ExtentOwnershipRule,
+    FrozenSetattrRule,
+    QuadraticMembershipRule,
+    SeededRandomRule,
+    TypedDefsRule,
+)
+from repro.exceptions import ReproError
+
+
+def lint(rule, source, module):
+    """Findings of one rule over dedented source attributed to ``module``."""
+    engine = LintEngine([rule()])
+    return engine.check_source(dedent(source), path="fixture.py", module=module)
+
+
+# ------------------------- DK101 extent-mutation ------------------------
+
+
+def test_extent_mutation_flagged_outside_owners():
+    source = """
+    def corrupt(index, node):
+        index.extents[node].append(99)
+        index.node_of[0] = 1
+    """
+    findings = lint(ExtentOwnershipRule, source, "repro.indexes.evaluation")
+    assert len(findings) == 2
+    assert all(f.rule_id == "DK101" for f in findings)
+    assert "extents" in findings[0].message
+    assert "node_of" in findings[1].message
+
+
+def test_extent_mutation_allowed_in_owner_modules():
+    source = """
+    def refine(index, node):
+        index.extents[node].append(99)
+    """
+    for owner in ("repro.partition.refine", "repro.core.updates",
+                  "repro.indexes.base"):
+        assert lint(ExtentOwnershipRule, source, owner) == []
+
+
+def test_extent_mutation_self_owned_class_exempt():
+    source = """
+    class Summary:
+        def _append_node(self, extent):
+            self.extents.append(extent)
+    """
+    assert lint(ExtentOwnershipRule, source, "repro.indexes.dataguide") == []
+
+
+def test_extent_read_access_not_flagged():
+    source = """
+    def sizes(index):
+        return [len(extent) for extent in index.extents]
+    """
+    assert lint(ExtentOwnershipRule, source, "repro.indexes.diagnostics") == []
+
+
+# ------------------------- DK102 cost-counter-fork ----------------------
+
+
+def test_fresh_cost_counter_flagged_in_evaluation_layer():
+    source = """
+    def evaluate(index, query):
+        counter = CostCounter()
+        return counter
+    """
+    findings = lint(CostAccountingRule, source, "repro.indexes.evaluation")
+    assert [f.rule_id for f in findings] == ["DK102"]
+
+
+def test_boundary_fallback_idiom_not_flagged():
+    source = """
+    def evaluate(index, query, counter=None):
+        counter = counter if counter is not None else CostCounter()
+        other = counter or CostCounter()
+        return counter, other
+    """
+    assert lint(CostAccountingRule, source, "repro.paths.evaluator") == []
+
+
+def test_cost_counter_free_outside_evaluation_layers():
+    source = """
+    def harness():
+        return CostCounter()
+    """
+    assert lint(CostAccountingRule, source, "repro.bench.harness") == []
+
+
+# ------------------------- DK103 frozen-setattr -------------------------
+
+
+def test_foreign_frozen_setattr_flagged_everywhere():
+    source = """
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)
+    """
+    for module in ("repro.core.tuner", "tests.test_foo", "scripts.tool"):
+        findings = lint(FrozenSetattrRule, source, module)
+        assert [f.rule_id for f in findings] == ["DK103"]
+
+
+def test_self_setattr_in_defining_class_allowed():
+    source = """
+    class Config:
+        def __post_init__(self):
+            object.__setattr__(self, "cache", {})
+    """
+    assert lint(FrozenSetattrRule, source, "repro.core.tuner") == []
+
+
+# ------------------------- DK104 unseeded-random ------------------------
+
+
+def test_global_random_singleton_flagged_in_bench():
+    source = """
+    import random
+
+    def sample(items):
+        random.shuffle(items)
+        return random.choice(items), random.Random()
+    """
+    findings = lint(SeededRandomRule, source, "repro.bench.harness")
+    assert len(findings) == 3
+    assert {f.rule_id for f in findings} == {"DK104"}
+
+
+def test_seeded_rng_not_flagged():
+    source = """
+    import random
+
+    def sample(items, seed):
+        rng = random.Random(seed)
+        rng.shuffle(items)
+        return rng.choice(items)
+    """
+    assert lint(SeededRandomRule, source, "repro.workload.generator") == []
+
+
+def test_unseeded_random_allowed_outside_bench_layers():
+    source = """
+    import random
+
+    def jitter():
+        return random.random()
+    """
+    assert lint(SeededRandomRule, source, "repro.core.tuner") == []
+
+
+# ---------------------- DK105 quadratic-membership ----------------------
+
+
+def test_list_membership_in_loop_flagged():
+    source = """
+    def overlap(items: list[int], big: list[int]) -> int:
+        count = 0
+        for item in items:
+            if item in big:
+                count += 1
+        return count
+    """
+    findings = lint(QuadraticMembershipRule, source, "repro.indexes.evaluation")
+    assert [f.rule_id for f in findings] == ["DK105"]
+    assert "big" in findings[0].message
+
+
+def test_extent_subscript_membership_in_loop_flagged():
+    source = """
+    def member(index, nodes, block: int) -> bool:
+        return any(node in index.extents[block] for node in nodes)
+    """
+    findings = lint(QuadraticMembershipRule, source, "repro.indexes.evaluation")
+    assert [f.rule_id for f in findings] == ["DK105"]
+
+
+def test_hoisted_set_not_flagged():
+    source = """
+    def overlap(items: list[int], big: list[int]) -> int:
+        fast = set(big)
+        count = 0
+        for item in items:
+            if item in fast:
+                count += 1
+        return count
+    """
+    assert lint(QuadraticMembershipRule, source, "repro.partition.blocks") == []
+
+
+def test_membership_outside_loop_not_flagged():
+    source = """
+    def contains(items: list[int], needle: int) -> bool:
+        return needle in items
+    """
+    assert lint(QuadraticMembershipRule, source, "repro.indexes.base") == []
+
+
+def test_for_iterable_evaluated_once_not_flagged():
+    # The iterable expression of a `for` runs once, not per iteration.
+    source = """
+    def check(big: list[int], needle: int) -> None:
+        for flag in [needle in big]:
+            print(flag)
+    """
+    assert lint(QuadraticMembershipRule, source, "repro.indexes.base") == []
+
+
+def test_rebound_name_is_not_provably_a_list():
+    source = """
+    def overlap(items: list[int], big: list[int]) -> int:
+        big = set(big)
+        count = 0
+        for item in items:
+            if item in big:
+                count += 1
+        return count
+    """
+    assert lint(QuadraticMembershipRule, source, "repro.indexes.base") == []
+
+
+# ------------------------- DK106 untyped-def ----------------------------
+
+
+def test_untyped_def_flagged_in_repro():
+    source = """
+    def helper(value, *rest):
+        return value
+    """
+    findings = lint(TypedDefsRule, source, "repro.core.promote")
+    assert [f.rule_id for f in findings] == ["DK106"]
+    message = findings[0].message
+    assert "`value`" in message and "*rest" in message
+    assert "return type" in message
+
+
+def test_fully_annotated_def_not_flagged():
+    source = """
+    class Thing:
+        def method(self, value: int, *rest: str, flag: bool = False) -> int:
+            return value
+    """
+    assert lint(TypedDefsRule, source, "repro.core.promote") == []
+
+
+def test_untyped_defs_fine_outside_repro():
+    source = """
+    def helper(value):
+        return value
+    """
+    assert lint(TypedDefsRule, source, "tests.test_helper") == []
+
+
+# ------------------------- engine behaviour -----------------------------
+
+
+def test_module_name_for_src_layout():
+    assert module_name_for(Path("src/repro/core/updates.py")) == "repro.core.updates"
+    assert module_name_for(Path("src/repro/analysis/__init__.py")) == "repro.analysis"
+    assert module_name_for(Path("tests/test_cli.py")) == "tests.test_cli"
+    assert module_name_for(Path("/root/repo/src/repro/cli.py")) == "repro.cli"
+
+
+def test_syntax_error_becomes_parse_finding():
+    engine = LintEngine(all_rules())
+    findings = engine.check_source("def broken(:\n", path="bad.py")
+    assert [f.rule_id for f in findings] == [PARSE_ERROR_RULE_ID]
+    assert findings[0].path == "bad.py"
+
+
+def test_line_suppression_honoured():
+    source = dedent("""
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)  # lint: disable=DK103
+    """)
+    engine = LintEngine([FrozenSetattrRule()])
+    assert engine.check_source(source, module="repro.x") == []
+
+
+def test_suppression_by_rule_name_and_all():
+    by_name = dedent("""
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)  # lint: disable=frozen-setattr
+    """)
+    engine = LintEngine([FrozenSetattrRule()])
+    assert engine.check_source(by_name, module="repro.x") == []
+    whole_file = dedent("""
+    # lint: disable-file=all
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)
+    """)
+    assert engine.check_source(whole_file, module="repro.x") == []
+
+
+def test_unrelated_suppression_does_not_hide_finding():
+    source = dedent("""
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)  # lint: disable=DK104
+    """)
+    engine = LintEngine([FrozenSetattrRule()])
+    findings = engine.check_source(source, module="repro.x")
+    assert [f.rule_id for f in findings] == ["DK103"]
+
+
+def test_run_over_directory_counts_files_and_suppressions(tmp_path):
+    package = tmp_path / "src" / "repro" / "demo"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(
+        "def ok() -> int:\n    return 1\n", encoding="utf-8"
+    )
+    (package / "dirty.py").write_text(
+        dedent("""
+        def mutate(finding) -> None:
+            object.__setattr__(finding, "line", 0)
+            object.__setattr__(finding, "col", 0)  # lint: disable=DK103
+        """),
+        encoding="utf-8",
+    )
+    engine = LintEngine([FrozenSetattrRule(), TypedDefsRule()])
+    report = engine.run([tmp_path])
+    assert report.files_checked == 2
+    assert report.suppressed == 1
+    # one DK103 (line 3) + one DK106 (unannotated `finding` parameter)
+    assert sorted(f.rule_id for f in report.findings) == ["DK103", "DK106"]
+    assert not report.ok
+    assert "2 file(s)" in report.format_text()
+
+
+def test_get_rules_select_ignore_and_unknown():
+    assert [r.rule_id for r in get_rules(select=["DK103"])] == ["DK103"]
+    assert [r.rule_id for r in get_rules(select=["frozen-setattr"])] == ["DK103"]
+    remaining = {r.rule_id for r in get_rules(ignore=["DK106"])}
+    assert "DK106" not in remaining and "DK101" in remaining
+    with pytest.raises(ReproError):
+        get_rules(select=["DK999"])
+
+
+# ------------------------- baselines ------------------------------------
+
+
+def dirty_findings(tmp_path):
+    source = dedent("""
+    def mutate(finding) -> None:
+        object.__setattr__(finding, "line", 0)
+    """)
+    path = tmp_path / "dirty.py"
+    path.write_text(source, encoding="utf-8")
+    engine = LintEngine([FrozenSetattrRule()])
+    return engine.run([path]).findings
+
+
+def test_baseline_roundtrip_and_filter(tmp_path):
+    findings = dirty_findings(tmp_path)
+    assert findings
+    baseline_path = tmp_path / "baseline.json"
+    baseline = write_baseline(baseline_path, findings)
+    assert len(baseline) == len(findings)
+
+    reloaded = load_baseline(baseline_path)
+    assert reloaded.entries == baseline.entries
+    new, matched = reloaded.filter(findings)
+    assert new == [] and matched == len(findings)
+
+    # The same finding twice only gets absorbed once per baselined count.
+    new, matched = reloaded.filter(findings + findings)
+    assert matched == len(findings) and len(new) == len(findings)
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    findings = dirty_findings(tmp_path)
+    baseline = Baseline.from_findings(findings)
+    drifted = [
+        type(f)(
+            path=f.path, line=f.line + 40, column=f.column,
+            rule_id=f.rule_id, rule_name=f.rule_name,
+            message=f.message, snippet=f.snippet,
+        )
+        for f in findings
+    ]
+    new, matched = baseline.filter(drifted)
+    assert new == [] and matched == len(findings)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(load_baseline(tmp_path / "nope.json")) == 0
+
+
+def test_malformed_baselines_rejected():
+    with pytest.raises(BaselineError):
+        Baseline.from_json("not json")
+    with pytest.raises(BaselineError):
+        Baseline.from_json('{"version": 99, "findings": []}')
+    with pytest.raises(BaselineError):
+        Baseline.from_json('{"version": 1, "findings": {}}')
+    with pytest.raises(BaselineError):
+        Baseline.from_json('{"version": 1, "findings": [{"rule": "DK103"}]}')
+
+
+# ------------------------- CLI ------------------------------------------
+
+
+def test_cli_lint_reports_and_baselines(tmp_path, capsys):
+    from repro.cli import main
+
+    dirty = tmp_path / "src" / "repro" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        "def mutate(finding) -> None:\n"
+        '    object.__setattr__(finding, "line", 0)\n',
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "baseline.json"
+
+    code = main(["lint", str(dirty), "--baseline", str(baseline)])
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "DK103" in output and "finding(s)" in output
+
+    assert main(["lint", str(dirty), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    capsys.readouterr()
+    code = main(["lint", str(dirty), "--baseline", str(baseline)])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "baselined" in output
+
+
+def test_cli_lint_json_and_rule_selection(tmp_path, capsys):
+    import json
+
+    from repro.cli import main
+
+    dirty = tmp_path / "src" / "repro" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text("def untyped(x):\n    return x\n", encoding="utf-8")
+    baseline = str(tmp_path / "baseline.json")
+
+    code = main(["lint", str(dirty), "--baseline", baseline, "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["files_checked"] == 1
+    assert payload["findings"][0]["rule_id"] == "DK106"
+
+    assert main(["lint", str(dirty), "--baseline", baseline,
+                 "--ignore", "DK106"]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--list-rules"]) == 0
+    listing = capsys.readouterr().out
+    assert "DK101" in listing and "quadratic-membership" in listing
+    assert main(["lint", "--select", "DK999"]) == 1
+
+
+def test_repo_ships_lint_clean():
+    """The acceptance criterion: src/ and tests/ are clean, no baseline."""
+    repo = Path(__file__).resolve().parent.parent
+    engine = LintEngine(all_rules())
+    report = engine.run([repo / "src", repo / "tests"])
+    assert report.ok, report.format_text()
+    committed = load_baseline(repo / "lint-baseline.json")
+    assert len(committed) == 0

@@ -1,0 +1,101 @@
+"""Edge-case tests for :mod:`repro.indexes.diagnostics`.
+
+Covers the boundaries ``audit_similarities`` promises: a contentless
+index graph, a zero ``max_k`` audit depth, the exact ``max_paths``
+truncation threshold, and the ``max_findings`` cut-off.
+"""
+
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.indexes.akindex import build_ak_index
+from repro.indexes.diagnostics import audit_similarities
+from repro.indexes.oneindex import build_1index
+
+
+def twin_x_graph():
+    """ROOT -> a -> x and ROOT -> a -> x: both pairs fully bisimilar."""
+    return graph_from_edges(
+        ["a", "a", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+
+
+# ------------------------- empty index graph ----------------------------
+
+
+def test_audit_on_empty_graph_index():
+    # A bare DataGraph has only the implicit ROOT; every extent is a
+    # singleton, so the audit trivially passes without skipping.
+    index = build_ak_index(DataGraph(), 2)
+    report = audit_similarities(index)
+    assert report.ok
+    assert report.nodes_checked == index.num_nodes == 1
+    assert report.nodes_skipped == 0
+    assert "clean" in report.format()
+
+
+# ------------------------- max_k = 0 ------------------------------------
+
+
+def test_max_k_zero_checks_only_labels():
+    # The x's hang under differently-labelled parents, so k=2 is a lie
+    # for their shared A(0) extent.  Depth-0 paths are just the nodes'
+    # own labels, which agree — the lie is invisible at max_k=0, and
+    # caught as soon as one parent step is allowed.
+    uneven = graph_from_edges(
+        ["a", "b", "x", "x"], [(0, 1), (0, 2), (1, 3), (2, 4)]
+    )
+    index = build_ak_index(uneven, 0)
+    index.k[index.node_of[3]] = 2
+    shallow = audit_similarities(index, max_k=0)
+    assert shallow.ok
+    assert shallow.nodes_checked == index.num_nodes
+    assert shallow.nodes_skipped == 0
+    assert not audit_similarities(index, max_k=1).ok
+
+
+def test_max_k_caps_unbounded_claims():
+    # 1-index nodes claim K_UNBOUNDED; the audit checks a prefix and
+    # still counts the node as checked rather than skipped.
+    index = build_1index(twin_x_graph())
+    report = audit_similarities(index, max_k=1)
+    assert report.ok
+    assert report.nodes_skipped == 0
+    assert report.nodes_checked == index.num_nodes
+
+
+# ------------------------- max_paths boundary ---------------------------
+
+
+def test_max_paths_truncation_boundary():
+    # Each x has exactly 3 incoming label paths of length <= 2:
+    # (x,), (a, x), (ROOT, a, x).  The budget is inclusive: a node with
+    # exactly max_paths paths is checked; one fewer skips it.
+    g = twin_x_graph()
+    index = build_ak_index(g, 2)
+
+    exact = audit_similarities(index, max_paths=3)
+    assert exact.ok
+    assert exact.nodes_skipped == 0
+    assert exact.nodes_checked == index.num_nodes
+
+    truncated = audit_similarities(index, max_paths=2)
+    assert truncated.nodes_skipped >= 1
+    assert truncated.nodes_checked < index.num_nodes
+    assert truncated.ok  # skipped, never reported as a finding
+    assert "skipped by bounds" in truncated.format()
+
+
+# ------------------------- max_findings cut-off -------------------------
+
+
+def test_max_findings_stops_early():
+    g = graph_from_edges(
+        ["a", "b", "x", "x", "y", "y"],
+        [(0, 1), (0, 2), (1, 3), (2, 4), (1, 5), (2, 6)],
+    )
+    index = build_ak_index(g, 0)
+    index.k[index.node_of[3]] = 2  # lie about the x extent
+    index.k[index.node_of[5]] = 2  # ... and the y extent
+    assert len(audit_similarities(index).findings) == 2
+    limited = audit_similarities(index, max_findings=1)
+    assert len(limited.findings) == 1
