@@ -1,0 +1,303 @@
+"""Refinement-engine timing harness (``dkindex bench refine``).
+
+Every index this library builds funnels through partition refinement, so
+this harness times the four construction workloads that exercise it —
+
+- ``ak_sweep`` — the A(k) family sweep (``kbisim_partition`` for each k),
+- ``oneindex_fixpoint`` — the 1-index bisimulation fixpoint
+  (``bisim_partition``), the deepest refinement and the headline number,
+- ``dk_build`` — the leveled D(k) construction (Algorithm 2),
+- ``table1_reindex`` — the Table-1 update path: re-indexing the index
+  graph at lowered levels (Theorem 2 / ``reindex_index_graph``)
+
+— on the seeded XMark/NASA generators, once per engine (``legacy``
+full-rehash vs ``worklist``; plus the parallel worklist when ``jobs >
+1``), and writes the medians to ``BENCH_refinement.json``.  The
+committed baseline is this file's first entry; every future perf PR
+re-runs the harness so the repository carries a recorded performance
+trajectory instead of anecdotes.  Timings are wall-clock medians over
+``repeats`` runs of freshly-seeded, deterministic inputs, so runs are
+comparable across commits on the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.harness import DATASET_BUILDERS
+from repro.bench.reporting import render_table
+from repro.core.construction import build_dk_index, reindex_index_graph
+from repro.exceptions import DatasetError
+from repro.graph.datagraph import ROOT_LABEL, VALUE_LABEL, DataGraph
+from repro.indexes.base import IndexGraph
+from repro.partition.refinement import bisim_partition, kbisim_partition
+
+#: Schema identifier written into (and expected from) the report JSON.
+SCHEMA = "dkindex-bench-refinement/1"
+
+#: Named scales: dataset scale factors sized so "small" suits CI smoke
+#: runs and "large" stresses the worklist on ~10^5-edge graphs.
+SCALE_NAMES: dict[str, float] = {"small": 0.2, "medium": 0.6, "large": 1.5}
+
+#: The engines every scenario is timed under (name, jobs-override).
+SERIAL_ENGINES: tuple[tuple[str, int], ...] = (
+    ("legacy", 1),
+    ("worklist", 1),
+)
+
+
+@dataclass(frozen=True)
+class RefineBenchConfig:
+    """Knobs of one harness run.
+
+    Attributes:
+        scale: named scale (``small``/``medium``/``large``) or a float
+            literal like ``"0.4"``.
+        repeats: timed runs per (dataset, scenario, engine); the report
+            records the median.
+        seed: dataset generator seed.
+        jobs: worker processes for the additional parallel-worklist
+            rows; ``<= 1`` skips them (the serial engines always run).
+        datasets: generator names to measure (see
+            :data:`repro.bench.harness.DATASET_BUILDERS`).
+        ks: the A(k) sweep.
+    """
+
+    scale: str = "small"
+    repeats: int = 3
+    seed: int = 0
+    jobs: int = 0
+    datasets: tuple[str, ...] = ("xmark", "nasa")
+    ks: tuple[int, ...] = (0, 1, 2, 3, 4)
+
+    @property
+    def scale_factor(self) -> float:
+        """The numeric dataset scale behind the (possibly named) scale.
+
+        Raises:
+            DatasetError: if the scale is neither named nor numeric.
+        """
+        named = SCALE_NAMES.get(self.scale)
+        if named is not None:
+            return named
+        try:
+            return float(self.scale)
+        except ValueError:
+            raise DatasetError(
+                f"unknown bench scale {self.scale!r}; use one of "
+                f"{sorted(SCALE_NAMES)} or a number"
+            ) from None
+
+
+def synthetic_requirements(graph: DataGraph) -> dict[str, int]:
+    """Deterministic varied per-label requirements for the D(k) build.
+
+    Real requirement mining needs a query workload, which would dominate
+    the measurement; instead each non-structural label gets a
+    requirement cycling through 1..3 (sorted by name, so the map — and
+    therefore the leveled refinement being timed — is identical on every
+    run and machine).
+    """
+    names = sorted(
+        name
+        for name in graph.label_names()
+        if name not in (ROOT_LABEL, VALUE_LABEL)
+    )
+    return {name: 1 + position % 3 for position, name in enumerate(names)}
+
+
+def _time_repeats(action: Callable[[], object], repeats: int) -> list[float]:
+    """Wall-clock seconds for ``repeats`` runs of ``action``."""
+    times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        action()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _scenarios(
+    graph: DataGraph,
+    requirements: dict[str, int],
+    reindex_base: IndexGraph,
+    lowered_levels: list[int],
+    ks: tuple[int, ...],
+) -> dict[str, Callable[[str, int], object]]:
+    """The timed workloads, each parameterised by (engine, jobs)."""
+
+    def ak_sweep(engine: str, jobs: int) -> object:
+        return [
+            kbisim_partition(graph, k, engine=engine, jobs=jobs) for k in ks
+        ]
+
+    def oneindex_fixpoint(engine: str, jobs: int) -> object:
+        return bisim_partition(graph, engine=engine, jobs=jobs)
+
+    def dk_build(engine: str, jobs: int) -> object:
+        return build_dk_index(graph, requirements, engine=engine, jobs=jobs)
+
+    def table1_reindex(engine: str, jobs: int) -> object:
+        return reindex_index_graph(
+            reindex_base, lowered_levels, engine=engine, jobs=jobs
+        )
+
+    return {
+        "ak_sweep": ak_sweep,
+        "oneindex_fixpoint": oneindex_fixpoint,
+        "dk_build": dk_build,
+        "table1_reindex": table1_reindex,
+    }
+
+
+def run_refine_bench(config: RefineBenchConfig) -> dict[str, object]:
+    """Run every (dataset, scenario, engine) cell; return the report.
+
+    Raises:
+        DatasetError: for unknown dataset names or scales.
+    """
+    scale_factor = config.scale_factor
+    engines = list(SERIAL_ENGINES)
+    if config.jobs > 1:
+        engines.append(("worklist-parallel", config.jobs))
+
+    dataset_stats: dict[str, dict[str, int]] = {}
+    results: list[dict[str, object]] = []
+    for name in config.datasets:
+        builder = DATASET_BUILDERS.get(name)
+        if builder is None:
+            raise DatasetError(
+                f"unknown dataset {name!r}; available: "
+                f"{sorted(DATASET_BUILDERS)}"
+            )
+        graph = builder(scale_factor, config.seed).graph
+        dataset_stats[name] = {
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "labels": graph.num_labels,
+        }
+        requirements = synthetic_requirements(graph)
+        reindex_base, levels = build_dk_index(graph, requirements)
+        lowered_levels = [max(level - 1, 0) for level in levels]
+        scenarios = _scenarios(
+            graph, requirements, reindex_base, lowered_levels, config.ks
+        )
+        for scenario, action in scenarios.items():
+            for engine, jobs in engines:
+                engine_name = "worklist" if engine.startswith("worklist") else engine
+                times = _time_repeats(
+                    lambda: action(engine_name, jobs), config.repeats
+                )
+                results.append(
+                    {
+                        "dataset": name,
+                        "scenario": scenario,
+                        "engine": engine,
+                        "jobs": jobs,
+                        "median_s": statistics.median(times),
+                        "times_s": times,
+                    }
+                )
+
+    return {
+        "schema": SCHEMA,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": {
+            "scale": config.scale,
+            "scale_factor": scale_factor,
+            "repeats": config.repeats,
+            "seed": config.seed,
+            "jobs": config.jobs,
+            "datasets": list(config.datasets),
+            "ks": list(config.ks),
+        },
+        "datasets": dataset_stats,
+        "results": results,
+        "speedups": _speedups(results),
+    }
+
+
+def _speedups(results: list[dict[str, object]]) -> dict[str, dict[str, float]]:
+    """Per (dataset, scenario): legacy vs worklist medians and the ratio."""
+    medians: dict[tuple[str, str, str], float] = {}
+    for row in results:
+        key = (str(row["dataset"]), str(row["scenario"]), str(row["engine"]))
+        median = row["median_s"]
+        assert isinstance(median, float)
+        medians[key] = median
+    speedups: dict[str, dict[str, float]] = {}
+    for (dataset, scenario, engine), median in sorted(medians.items()):
+        if engine != "legacy":
+            continue
+        worklist = medians.get((dataset, scenario, "worklist"))
+        if worklist is None:
+            continue
+        speedups[f"{dataset}/{scenario}"] = {
+            "legacy_s": median,
+            "worklist_s": worklist,
+            "speedup": median / worklist if worklist > 0 else float("inf"),
+        }
+    return speedups
+
+
+def write_report(report: dict[str, object], path: str) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def format_report(report: dict[str, object]) -> str:
+    """Render the speedup summary as an aligned text table."""
+    speedups = report["speedups"]
+    assert isinstance(speedups, dict)
+    rows = [
+        [
+            key,
+            f"{entry['legacy_s'] * 1000:.1f}",
+            f"{entry['worklist_s'] * 1000:.1f}",
+            f"{entry['speedup']:.2f}x",
+        ]
+        for key, entry in speedups.items()
+    ]
+    config = report["config"]
+    assert isinstance(config, dict)
+    title = (
+        f"[REFINE] engine comparison, scale {config['scale']} "
+        f"(factor {config['scale_factor']}), "
+        f"median of {config['repeats']} run(s)"
+    )
+    return render_table(
+        ["dataset/scenario", "legacy (ms)", "worklist (ms)", "speedup"],
+        rows,
+        title=title,
+    )
+
+
+def main_entry(
+    scale: str,
+    repeats: int,
+    seed: int,
+    jobs: int,
+    datasets: tuple[str, ...],
+    out: str,
+) -> int:
+    """CLI driver: run, write the JSON, print the summary table."""
+    config = RefineBenchConfig(
+        scale=scale,
+        repeats=repeats,
+        seed=seed,
+        jobs=jobs,
+        datasets=datasets,
+    )
+    report = run_refine_bench(config)
+    write_report(report, out)
+    print(format_report(report))
+    print(f"wrote {out}")
+    return 0

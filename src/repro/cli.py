@@ -5,6 +5,10 @@ Commands:
 - ``dkindex bench <experiment|all> [--scale S]`` — regenerate the
   paper's tables/figures as text (fig4, fig5, table1, fig6, fig7,
   promote, demote, subgraph, construct).
+- ``dkindex bench refine [--scale small|medium|large] [--repeats N]
+  [--jobs J] [--out FILE]`` — time the legacy vs worklist refinement
+  engines on every construction workload and write the
+  ``BENCH_refinement.json`` perf trajectory (see docs/performance.md).
 - ``dkindex generate <xmark|nasa> --out FILE [--scale S] [--seed N]`` —
   write a dataset graph as JSON.
 - ``dkindex stats FILE`` — print statistics of a stored graph.
@@ -38,7 +42,20 @@ from repro.paths.query import make_query
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(scale=args.scale)
+    if args.experiment == "refine":
+        from repro.bench.refine import main_entry
+
+        return main_entry(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            jobs=args.jobs,
+            datasets=tuple(
+                name for name in args.datasets.split(",") if name
+            ),
+            out=args.out,
+        )
+    config = ExperimentConfig(scale=float(args.scale))
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner, datasets = EXPERIMENTS[name]
@@ -185,10 +202,23 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     bench = sub.add_parser("bench", help="run a paper experiment")
-    bench.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
-    bench.add_argument("--scale", type=float, default=1.0)
+    bench.add_argument("experiment", choices=[*EXPERIMENTS, "refine", "all"])
+    bench.add_argument("--scale", default="1.0",
+                       help="dataset scale factor; the refine experiment "
+                       "also accepts small/medium/large")
     bench.add_argument("--csv", action="store_true",
                        help="emit CSV series instead of text tables")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="(refine) timed runs per cell; medians recorded")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="(refine) dataset generator seed")
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="(refine) also time the parallel worklist "
+                       "engine with this many worker processes")
+    bench.add_argument("--datasets", default="xmark,nasa",
+                       help="(refine) comma-separated generator names")
+    bench.add_argument("--out", default="BENCH_refinement.json",
+                       help="(refine) report file to write")
     bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser("generate", help="generate a dataset graph")

@@ -52,6 +52,9 @@ def resolve_requirements(
 def build_dk_index(
     graph: DataGraph,
     requirements: Mapping[str, int],
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
 ) -> tuple[IndexGraph, list[int]]:
     """Build the D(k)-index of ``graph`` for per-label requirements.
 
@@ -59,6 +62,9 @@ def build_dk_index(
         graph: the data graph.
         requirements: ``{label name: local similarity requirement}``
             mined from the query load; unmentioned labels default to 0.
+        engine: refinement engine (``"worklist"``/``"legacy"``; the
+            default ``"auto"`` resolves to the worklist engine).
+        jobs: worker processes for parallel signature hashing.
 
     Returns:
         ``(index, levels)`` — the index graph, and the broadcast-adjusted
@@ -78,7 +84,7 @@ def build_dk_index(
     initial = resolve_requirements(graph, requirements)
     levels = broadcast_for_graph(graph, graph.num_labels, initial)
     node_levels = [levels[label_id] for label_id in graph.label_ids]
-    partition = leveled_partition(graph, node_levels)
+    partition = leveled_partition(graph, node_levels, engine=engine, jobs=jobs)
     k_values = [
         levels[graph.label_ids[members[0]]] for members in partition.blocks
     ]
@@ -89,6 +95,9 @@ def build_dk_index(
 def reindex_index_graph(
     index: IndexGraph,
     label_levels: Sequence[int],
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
 ) -> IndexGraph:
     """Re-index an index graph at (typically lower) per-label levels.
 
@@ -115,7 +124,9 @@ def reindex_index_graph(
         min(label_levels[index.label_ids[node]], index.k[node])
         for node in range(index.num_nodes)
     ]
-    quotient_partition = leveled_partition(index, node_levels)
+    quotient_partition = leveled_partition(
+        index, node_levels, engine=engine, jobs=jobs
+    )
 
     # Map data nodes straight to the merged blocks.
     merged_of_index = quotient_partition.block_of

@@ -102,9 +102,23 @@ class DKIndex:
     # ------------------------------------------------------------------
 
     @classmethod
-    def build(cls, graph: DataGraph, requirements: Mapping[str, int]) -> "DKIndex":
-        """Build from explicit per-label local-similarity requirements."""
-        index, _levels = build_dk_index(graph, requirements)
+    def build(
+        cls,
+        graph: DataGraph,
+        requirements: Mapping[str, int],
+        *,
+        engine: str = "auto",
+        jobs: int | None = None,
+    ) -> "DKIndex":
+        """Build from explicit per-label local-similarity requirements.
+
+        ``engine`` and ``jobs`` select the partition-refinement engine
+        and its parallelism (see :mod:`repro.partition.engine`); the
+        default is the serial worklist engine.
+        """
+        index, _levels = build_dk_index(
+            graph, requirements, engine=engine, jobs=jobs
+        )
         return cls(graph, index, requirements)
 
     @classmethod

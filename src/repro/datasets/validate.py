@@ -178,15 +178,22 @@ def _without_occurrence(particle: Particle) -> Particle:
 def _mixed_allows(particle: Particle) -> set[str] | None:
     """For mixed content ``(#PCDATA | a | b)*`` return the allowed set."""
     inner = particle
-    if isinstance(inner, ChoiceParticle) and any(
-        isinstance(item, PCDataParticle) for item in inner.items
-    ):
-        allowed = {_VALUE}
-        for item in inner.items:
-            if isinstance(item, NameParticle):
-                allowed.add(item.name)
-        return allowed
-    return None
+    if not isinstance(inner, ChoiceParticle):
+        return None
+    if not any(isinstance(item, PCDataParticle) for item in inner.items):
+        return None
+    allowed = {_VALUE}
+    for item in inner.items:
+        if isinstance(item, PCDataParticle):
+            continue
+        if isinstance(item, NameParticle):
+            allowed.add(item.name)
+        else:
+            # A nested group next to #PCDATA is not the XML mixed-content
+            # shape; such models get the generic NFA match, which accepts
+            # whatever branch the generator actually expanded.
+            return None
+    return allowed
 
 
 def check_conformance(

@@ -17,15 +17,27 @@ from repro.indexes.base import IndexGraph
 from repro.partition.refinement import kbisim_partition
 
 
-def build_ak_index(graph: DataGraph, k: int) -> IndexGraph:
+def build_ak_index(
+    graph: DataGraph,
+    k: int,
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
+) -> IndexGraph:
     """Build the A(k)-index of ``graph``.
 
     Construction runs ``k`` split rounds from the label-split graph —
     O(k·m) for m data edges, matching the bound cited in Section 4.1.
+    The default worklist engine only re-hashes nodes whose parents'
+    blocks split in the previous round, which is substantially faster on
+    document-shaped graphs (see ``docs/performance.md``).
 
     Args:
         graph: the data graph.
         k: the uniform local-similarity bound (>= 0).
+        engine: refinement engine (``"worklist"``/``"legacy"``; the
+            default ``"auto"`` resolves to the worklist engine).
+        jobs: worker processes for parallel signature hashing.
 
     Example:
         >>> from repro.graph.builder import graph_from_edges
@@ -37,5 +49,5 @@ def build_ak_index(graph: DataGraph, k: int) -> IndexGraph:
         >>> build_ak_index(g, 1).num_nodes   # the two x nodes split
         5
     """
-    partition = kbisim_partition(graph, k)
+    partition = kbisim_partition(graph, k, engine=engine, jobs=jobs)
     return IndexGraph.from_partition(graph, partition, k)

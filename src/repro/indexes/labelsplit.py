@@ -17,7 +17,11 @@ def build_labelsplit_index(graph: DataGraph) -> IndexGraph:
     """Build the label-split index (one index node per label).
 
     Every index node's local similarity is 0: extents are only
-    guaranteed label-homogeneous.
+    guaranteed label-homogeneous.  This needs no refinement rounds —
+    :func:`~repro.partition.refinement.label_partition` is one grouping
+    pass over the label ids through :meth:`Partition.from_keys`'s
+    trusted fast path, so construction is O(n) with no engine choice to
+    make.
 
     Example:
         >>> from repro.graph.builder import graph_from_edges

@@ -21,7 +21,13 @@ from repro.partition.paige_tarjan import paige_tarjan_bisim
 from repro.partition.refinement import bisim_partition
 
 
-def build_1index(graph: DataGraph, method: str = "fixpoint") -> IndexGraph:
+def build_1index(
+    graph: DataGraph,
+    method: str = "fixpoint",
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
+) -> IndexGraph:
     """Build the 1-index of ``graph``.
 
     Every index node's assigned local similarity is
@@ -34,6 +40,9 @@ def build_1index(graph: DataGraph, method: str = "fixpoint") -> IndexGraph:
             bisimulation depth d — the default, fast on documents) or
             ``"paige-tarjan"`` (the O(m·log n) algorithm the paper
             cites).  Both produce the identical partition.
+        engine: refinement engine for the fixpoint method
+            (``"worklist"``/``"legacy"``; ``"auto"`` picks worklist).
+        jobs: worker processes for parallel signature hashing.
 
     Raises:
         ValueError: for an unknown method name.
@@ -49,7 +58,7 @@ def build_1index(graph: DataGraph, method: str = "fixpoint") -> IndexGraph:
         5
     """
     if method == "fixpoint":
-        partition, _rounds = bisim_partition(graph)
+        partition, _rounds = bisim_partition(graph, engine=engine, jobs=jobs)
     elif method == "paige-tarjan":
         partition = paige_tarjan_bisim(graph)
     else:

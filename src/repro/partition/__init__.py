@@ -14,21 +14,30 @@ provides:
   bisimulation fixpoint (the 1-index equivalence);
 - :func:`~repro.partition.refinement.leveled_partition` — per-node freeze
   levels, the generalisation the D(k)-index construction (Algorithm 2)
-  needs.
+  needs;
+- :class:`~repro.partition.engine.RefinementEngine` — the worklist-driven
+  engine behind all three (interned signatures, dirty-block propagation,
+  optional parallel hashing); ``engine="legacy"`` on the functions above
+  selects the full-rehash reference implementation instead.
 """
 
 from repro.partition.blocks import Partition
+from repro.partition.engine import RefinementEngine, resolve_jobs
 from repro.partition.refinement import (
     bisim_partition,
     kbisim_partition,
     label_partition,
     leveled_partition,
+    resolve_engine,
 )
 
 __all__ = [
     "Partition",
+    "RefinementEngine",
     "bisim_partition",
     "kbisim_partition",
     "label_partition",
     "leveled_partition",
+    "resolve_engine",
+    "resolve_jobs",
 ]

@@ -17,26 +17,62 @@ identical, round for round).
 Refinement never merges blocks, so the block count is non-decreasing; a
 round that does not increase it has changed nothing, which is the
 fixpoint test used by :func:`bisim_partition`.
+
+Two engines implement the rounds:
+
+- ``"worklist"`` (the default) — the dirty-block worklist engine of
+  :mod:`repro.partition.engine`: only nodes whose parents' blocks just
+  split are re-hashed, signatures are interned tuples, and hashing can
+  be spread across worker processes (``jobs=`` / ``DKINDEX_JOBS``).
+- ``"legacy"`` — the straightforward full-rehash loop over
+  :func:`refine_once`, kept as the reference implementation (the
+  equivalence test suite checks the engines round for round, and the
+  ``dkindex bench refine`` harness times one against the other).
+
+``engine="auto"`` resolves to the worklist engine unless the
+``DKINDEX_ENGINE`` environment variable says ``legacy`` — which lets the
+benchmark harness re-route whole construction pipelines without
+threading a parameter through every call site.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+import os
+from typing import Sequence
 
 from repro.partition.blocks import Partition
+from repro.partition.engine import LabeledAdjacency, RefinementEngine
+
+#: Engine names accepted by the ``engine=`` parameters below.
+ENGINE_CHOICES = ("auto", "worklist", "legacy")
+
+#: Environment variable that re-routes ``engine="auto"`` callers.
+ENGINE_ENV_VAR = "DKINDEX_ENGINE"
+
+# Backwards-compatible alias; the protocol moved to the engine module.
+_LabeledAdjacency = LabeledAdjacency
 
 
-class _LabeledAdjacency(Protocol):
-    """Anything with labels and parent adjacency (data or index graph)."""
+def resolve_engine(engine: str) -> str:
+    """Resolve an ``engine=`` argument to ``"worklist"`` or ``"legacy"``.
 
-    label_ids: Sequence[int]
-    parents: Sequence[Sequence[int]]
+    Raises:
+        ValueError: for unknown engine names (argument or environment).
+    """
+    if engine == "auto":
+        env = os.environ.get(ENGINE_ENV_VAR, "").strip().lower()
+        if not env or env == "auto":
+            return "worklist"
+        engine = env
+    if engine not in ("worklist", "legacy"):
+        raise ValueError(
+            f"unknown refinement engine {engine!r}; choose from "
+            f"{ENGINE_CHOICES}"
+        )
+    return engine
 
-    @property
-    def num_nodes(self) -> int: ...
 
-
-def label_partition(graph: _LabeledAdjacency) -> Partition:
+def label_partition(graph: LabeledAdjacency) -> Partition:
     """The 0-bisimulation partition: group nodes by label.
 
     This is the paper's "label-split index graph", the starting point of
@@ -46,19 +82,29 @@ def label_partition(graph: _LabeledAdjacency) -> Partition:
 
 
 def refine_once(
-    graph: _LabeledAdjacency,
+    graph: LabeledAdjacency,
     partition: Partition,
     participating: Sequence[bool] | None = None,
 ) -> Partition:
-    """One refinement round.
+    """One full-rehash refinement round (the legacy reference step).
 
     Nodes for which ``participating`` is False are *frozen*: they stay
     grouped exactly as in the previous round (their old block survives as
     a block of the new partition, minus any members that participated).
 
     Returns a new partition; the input is unchanged.
+
+    Raises:
+        ValueError: if ``participating`` does not have one entry per
+            node — silently freezing a suffix of the node set would
+            corrupt the partition.
     """
     block_of = partition.block_of
+    if participating is not None and len(participating) != len(block_of):
+        raise ValueError(
+            f"participating has {len(participating)} entries for "
+            f"{len(block_of)} nodes"
+        )
     parents = graph.parents
     keys: list[object] = [None] * len(block_of)
     for node in range(len(block_of)):
@@ -70,15 +116,30 @@ def refine_once(
     return Partition.from_keys(keys)
 
 
-def kbisim_partition(graph: _LabeledAdjacency, k: int) -> Partition:
+def kbisim_partition(
+    graph: LabeledAdjacency,
+    k: int,
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
+) -> Partition:
     """The k-bisimulation partition (the A(k)-index equivalence).
 
     Runs ``k`` refinement rounds from the label partition, stopping early
     at a fixpoint (further rounds cannot change a stable partition).
 
+    Args:
+        graph: the data (or index) graph.
+        k: the uniform bisimilarity bound (>= 0).
+        engine: ``"worklist"`` (default via ``"auto"``) or ``"legacy"``.
+        jobs: worker processes for the worklist engine's signature
+            hashing; ``None`` reads ``DKINDEX_JOBS``.
+
     Raises:
-        ValueError: if ``k`` is negative.
+        ValueError: if ``k`` is negative or ``engine`` is unknown.
     """
+    if resolve_engine(engine) == "worklist":
+        return RefinementEngine(graph, jobs=jobs).run_kbisim(k)
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     partition = label_partition(graph)
@@ -90,13 +151,20 @@ def kbisim_partition(graph: _LabeledAdjacency, k: int) -> Partition:
     return partition
 
 
-def bisim_partition(graph: _LabeledAdjacency) -> tuple[Partition, int]:
+def bisim_partition(
+    graph: LabeledAdjacency,
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
+) -> tuple[Partition, int]:
     """The full-bisimulation fixpoint (the 1-index equivalence).
 
     Returns ``(partition, rounds)`` where ``rounds`` is the number of
     refinement rounds needed to stabilise (the graph's bisimulation
     "depth"); nodes in a common block are k-bisimilar for every k.
     """
+    if resolve_engine(engine) == "worklist":
+        return RefinementEngine(graph, jobs=jobs).run_fixpoint()
     partition = label_partition(graph)
     rounds = 0
     while True:
@@ -108,7 +176,11 @@ def bisim_partition(graph: _LabeledAdjacency) -> tuple[Partition, int]:
 
 
 def leveled_partition(
-    graph: _LabeledAdjacency, node_levels: Sequence[int]
+    graph: LabeledAdjacency,
+    node_levels: Sequence[int],
+    *,
+    engine: str = "auto",
+    jobs: int | None = None,
 ) -> Partition:
     """Per-node bounded bisimulation, the D(k) construction core.
 
@@ -129,6 +201,8 @@ def leveled_partition(
         ValueError: if ``node_levels`` has the wrong length or any
             negative entry.
     """
+    if resolve_engine(engine) == "worklist":
+        return RefinementEngine(graph, jobs=jobs).run_leveled(node_levels)
     if len(node_levels) != graph.num_nodes:
         raise ValueError(
             f"node_levels has {len(node_levels)} entries for "

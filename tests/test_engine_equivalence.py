@@ -1,0 +1,237 @@
+"""Equivalence of the worklist engine, its parallel path, and the legacy
+signature refinement.
+
+The worklist engine must be *partition-identical* to the legacy
+full-rehash loop — not just at the fixpoint but round for round, because
+the D(k) construction freezes nodes against the intermediate rounds.
+These tests drive all three paths over the graph families where the
+worklist bookkeeping can go wrong: trees, DAGs with shared subtrees
+(many-parent nodes exercise the sorted-dedup signatures) and cyclic
+IDREF-style graphs (dirt must propagate around cycles).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import small_graphs
+import repro.partition.engine as engine_module
+from repro.core.broadcast import broadcast_for_graph
+from repro.graph.datagraph import DataGraph
+from repro.partition.engine import RefinementEngine, resolve_jobs
+from repro.partition.refinement import (
+    bisim_partition,
+    kbisim_partition,
+    label_partition,
+    leveled_partition,
+    refine_once,
+    resolve_engine,
+)
+
+# ----------------------------------------------------------------------
+# Seeded graph families
+# ----------------------------------------------------------------------
+
+
+def dag_with_shared_subtrees(seed, size=220, labels="abcdef"):
+    """A DAG where many nodes have several parents (shared subtrees)."""
+    rng = random.Random(seed)
+    g = DataGraph()
+    created = []
+    for position in range(size):
+        node = g.add_node(rng.choice(labels))
+        if not created or rng.random() < 0.08:
+            parent = g.root
+        else:
+            parent = created[rng.randrange(len(created))]
+        g.add_edge_if_absent(parent, node)
+        created.append(node)
+    # Extra forward edges only (earlier -> later node ids keeps it acyclic),
+    # so subtrees end up shared between multiple parents.
+    for _ in range(size):
+        a = rng.randrange(len(created))
+        b = rng.randrange(len(created))
+        if a == b:
+            continue
+        g.add_edge_if_absent(created[min(a, b)], created[max(a, b)])
+    return g
+
+
+def cyclic_idref_graph(seed, size=220, labels="abcde"):
+    """A document tree plus random IDREF-style edges (cycles allowed)."""
+    rng = random.Random(seed)
+    g = DataGraph()
+    created = []
+    for position in range(size):
+        node = g.add_node(rng.choice(labels))
+        if not created or rng.random() < 0.1:
+            parent = g.root
+        else:
+            parent = created[rng.randrange(len(created))]
+        g.add_edge_if_absent(parent, node)
+        created.append(node)
+    for _ in range(size):
+        src = created[rng.randrange(len(created))]
+        dst = created[rng.randrange(len(created))]
+        if src != dst:
+            g.add_edge_if_absent(src, dst)  # any direction: cycles happen
+    return g
+
+
+def broadcast_levels(graph):
+    """Label-derived levels adjusted by Algorithm 1 (valid D(k) input)."""
+    initial = {
+        label_id: label_id % 3 for label_id in range(graph.num_labels)
+    }
+    by_label = broadcast_for_graph(graph, graph.num_labels, initial)
+    return [by_label[graph.label_ids[node]] for node in graph.nodes()]
+
+
+def assert_engines_agree(graph, jobs=None):
+    """All drivers produce equal partitions under every engine."""
+    for k in (0, 1, 2, 4):
+        assert kbisim_partition(
+            graph, k, engine="worklist", jobs=jobs
+        ) == kbisim_partition(graph, k, engine="legacy")
+    worklist, worklist_rounds = bisim_partition(
+        graph, engine="worklist", jobs=jobs
+    )
+    legacy, legacy_rounds = bisim_partition(graph, engine="legacy")
+    assert worklist == legacy
+    assert worklist_rounds == legacy_rounds
+    levels = broadcast_levels(graph)
+    assert leveled_partition(
+        graph, levels, engine="worklist", jobs=jobs
+    ) == leveled_partition(graph, levels, engine="legacy")
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random small graphs, every driver
+# ----------------------------------------------------------------------
+
+
+@given(small_graphs(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_worklist_kbisim_matches_legacy(graph, k):
+    assert kbisim_partition(graph, k, engine="worklist") == kbisim_partition(
+        graph, k, engine="legacy"
+    )
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_worklist_fixpoint_matches_legacy(graph):
+    worklist, worklist_rounds = bisim_partition(graph, engine="worklist")
+    legacy, legacy_rounds = bisim_partition(graph, engine="legacy")
+    assert worklist == legacy
+    assert worklist_rounds == legacy_rounds
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_worklist_leveled_matches_legacy(graph):
+    levels = broadcast_levels(graph)
+    assert leveled_partition(graph, levels, engine="worklist") == (
+        leveled_partition(graph, levels, engine="legacy")
+    )
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_engine_rounds_match_legacy_round_for_round(graph):
+    # The changing rounds of the engine equal the changing rounds of the
+    # legacy loop, in order — the per-round identity the D(k) freezing
+    # semantics rely on.
+    legacy_rounds = []
+    partition = label_partition(graph)
+    while True:
+        refined = refine_once(graph, partition)
+        if refined.num_blocks == partition.num_blocks:
+            break
+        legacy_rounds.append(refined)
+        partition = refined
+    engine_rounds = list(RefinementEngine(graph).refine_rounds())
+    assert len(engine_rounds) == len(legacy_rounds)
+    for ours, theirs in zip(engine_rounds, legacy_rounds):
+        assert ours == theirs
+
+
+# ----------------------------------------------------------------------
+# Seeded families: shared-subtree DAGs and cyclic IDREF graphs
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_engines_agree_on_shared_subtree_dags(seed):
+    assert_engines_agree(dag_with_shared_subtrees(seed))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_engines_agree_on_cyclic_idref_graphs(seed):
+    assert_engines_agree(cyclic_idref_graph(seed))
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_parallel_path_is_serial_identical(seed, monkeypatch):
+    # Force the fork pool even on tiny rounds, then require bit-for-bit
+    # agreement with the serial worklist AND the legacy engine.
+    monkeypatch.setattr(engine_module, "PARALLEL_NODE_THRESHOLD", 0)
+    graph = cyclic_idref_graph(seed, size=120)
+    assert_engines_agree(graph, jobs=2)
+    dag = dag_with_shared_subtrees(seed, size=120)
+    assert_engines_agree(dag, jobs=2)
+
+
+# ----------------------------------------------------------------------
+# Engine selection plumbing
+# ----------------------------------------------------------------------
+
+
+def test_unknown_engine_rejected():
+    g = cyclic_idref_graph(0, size=10)
+    with pytest.raises(ValueError):
+        kbisim_partition(g, 1, engine="quantum")
+
+
+def test_resolve_engine_env_override(monkeypatch):
+    monkeypatch.delenv("DKINDEX_ENGINE", raising=False)
+    assert resolve_engine("auto") == "worklist"
+    monkeypatch.setenv("DKINDEX_ENGINE", "legacy")
+    assert resolve_engine("auto") == "legacy"
+    assert resolve_engine("worklist") == "worklist"  # explicit beats env
+    monkeypatch.setenv("DKINDEX_ENGINE", "bogus")
+    with pytest.raises(ValueError):
+        resolve_engine("auto")
+
+
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.delenv("DKINDEX_JOBS", raising=False)
+    assert resolve_jobs(None) == 1
+    monkeypatch.setenv("DKINDEX_JOBS", "4")
+    assert resolve_jobs(None) == 4
+    assert resolve_jobs(2) == 2  # explicit beats env
+    assert resolve_jobs(0) == 1
+    assert resolve_jobs(-1) >= 1
+    monkeypatch.setenv("DKINDEX_JOBS", "many")
+    with pytest.raises(ValueError):
+        resolve_jobs(None)
+
+
+def test_engine_validates_inputs():
+    g = cyclic_idref_graph(0, size=10)
+    with pytest.raises(ValueError):
+        kbisim_partition(g, -1, engine="worklist")
+    with pytest.raises(ValueError):
+        leveled_partition(g, [0], engine="worklist")
+    with pytest.raises(ValueError):
+        leveled_partition(g, [-1] * g.num_nodes, engine="worklist")
+
+
+def test_leveled_all_zero_levels_is_label_partition():
+    g = cyclic_idref_graph(1, size=40)
+    levels = [0] * g.num_nodes
+    assert leveled_partition(g, levels, engine="worklist") == (
+        label_partition(g)
+    )

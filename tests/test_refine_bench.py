@@ -1,0 +1,125 @@
+"""Tests for the refinement-engine benchmark harness and its CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.refine import (
+    SCHEMA,
+    RefineBenchConfig,
+    format_report,
+    run_refine_bench,
+    synthetic_requirements,
+    write_report,
+)
+from repro.cli import main
+from repro.datasets.xmark import generate_xmark
+from repro.exceptions import DatasetError
+
+TINY = RefineBenchConfig(scale="0.05", repeats=1, datasets=("xmark",))
+
+
+def test_report_structure_and_speedups():
+    report = run_refine_bench(TINY)
+    assert report["schema"] == SCHEMA
+    assert report["config"]["scale_factor"] == 0.05
+    results = report["results"]
+    # 4 scenarios x 2 serial engines, no parallel rows when jobs <= 1.
+    assert len(results) == 8
+    scenarios = {row["scenario"] for row in results}
+    assert scenarios == {
+        "ak_sweep",
+        "oneindex_fixpoint",
+        "dk_build",
+        "table1_reindex",
+    }
+    assert {row["engine"] for row in results} == {"legacy", "worklist"}
+    for row in results:
+        assert len(row["times_s"]) == 1
+        assert row["median_s"] >= 0.0
+    speedups = report["speedups"]
+    assert set(speedups) == {f"xmark/{name}" for name in scenarios}
+    for entry in speedups.values():
+        assert entry["speedup"] == pytest.approx(
+            entry["legacy_s"] / entry["worklist_s"]
+        )
+
+
+def test_parallel_rows_added_when_jobs_given():
+    report = run_refine_bench(
+        RefineBenchConfig(scale="0.05", repeats=1, jobs=2, datasets=("xmark",))
+    )
+    engines = {row["engine"] for row in report["results"]}
+    assert engines == {"legacy", "worklist", "worklist-parallel"}
+    # Speedups always compare the serial engines.
+    assert set(report["speedups"]) == {
+        "xmark/ak_sweep",
+        "xmark/oneindex_fixpoint",
+        "xmark/dk_build",
+        "xmark/table1_reindex",
+    }
+
+
+def test_write_report_round_trips(tmp_path):
+    report = run_refine_bench(TINY)
+    out = tmp_path / "BENCH_refinement.json"
+    write_report(report, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == SCHEMA
+    assert loaded["datasets"]["xmark"]["nodes"] > 0
+    assert "speedup" in format_report(report)
+
+
+def test_named_and_numeric_scales():
+    assert RefineBenchConfig(scale="small").scale_factor == 0.2
+    assert RefineBenchConfig(scale="0.4").scale_factor == 0.4
+    with pytest.raises(DatasetError):
+        RefineBenchConfig(scale="galactic").scale_factor
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(DatasetError):
+        run_refine_bench(
+            RefineBenchConfig(scale="0.05", repeats=1, datasets=("enron",))
+        )
+
+
+def test_synthetic_requirements_deterministic_and_varied():
+    graph = generate_xmark(scale=0.05, seed=0).graph
+    requirements = synthetic_requirements(graph)
+    assert requirements == synthetic_requirements(graph)
+    assert "ROOT" not in requirements and "VALUE" not in requirements
+    assert set(requirements.values()) <= {1, 2, 3}
+    assert len(set(requirements.values())) > 1
+
+
+def test_cli_bench_refine(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench", "refine",
+            "--scale", "0.05",
+            "--repeats", "1",
+            "--datasets", "xmark",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "speedup" in captured
+    assert str(out) in captured
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == SCHEMA
+    assert loaded["config"]["repeats"] == 1
+
+
+def test_cli_bench_refine_bad_scale_is_clean_error(tmp_path, capsys):
+    code = main(
+        [
+            "bench", "refine",
+            "--scale", "galactic",
+            "--out", str(tmp_path / "bench.json"),
+        ]
+    )
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

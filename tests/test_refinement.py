@@ -69,6 +69,17 @@ def test_refine_once_monotone():
     assert p1.num_blocks >= p0.num_blocks
 
 
+def test_refine_once_rejects_wrong_participating_length():
+    # A short (or long) participating vector used to silently freeze a
+    # suffix of the node set; it must be an error instead.
+    g = two_x_graph()
+    p0 = label_partition(g)
+    with pytest.raises(ValueError):
+        refine_once(g, p0, [True])
+    with pytest.raises(ValueError):
+        refine_once(g, p0, [True] * (g.num_nodes + 1))
+
+
 def test_refine_once_with_frozen_nodes():
     g = two_x_graph()
     p0 = label_partition(g)
