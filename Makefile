@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help install test lint typecheck bench bench-full results examples clean
+.PHONY: help install test lint typecheck bench bench-full chaos results examples clean
 
 help:
 	@echo "Targets:"
@@ -13,6 +13,7 @@ help:
 	@echo "  typecheck  run mypy (strict on repro.core/indexes/partition/analysis)"
 	@echo "  bench      quick benchmark pass (PYTHONPATH=src)"
 	@echo "  bench-full full-scale benchmark pass"
+	@echo "  chaos      run the fault-injection chaos suite (seed 0)"
 	@echo "  results    regenerate docs/results-scale-1.0.txt"
 	@echo "  examples   run every example script"
 	@echo "  clean      remove caches and build artifacts"
@@ -34,6 +35,9 @@ bench:
 
 bench-full:
 	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+chaos:
+	$(PYTHON) -m repro chaos --seed 0
 
 results:
 	$(PYTHON) -m repro bench all --scale 1.0 | tee docs/results-scale-1.0.txt

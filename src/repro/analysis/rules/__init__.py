@@ -14,6 +14,7 @@ from repro.analysis.rules.extent_ownership import ExtentOwnershipRule
 from repro.analysis.rules.frozen_setattr import FrozenSetattrRule
 from repro.analysis.rules.quadratic_membership import QuadraticMembershipRule
 from repro.analysis.rules.seeded_random import SeededRandomRule
+from repro.analysis.rules.similarity_ownership import SimilarityOwnershipRule
 from repro.analysis.rules.typed_defs import TypedDefsRule
 from repro.exceptions import ReproError
 
@@ -25,6 +26,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SeededRandomRule,
     QuadraticMembershipRule,
     TypedDefsRule,
+    SimilarityOwnershipRule,
 )
 
 
@@ -79,6 +81,7 @@ __all__: Sequence[str] = [
     "QuadraticMembershipRule",
     "RULE_CLASSES",
     "SeededRandomRule",
+    "SimilarityOwnershipRule",
     "TypedDefsRule",
     "all_rules",
     "get_rules",

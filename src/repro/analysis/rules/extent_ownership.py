@@ -24,8 +24,15 @@ from repro.analysis.findings import Finding
 #: Attributes whose mutation is reserved to the owning layer.
 OWNED_ATTRIBUTES = frozenset({"extents", "node_of"})
 
-#: Modules allowed to mutate extent state.
-OWNER_MODULES = ("repro.partition", "repro.core.updates", "repro.indexes.base")
+#: Modules allowed to mutate extent state.  The maintenance layer is an
+#: owner because transactional rollback and repair restore extent state
+#: bit-identically by construction (and re-audit afterwards).
+OWNER_MODULES = (
+    "repro.partition",
+    "repro.core.updates",
+    "repro.indexes.base",
+    "repro.maintenance",
+)
 
 #: Method names that mutate lists/sets/dicts in place.
 MUTATING_METHODS = frozenset(
@@ -53,7 +60,7 @@ class ExtentOwnershipRule(Rule):
     name: ClassVar[str] = "extent-mutation"
     description: ClassVar[str] = (
         "index extents / node_of may only be mutated by repro.partition, "
-        "repro.core.updates and IndexGraph itself"
+        "repro.core.updates, repro.maintenance and IndexGraph itself"
     )
     module_prefixes: ClassVar[tuple[str, ...]] = ("repro",)
 

@@ -1,0 +1,103 @@
+"""DK107: assigned local similarities are owned by the update layer.
+
+Definition 3 (``k(parent) >= k(child) - 1`` on every index edge) is a
+*global* invariant over ``IndexGraph.k``, and the only code positioned
+to re-establish it after a write is the code that runs the lowering
+sweeps and audits: :mod:`repro.core.updates` (which exposes the
+authorised :func:`~repro.core.updates.assign_similarity` helper) and the
+:mod:`repro.maintenance` layer (rollback restores a checkpointed vector,
+fault injection corrupts one *on purpose*, repair re-audits).  A stray
+``index.k[node] = ...`` anywhere else silently breaks the soundness
+contract the whole query path leans on — exactly the corruption class
+the chaos suite injects.
+
+Like DK101, a class managing its own ``self.k`` (``IndexGraph`` growing
+its vector) is the owner by definition and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.astutil import assignment_targets, chain_attribute
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.rules.extent_ownership import MUTATING_METHODS
+
+#: The attribute whose mutation is reserved to the update layer.
+OWNED_ATTRIBUTES = frozenset({"k"})
+
+#: Modules allowed to assign local similarities.
+OWNER_MODULES = ("repro.core.updates", "repro.maintenance")
+
+
+class SimilarityOwnershipRule(Rule):
+    """Flags writes to ``.k`` outside the update/maintenance layer."""
+
+    rule_id: ClassVar[str] = "DK107"
+    name: ClassVar[str] = "similarity-assignment"
+    description: ClassVar[str] = (
+        "IndexGraph.k may only be assigned by repro.core.updates (use "
+        "assign_similarity), repro.maintenance and IndexGraph itself"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = ("repro",)
+
+    def applies(self, context: ModuleContext) -> bool:
+        if not super().applies(context):
+            return False
+        return not any(
+            context.module == owner or context.module.startswith(owner + ".")
+            for owner in OWNER_MODULES
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(
+                node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)
+            ):
+                for target in assignment_targets(node):
+                    attribute = chain_attribute(target, OWNED_ATTRIBUTES)
+                    if attribute is not None and not self._self_owned(
+                        context, node, attribute
+                    ):
+                        yield self._violation(context, node)
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in MUTATING_METHODS
+                ):
+                    attribute = chain_attribute(func.value, OWNED_ATTRIBUTES)
+                    if attribute is not None and not self._self_owned(
+                        context, node, attribute
+                    ):
+                        yield self._violation(context, node)
+
+    @staticmethod
+    def _self_owned(
+        context: ModuleContext, node: ast.AST, attribute: ast.Attribute
+    ) -> bool:
+        """``self.k`` mutations inside a class body are the structure
+        managing its own state (``IndexGraph`` growing the vector)."""
+        if not (
+            isinstance(attribute.value, ast.Name)
+            and attribute.value.id == "self"
+        ):
+            return False
+        return any(
+            isinstance(ancestor, ast.ClassDef)
+            for ancestor in context.ancestors(node)
+        )
+
+    def _violation(self, context: ModuleContext, node: ast.AST) -> Finding:
+        owners = ", ".join(OWNER_MODULES)
+        return self.finding(
+            context,
+            node,
+            "direct assignment to IndexGraph.k outside the update layer "
+            f"({owners}); route the write through "
+            "repro.core.updates.assign_similarity so Definition 3 is "
+            "re-established (and audited) afterwards",
+        )

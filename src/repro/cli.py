@@ -9,6 +9,15 @@ Commands:
   [--jobs J] [--out FILE]`` — time the legacy vs worklist refinement
   engines on every construction workload and write the
   ``BENCH_refinement.json`` perf trajectory (see docs/performance.md).
+- ``dkindex bench update [--scale S] [--edges N] [--out FILE]`` — time
+  the Table-1 edge-addition stream through the transactional pipeline
+  at every audit tier; writes ``BENCH_updates.json`` (see
+  docs/robustness.md).
+- ``dkindex audit FILE [--level fast|deep]`` — audit a stored
+  D(k)-index; exits 1 on findings.
+- ``dkindex chaos [--seed N] [--journal-dir DIR]`` — run the
+  fault-injection suite proving rollback-or-repair for every update
+  operation; exits 1 if any scenario breaks.
 - ``dkindex generate <xmark|nasa> --out FILE [--scale S] [--seed N]`` —
   write a dataset graph as JSON.
 - ``dkindex stats FILE`` — print statistics of a stored graph.
@@ -53,7 +62,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             datasets=tuple(
                 name for name in args.datasets.split(",") if name
             ),
-            out=args.out,
+            out=args.out or "BENCH_refinement.json",
+        )
+    if args.experiment == "update":
+        from repro.bench.update import main_entry as update_entry
+
+        return update_entry(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            edges=args.edges,
+            datasets=tuple(
+                name for name in args.datasets.split(",") if name
+            ),
+            out=args.out or "BENCH_updates.json",
         )
     config = ExperimentConfig(scale=float(args.scale))
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -168,6 +190,26 @@ def _cmd_conformance(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.indexes.serialize import load_dk_index
+    from repro.maintenance.audit import run_audit
+
+    dk = load_dk_index(args.file)
+    outcome = run_audit(dk.index, args.level)
+    print(f"{args.file}: {dk.index.num_nodes} index nodes over "
+          f"{dk.graph.num_nodes} data nodes")
+    print(outcome.format())
+    return 0 if outcome.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.maintenance.chaos import run_chaos_suite
+
+    report = run_chaos_suite(seed=args.seed, journal_dir=args.journal_dir)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import LintEngine, get_rules, load_baseline, write_baseline
 
@@ -202,23 +244,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     bench = sub.add_parser("bench", help="run a paper experiment")
-    bench.add_argument("experiment", choices=[*EXPERIMENTS, "refine", "all"])
+    bench.add_argument("experiment",
+                       choices=[*EXPERIMENTS, "refine", "update", "all"])
     bench.add_argument("--scale", default="1.0",
-                       help="dataset scale factor; the refine experiment "
-                       "also accepts small/medium/large")
+                       help="dataset scale factor; the refine/update "
+                       "experiments also accept small/medium/large")
     bench.add_argument("--csv", action="store_true",
                        help="emit CSV series instead of text tables")
     bench.add_argument("--repeats", type=int, default=3,
-                       help="(refine) timed runs per cell; medians recorded")
+                       help="(refine/update) timed runs per cell; medians "
+                       "recorded")
     bench.add_argument("--seed", type=int, default=0,
-                       help="(refine) dataset generator seed")
+                       help="(refine/update) dataset generator seed")
     bench.add_argument("--jobs", type=int, default=0,
                        help="(refine) also time the parallel worklist "
                        "engine with this many worker processes")
+    bench.add_argument("--edges", type=int, default=100,
+                       help="(update) edge additions per timed run")
     bench.add_argument("--datasets", default="xmark,nasa",
-                       help="(refine) comma-separated generator names")
-    bench.add_argument("--out", default="BENCH_refinement.json",
-                       help="(refine) report file to write")
+                       help="(refine/update) comma-separated generator names")
+    bench.add_argument("--out", default=None,
+                       help="(refine/update) report file to write (default "
+                       "BENCH_refinement.json / BENCH_updates.json)")
     bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser("generate", help="generate a dataset graph")
@@ -265,6 +312,24 @@ def build_parser() -> argparse.ArgumentParser:
     conformance.add_argument("--scale", type=float, default=0.1)
     conformance.add_argument("--seed", type=int, default=0)
     conformance.set_defaults(func=_cmd_conformance)
+
+    audit = sub.add_parser(
+        "audit", help="audit a stored D(k)-index at a chosen tier"
+    )
+    audit.add_argument("file", help="a store written by Database.save / "
+                       "save_dk_index")
+    audit.add_argument("--level", choices=["fast", "deep"], default="deep",
+                       help="audit tier (default: deep)")
+    audit.set_defaults(func=_cmd_audit)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection chaos suite"
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="determinism anchor, printed in the report")
+    chaos.add_argument("--journal-dir", default=None,
+                       help="write per-scenario journals into this directory")
+    chaos.set_defaults(func=_cmd_chaos)
 
     lint = sub.add_parser(
         "lint", help="run the AST invariant linter over the codebase"

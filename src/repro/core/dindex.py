@@ -17,20 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
-if TYPE_CHECKING:  # runtime import stays lazy, see DKIndex.explain
+if TYPE_CHECKING:  # runtime imports stay lazy, see DKIndex.explain/.pipeline
     from repro.indexes.explain import Explanation
+    from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
 
 from repro.core.construction import build_dk_index
-from repro.core.promote import (
-    PromoteReport,
-    demote_index,
-    promote_requirements,
-)
-from repro.core.requirements import (
-    merge_requirements,
-    requirements_from_queries,
-)
-from repro.core.updates import EdgeUpdateReport, dk_add_edge, dk_add_subgraph
+from repro.core.promote import PromoteReport
+from repro.core.requirements import requirements_from_queries
+from repro.core.updates import EdgeUpdateReport
 from repro.exceptions import IndexInvariantError
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import IndexGraph
@@ -85,6 +79,9 @@ class DKIndex:
         index: the :class:`IndexGraph`.
         requirements: the per-label requirements the index was built (or
             last promoted/demoted) for.
+        maintenance: the :class:`~repro.maintenance.pipeline.MaintenanceConfig`
+            for the update pipeline (``None`` means defaults: no journal,
+            audit tier from ``DKINDEX_AUDIT``).
     """
 
     def __init__(
@@ -92,10 +89,28 @@ class DKIndex:
         graph: DataGraph,
         index: IndexGraph,
         requirements: Mapping[str, int],
+        maintenance: "MaintenanceConfig | None" = None,
     ) -> None:
         self.graph = graph
         self.index = index
         self.requirements = dict(requirements)
+        self.maintenance = maintenance
+        self._pipeline: "UpdatePipeline | None" = None
+
+    @property
+    def pipeline(self) -> "UpdatePipeline":
+        """The transactional update pipeline (created on first use).
+
+        Every mutating method below routes through it, so by default any
+        update is atomic (rolled back bit-identically on exception) and
+        audited after commit; configure journaling and the audit tier
+        with :attr:`maintenance`.
+        """
+        if self._pipeline is None:
+            from repro.maintenance.pipeline import UpdatePipeline
+
+            self._pipeline = UpdatePipeline(self, self.maintenance)
+        return self._pipeline
 
     # ------------------------------------------------------------------
     # Constructors
@@ -186,8 +201,21 @@ class DKIndex:
     # ------------------------------------------------------------------
 
     def add_edge(self, src_data: int, dst_data: int) -> EdgeUpdateReport:
-        """Add a data edge; adjust local similarities (Algorithms 4+5)."""
-        return dk_add_edge(self.graph, self.index, src_data, dst_data)
+        """Add a data edge; adjust local similarities (Algorithms 4+5).
+
+        Transactional: on any exception the graph and index are rolled
+        back bit-identically (see :attr:`pipeline`).
+        """
+        return self.pipeline.add_edge(src_data, dst_data)
+
+    def add_edges(self, edges: list[tuple[int, int]]) -> list[EdgeUpdateReport]:
+        """Add a batch of data edges atomically (one transaction, one
+        journal entry, one audit); a bad batch is a no-op."""
+        return self.pipeline.add_edges(edges)
+
+    def remove_edge(self, src_data: int, dst_data: int) -> EdgeUpdateReport:
+        """Remove a data edge; conservatively lower similarities."""
+        return self.pipeline.remove_edge(src_data, dst_data)
 
     def add_subgraph(self, subgraph: DataGraph) -> list[int]:
         """Insert a document subgraph under the root (Algorithm 3).
@@ -195,11 +223,7 @@ class DKIndex:
         Returns the node-id mapping from ``subgraph`` into the grown data
         graph.
         """
-        new_index, mapping = dk_add_subgraph(
-            self.graph, self.index, subgraph, self.requirements
-        )
-        self.index = new_index
-        return mapping
+        return self.pipeline.add_subgraph(subgraph)
 
     def promote(self, requirements: Mapping[str, int] | None = None) -> PromoteReport:
         """Periodically re-tune: raise similarities back to requirements.
@@ -209,19 +233,14 @@ class DKIndex:
         raises to the merge of standing and new requirements (a query
         load shift toward longer queries).
         """
-        if requirements is not None:
-            self.requirements = merge_requirements(self.requirements, requirements)
-        return promote_requirements(self.graph, self.index, self.requirements)
+        return self.pipeline.promote(requirements)
 
     def demote(self, requirements: Mapping[str, int]) -> int:
         """Periodically shrink: lower requirements and merge index nodes.
 
         Returns the number of index nodes removed by the merge.
         """
-        before = self.index.num_nodes
-        self.index = demote_index(self.index, requirements)
-        self.requirements = dict(requirements)
-        return before - self.index.num_nodes
+        return self.pipeline.demote(requirements)
 
     # ------------------------------------------------------------------
     # Invariants

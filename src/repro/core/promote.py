@@ -30,9 +30,11 @@ from typing import Mapping, Sequence
 
 from repro.core.broadcast import broadcast_for_graph
 from repro.core.construction import reindex_index_graph, resolve_requirements
+from repro.core.updates import assign_similarity
 from repro.exceptions import UpdateError
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import IndexGraph
+from repro.maintenance.faults import fault_point
 
 
 @dataclass
@@ -140,12 +142,13 @@ def promote_nodes(
                 ids = index.split_node(node, parts)
                 report.index_nodes_split += 1
                 report.new_index_nodes += len(ids) - 1
+                fault_point("promote.split", index)
             else:
                 ids = [node]
             node_need = need[node]
             node_origin = original_k.get(node, index.k[node])
             for piece in ids:
-                index.k[piece] = round_number
+                assign_similarity(index, piece, round_number)
                 need[piece] = node_need
                 original_k.setdefault(piece, node_origin)
 
@@ -194,4 +197,6 @@ def demote_index(
     graph = index.graph
     initial = resolve_requirements(graph, requirements)
     levels = broadcast_for_graph(graph, graph.num_labels, initial)
-    return reindex_index_graph(index, levels)
+    demoted = reindex_index_graph(index, levels)
+    fault_point("demote.reindexed", demoted)
+    return demoted

@@ -27,9 +27,10 @@ from repro.core.construction import (
     reindex_index_graph,
     resolve_requirements,
 )
-from repro.exceptions import UpdateError
+from repro.exceptions import UnknownNodeError, UpdateError
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import IndexGraph
+from repro.maintenance.faults import fault_point
 from repro.partition.blocks import Partition
 
 #: Safety valve for Algorithm 4's label-path frontier; beyond this many
@@ -144,6 +145,77 @@ def update_local_similarity(index: IndexGraph, source: int, target: int) -> int:
     return similarity
 
 
+def assign_similarity(index: IndexGraph, node: int, value: int) -> None:
+    """The authorised write path for assigned local similarities.
+
+    Definition 3's constraint is only maintainable if ``IndexGraph.k``
+    is written by the code that re-establishes it afterwards — the
+    update algorithms here, the promote/demote machinery that routes
+    through this helper, and the maintenance layer's rollback/repair.
+    The ``DK107`` lint rule enforces exactly that ownership.
+    """
+    index.k[node] = value
+
+
+def _require_endpoint(graph: DataGraph, index: IndexGraph, node: int) -> None:
+    """Validate one data-node endpoint of an edge update up front.
+
+    Raises:
+        UnknownNodeError: if ``node`` is not a graph node, or the index
+            predates it (``node_of`` does not cover it) — either way no
+            update algorithm can place it, and failing *before* the
+            first write keeps even the legacy non-transactional path
+            exception-safe.
+    """
+    if not graph.has_node(node) or node >= len(index.node_of):
+        raise UnknownNodeError(node)
+
+
+def _simulate_lowering(
+    index: IndexGraph,
+    start: int,
+    start_k: int,
+    add_edge: tuple[int, int] | None = None,
+    drop_edge: tuple[int, int] | None = None,
+) -> tuple[dict[int, tuple[int, int]], int]:
+    """Plan Algorithm 5's sweep without touching the index.
+
+    Runs the same breadth-first relaxation as :func:`lower_similarities`
+    against an overlay of ``index.k`` in which ``start`` is already
+    lowered to ``start_k``, and against the index adjacency as it *will*
+    look after the pending update (``add_edge`` / ``drop_edge`` are
+    virtual index-edge changes).  The relaxation is monotone, so the
+    planned fixpoint equals what the in-place sweep would compute.
+
+    Returns:
+        ``(lowered, touched)`` exactly like :func:`lower_similarities`,
+        with ``start`` included in ``lowered`` when it drops.
+    """
+    overlay: dict[int, int] = {}
+    lowered: dict[int, tuple[int, int]] = {}
+    if start_k < index.k[start]:
+        overlay[start] = start_k
+        lowered[start] = (index.k[start], start_k)
+    touched = 0
+    queue = deque([start])
+    while queue:
+        current = queue.popleft()
+        ceiling = overlay.get(current, index.k[current]) + 1
+        children = index.children[current]
+        if add_edge is not None and current == add_edge[0]:
+            children = children | {add_edge[1]}
+        if drop_edge is not None and current == drop_edge[0]:
+            children = children - {drop_edge[1]}
+        for child in children:
+            touched += 1
+            if overlay.get(child, index.k[child]) > ceiling:
+                previous = lowered.get(child, (index.k[child], 0))[0]
+                lowered[child] = (previous, ceiling)
+                overlay[child] = ceiling
+                queue.append(child)
+    return lowered, touched
+
+
 def lower_similarities(index: IndexGraph, start: int) -> tuple[dict[int, tuple[int, int]], int]:
     """Algorithm 5's sweep: re-establish the D(k) constraint below ``start``.
 
@@ -184,12 +256,22 @@ def dk_add_edge(
         index: the D(k)-index to update.
         src_data / dst_data: endpoints of the new data edge.
 
+    The full plan — Algorithm 4's new similarity and Algorithm 5's
+    lowering fixpoint — is computed *before* the first write, so every
+    failure mode (unknown endpoints, duplicate edge, a fault injected
+    mid-plan) raises while the graph and index are still untouched; the
+    writes that follow are plain assignments that cannot fail.
+
     Raises:
+        UnknownNodeError: if either endpoint is not covered by the
+            graph and the index.
         UpdateError: if the data edge already exists or the index does
             not belong to ``graph``.
     """
     if index.graph is not graph:
         raise UpdateError("index was built over a different data graph")
+    _require_endpoint(graph, index, src_data)
+    _require_endpoint(graph, index, dst_data)
     if graph.has_edge(src_data, dst_data):
         raise UpdateError(f"data edge {src_data} -> {dst_data} already exists")
 
@@ -197,26 +279,33 @@ def dk_add_edge(
     target = index.node_of[dst_data]
 
     # Algorithm 4 runs against the index *before* the edge appears.
+    old_k = index.k[target]
     new_k = update_local_similarity(index, source, target)
+    will_add_index_edge = target not in index.children[source]
+    lowered, touched = _simulate_lowering(
+        index, target, min(new_k, old_k), add_edge=(source, target)
+    )
+    fault_point("add_edge.planned", index)
 
+    # Writes: nothing below can raise.
     graph.add_edge(src_data, dst_data)
-    new_index_edge = index.add_index_edge(source, target)
+    fault_point("add_edge.graph_mutated", index)
+    if will_add_index_edge:
+        index.add_index_edge(source, target)
+    fault_point("add_edge.index_edge", index)
+    for node, (_old, new) in lowered.items():
+        assign_similarity(index, node, new)
+    fault_point("add_edge.lowered", index)
 
-    report = EdgeUpdateReport(
+    return EdgeUpdateReport(
         source=source,
         target=target,
-        old_k=index.k[target],
-        new_k=new_k,
-        new_index_edge=new_index_edge,
+        old_k=old_k,
+        new_k=index.k[target],
+        lowered=lowered,
+        index_nodes_touched=touched + 1,
+        new_index_edge=will_add_index_edge,
     )
-    if new_k < index.k[target]:
-        report.lowered[target] = (index.k[target], new_k)
-        index.k[target] = new_k
-    sweep_lowered, touched = lower_similarities(index, target)
-    report.lowered.update(sweep_lowered)
-    report.index_nodes_touched = touched + 1
-    report.new_k = index.k[target]
-    return report
 
 
 def enforce_dk_constraint(index: IndexGraph) -> int:
@@ -277,6 +366,7 @@ def dk_add_subgraph(
         raise UpdateError("index was built over a different data graph")
 
     mapping = graph.graft(subgraph)
+    fault_point("add_subgraph.grafted", index)
 
     # Broadcast over the *combined* graph, then express the levels in
     # the subgraph's own label-id space (names are shared).
@@ -323,6 +413,7 @@ def dk_add_subgraph(
     )
     merged = reindex_index_graph(provisional, levels)
     enforce_dk_constraint(merged)
+    fault_point("add_subgraph.reindexed", merged)
     return merged, mapping
 
 
@@ -335,13 +426,31 @@ def dk_add_edges(
 
     A convenience wrapper over :func:`dk_add_edge` that groups the
     inevitable bookkeeping of update streams (the experiments apply 100
-    edges at a time).  Edges are applied in order; a duplicate edge in
-    the batch raises after the earlier ones have been applied, exactly
-    like applying them one by one.
+    edges at a time).  The whole batch is validated up front — unknown
+    endpoints, edges already in the graph, and duplicates *within the
+    batch* (including repeated self-loops) all raise before the first
+    edge is applied, so a bad batch is a no-op rather than a partial
+    application.
 
     Returns:
         One :class:`EdgeUpdateReport` per edge, in order.
+
+    Raises:
+        UnknownNodeError: if any endpoint is unknown.
+        UpdateError: if any edge already exists or appears twice in the
+            batch.
     """
+    if index.graph is not graph:
+        raise UpdateError("index was built over a different data graph")
+    seen: set[tuple[int, int]] = set()
+    for src, dst in edges:
+        _require_endpoint(graph, index, src)
+        _require_endpoint(graph, index, dst)
+        if graph.has_edge(src, dst):
+            raise UpdateError(f"data edge {src} -> {dst} already exists")
+        if (src, dst) in seen:
+            raise UpdateError(f"duplicate edge {src} -> {dst} in batch")
+        seen.add((src, dst))
     return [dk_add_edge(graph, index, src, dst) for src, dst in edges]
 
 
@@ -369,40 +478,57 @@ def dk_remove_edge(
     Soundness is preserved (lowering only sends more queries to
     validation); a later promote recovers the lost similarity.
 
+    Like :func:`dk_add_edge`, the whole plan (index-edge survival scan,
+    lowering fixpoint) is computed before the first write.
+
     Raises:
+        UnknownNodeError: if either endpoint is not covered by the
+            graph and the index.
         UpdateError: if the data edge does not exist.
     """
     if index.graph is not graph:
         raise UpdateError("index was built over a different data graph")
+    _require_endpoint(graph, index, src_data)
+    _require_endpoint(graph, index, dst_data)
     if not graph.has_edge(src_data, dst_data):
         raise UpdateError(f"data edge {src_data} -> {dst_data} does not exist")
 
-    graph.remove_edge(src_data, dst_data)
-
     source = index.node_of[src_data]
     target = index.node_of[dst_data]
+    # Does any *other* data edge still cross the index edge U -> V?
     crossing_remains = any(
         index.node_of[child] == target
+        and (member, child) != (src_data, dst_data)
         for member in index.extents[source]
         for child in graph.children[member]
     )
+    old_k = index.k[target]
+    lowered, touched = _simulate_lowering(
+        index,
+        target,
+        0,
+        drop_edge=None if crossing_remains else (source, target),
+    )
+    fault_point("remove_edge.planned", index)
+
+    # Writes: nothing below can raise.
+    graph.remove_edge(src_data, dst_data)
+    fault_point("remove_edge.graph_mutated", index)
     if not crossing_remains:
         index.remove_index_edge(source, target)
+    for node, (_old, new) in lowered.items():
+        assign_similarity(index, node, new)
+    fault_point("remove_edge.lowered", index)
 
-    report = EdgeUpdateReport(
+    return EdgeUpdateReport(
         source=source,
         target=target,
-        old_k=index.k[target],
+        old_k=old_k,
         new_k=0,
+        lowered=lowered,
+        index_nodes_touched=touched + 1,
         new_index_edge=False,
     )
-    if index.k[target] > 0:
-        report.lowered[target] = (index.k[target], 0)
-        index.k[target] = 0
-    sweep_lowered, touched = lower_similarities(index, target)
-    report.lowered.update(sweep_lowered)
-    report.index_nodes_touched = touched + 1
-    return report
 
 
 # ----------------------------------------------------------------------

@@ -29,8 +29,8 @@ from typing import IO, Any, Mapping
 
 from repro.core.dindex import DKIndex
 from repro.core.tuner import AdaptiveTuner, TunerConfig
-from repro.core.updates import dk_remove_edge
 from repro.exceptions import ReproError
+from repro.maintenance.pipeline import MaintenanceConfig
 from repro.graph.datagraph import DataGraph
 from repro.graph.stats import GraphStats, graph_stats
 from repro.graph.xmlio import parse_xml
@@ -74,6 +74,10 @@ class Database:
             at the label-split index and let the tuner learn).
         auto_tune: manage the index with an :class:`AdaptiveTuner`.
         tuner_config: policy knobs when ``auto_tune`` is on.
+        audit: post-update audit tier (``off``/``fast``/``deep``); the
+            default honours ``DKINDEX_AUDIT`` and falls back to ``fast``.
+        journal_path: write-ahead journal location; ``None`` disables
+            journaling (see :mod:`repro.maintenance.journal`).
     """
 
     def __init__(
@@ -82,8 +86,12 @@ class Database:
         requirements: Mapping[str, int] | None = None,
         auto_tune: bool = True,
         tuner_config: TunerConfig | None = None,
+        audit: str | None = None,
+        journal_path: str | Path | None = None,
     ) -> None:
+        self._maintenance = self._maintenance_config(audit, journal_path)
         self._dk = DKIndex.build(graph or DataGraph(), dict(requirements or {}))
+        self._dk.maintenance = self._maintenance
         self._tuner = (
             AdaptiveTuner(self._dk, tuner_config) if auto_tune else None
         )
@@ -98,6 +106,16 @@ class Database:
     def from_xml(cls, xml: str, **kwargs: Any) -> "Database":
         """Create a database from one XML document."""
         return cls(graph=parse_xml(xml), **kwargs)
+
+    @staticmethod
+    def _maintenance_config(
+        audit: str | None, journal_path: str | Path | None
+    ) -> MaintenanceConfig | None:
+        if audit is None and journal_path is None:
+            return None  # pipeline defaults (DKINDEX_AUDIT honoured)
+        if audit is None:
+            return MaintenanceConfig(journal_path=journal_path)
+        return MaintenanceConfig(audit=audit, journal_path=journal_path)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -189,7 +207,7 @@ class Database:
 
     def remove_reference(self, src: int, dst: int) -> None:
         """Remove an edge (the deletion extension of Section 5)."""
-        dk_remove_edge(self._dk.graph, self._dk.index, src, dst)
+        self._dk.remove_edge(src, dst)
         self._fb = None
         self.statistics.edges_removed += 1
 
@@ -218,6 +236,7 @@ class Database:
 
         dk = load_dk_index(source)
         database = cls(auto_tune=kwargs.pop("auto_tune", True), **kwargs)
+        dk.maintenance = database._maintenance
         database._dk = dk
         if database._tuner is not None:
             database._tuner = AdaptiveTuner(dk, database._tuner.config)

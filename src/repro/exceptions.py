@@ -64,6 +64,36 @@ class UpdateError(ReproError):
     """An incremental update operation could not be applied."""
 
 
+class MaintenanceError(ReproError):
+    """The transactional maintenance pipeline failed."""
+
+
+class JournalError(MaintenanceError):
+    """A write-ahead journal is corrupt or cannot be replayed."""
+
+
+class QuarantineError(MaintenanceError):
+    """A post-update audit failed and automatic repair did not recover.
+
+    The index is flagged as quarantined; answers may be unsound until a
+    successful repair or rebuild.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """Raised by the fault-injection harness at an armed injection point.
+
+    Deliberately *not* a :class:`MaintenanceError`: the chaos suite must
+    prove the pipeline survives arbitrary exceptions, so the injected
+    fault should look like any foreign error to the transaction layer.
+    """
+
+    def __init__(self, point: str, hit: int) -> None:
+        super().__init__(f"injected fault at {point!r} (hit {hit})")
+        self.point = point
+        self.hit = hit
+
+
 class WorkloadError(ReproError):
     """A query workload is malformed or incompatible with a graph."""
 

@@ -104,8 +104,9 @@ def audit_similarities(
     max_k: int = 6,
     max_paths: int = 20_000,
     max_findings: int = 20,
+    nodes: Sequence[int] | None = None,
 ) -> AuditReport:
-    """Audit every index node's claimed similarity against the data.
+    """Audit index nodes' claimed similarities against the data.
 
     Args:
         index: the index graph (any kind; A(k)/1-index audit their
@@ -116,6 +117,9 @@ def audit_similarities(
         max_paths: per-node label-path budget; exceeding it skips the
             node (counted in ``nodes_skipped``).
         max_findings: stop after this many findings.
+        nodes: restrict the audit to these index nodes (the maintenance
+            pipeline's targeted spot check on touched extents); the
+            default audits every node.
 
     Example:
         >>> from repro.graph.builder import graph_from_edges
@@ -135,7 +139,7 @@ def audit_similarities(
     """
     graph = index.graph
     report = AuditReport()
-    for node in range(index.num_nodes):
+    for node in range(index.num_nodes) if nodes is None else nodes:
         if len(report.findings) >= max_findings:
             break
         extent = index.extents[node]

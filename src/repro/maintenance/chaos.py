@@ -1,0 +1,334 @@
+"""The chaos suite: rollback-or-repair, proven operation by operation.
+
+For every mutating operation × relevant fault point × fault mode, this
+harness builds a fresh fixture store, arms a deterministic
+:class:`~repro.maintenance.faults.FaultInjector`, runs the operation
+through the full :class:`~repro.maintenance.pipeline.UpdatePipeline`
+(journal + transaction + deep audit + repair), and then verifies the
+outcome against the only two acceptable stories:
+
+- **raise** faults must leave the store *bit-identical* to its pre-op
+  state (checked with
+  :func:`~repro.maintenance.transaction.state_fingerprint`);
+- **corrupt** faults must end in a committed store whose index answers
+  a battery of label-path queries exactly like the data graph does —
+  either because the repair ladder healed it (``repaired``), or because
+  the corruption was overwritten by later writes or discarded with a
+  superseded index object (``absorbed``).
+
+Scenarios whose injection point never lies on the operation's path are
+recorded as ``not-hit`` and still verified for clean behaviour.  Any
+other ending is ``broken`` (a rollback that left residue) or
+``unrepaired`` (quarantine with a failed repair) — the suite's headline
+number, required to be zero.
+
+Everything derives from the printed seed; a failing triple
+``(op, point, mode)`` reproduces exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.dindex import DKIndex
+from repro.core.updates import dk_add_edge
+from repro.exceptions import InjectedFaultError, QuarantineError
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.indexes.evaluation import evaluate_on_index
+from repro.maintenance.faults import FAULT_MODES, FaultInjector
+from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
+from repro.maintenance.transaction import state_fingerprint
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import make_query
+
+#: Fault points that lie on (or may lie on) each operation's path.  The
+#: shared ``pipeline.pre_audit`` point is exercised for every operation.
+POINTS_FOR_OP: dict[str, tuple[str, ...]] = {
+    "add_edge": (
+        "add_edge.planned",
+        "add_edge.graph_mutated",
+        "add_edge.index_edge",
+        "add_edge.lowered",
+        "pipeline.pre_audit",
+    ),
+    "add_edges": (
+        "add_edge.planned",
+        "add_edge.graph_mutated",
+        "add_edge.lowered",
+        "pipeline.pre_audit",
+    ),
+    "remove_edge": (
+        "remove_edge.planned",
+        "remove_edge.graph_mutated",
+        "remove_edge.lowered",
+        "pipeline.pre_audit",
+    ),
+    "add_subgraph": (
+        "add_subgraph.grafted",
+        "add_subgraph.reindexed",
+        "pipeline.pre_audit",
+    ),
+    "promote": ("promote.split", "pipeline.pre_audit"),
+    "demote": ("demote.reindexed", "pipeline.pre_audit"),
+}
+
+#: Label-path queries whose index answers are compared against the data
+#: graph after every committed scenario (validation on, so any unsound
+#: similarity that survives audit+repair shows up as a wrong answer).
+ORACLE_QUERIES = (
+    "t",
+    "m.t",
+    "db.m",
+    "db.m.t",
+    "db.m.a",
+    "m.x",
+    "a.m.t",
+)
+
+
+@dataclass
+class ChaosOutcome:
+    """One (operation, point, mode) scenario's verdict."""
+
+    op: str
+    point: str
+    mode: str
+    fired: bool
+    outcome: str  # rolled-back | repaired | absorbed | not-hit | unrepaired | broken
+    detail: str = ""
+
+    def format(self) -> str:
+        flag = "*" if self.outcome in ("broken", "unrepaired") else " "
+        detail = f"  ({self.detail})" if self.detail else ""
+        return (
+            f"{flag} {self.op:<13} {self.point:<26} {self.mode:<8} "
+            f"-> {self.outcome}{detail}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Everything :func:`run_chaos_suite` proved (or failed to)."""
+
+    seed: int
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ChaosOutcome]:
+        return [
+            outcome
+            for outcome in self.outcomes
+            if outcome.outcome in ("broken", "unrepaired")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.outcome] = tally.get(outcome.outcome, 0) + 1
+        return tally
+
+    def format(self) -> str:
+        lines = [f"chaos suite, seed {self.seed}:"]
+        lines.extend(outcome.format() for outcome in self.outcomes)
+        tally = ", ".join(
+            f"{name}: {count}" for name, count in sorted(self.counts().items())
+        )
+        verdict = "OK" if self.ok else f"FAILED ({len(self.failures)} scenario(s))"
+        lines.append(f"{len(self.outcomes)} scenarios ({tally}) -> {verdict}")
+        return "\n".join(lines)
+
+
+def _fixture() -> DKIndex:
+    """A small store with branching, sharing and a cycle.
+
+    Node 0 is the implicit root; 1=db, then three ``m`` subtrees with
+    ``t``/``a``/``x`` children and an IDREF-style back edge a -> m that
+    closes a cycle — enough shape for splits, merges and lowering sweeps
+    to all have work to do.
+    """
+    labels = ["db", "m", "t", "a", "m", "t", "a", "m", "x", "t"]
+    edges = [
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (2, 4),
+        (1, 5),
+        (5, 6),
+        (5, 7),
+        (1, 8),
+        (8, 9),
+        (8, 10),
+        (7, 2),  # a -> m back edge (cycle)
+    ]
+    graph = graph_from_edges(labels, edges)
+    return DKIndex.build(graph, {"t": 2, "x": 3})
+
+
+def _subgraph_fixture() -> DataGraph:
+    """A small document to insert (root block merges with the store's)."""
+    return graph_from_edges(["m", "t", "a"], [(0, 1), (1, 2), (1, 3)])
+
+
+def _new_edge_candidates(graph: DataGraph) -> list[tuple[int, int]]:
+    return [
+        (src, dst)
+        for src in range(graph.num_nodes)
+        for dst in range(1, graph.num_nodes)
+        if src != dst and not graph.has_edge(src, dst)
+    ]
+
+
+def _existing_edges(graph: DataGraph) -> list[tuple[int, int]]:
+    return [
+        (src, dst)
+        for src in range(graph.num_nodes)
+        for dst in graph.children[src]
+    ]
+
+
+def _oracle(graph: DataGraph) -> dict[str, set[int]]:
+    return {
+        text: evaluate_on_data_graph(graph, make_query(text))
+        for text in ORACLE_QUERIES
+    }
+
+
+def _query_mismatches(dk: DKIndex) -> list[str]:
+    expected = _oracle(dk.graph)
+    mismatches = []
+    for text, truth in expected.items():
+        got = evaluate_on_index(dk.index, make_query(text))
+        if got != truth:
+            mismatches.append(
+                f"query {text!r}: index {sorted(got)} != data {sorted(truth)}"
+            )
+    return mismatches
+
+
+def _build_action(
+    op: str, dk: DKIndex, pipeline: UpdatePipeline, rng: random.Random
+) -> Callable[[], object]:
+    """The scenario's operation, with seed-chosen arguments."""
+    if op == "add_edge":
+        src, dst = rng.choice(_new_edge_candidates(dk.graph))
+        return lambda: pipeline.add_edge(src, dst)
+    if op == "add_edges":
+        candidates = _new_edge_candidates(dk.graph)
+        batch = rng.sample(candidates, k=min(3, len(candidates)))
+        return lambda: pipeline.add_edges(batch)
+    if op == "remove_edge":
+        src, dst = rng.choice(_existing_edges(dk.graph))
+        return lambda: pipeline.remove_edge(src, dst)
+    if op == "add_subgraph":
+        subgraph = _subgraph_fixture()
+        return lambda: pipeline.add_subgraph(subgraph)
+    if op == "promote":
+        # Erode similarities first so the promotion has splits to do
+        # (otherwise promote.split is unreachable by construction).
+        dk_add_edge(dk.graph, dk.index, 9, 6)
+        return lambda: pipeline.promote(None)
+    if op == "demote":
+        return lambda: pipeline.demote({"t": 1})
+    raise ValueError(f"unknown chaos op {op!r}")
+
+
+def _run_scenario(
+    op: str,
+    point: str,
+    mode: str,
+    seed: int,
+    journal_dir: Path | None,
+) -> ChaosOutcome:
+    dk = _fixture()
+    rng = random.Random(f"{seed}:{op}:{point}:{mode}")
+    journal_path = (
+        journal_dir / f"{op}--{point}--{mode}.jsonl"
+        if journal_dir is not None
+        else None
+    )
+    pipeline = UpdatePipeline(
+        dk,
+        MaintenanceConfig(audit="deep", journal_path=journal_path),
+    )
+    action = _build_action(op, dk, pipeline, rng)
+    before = state_fingerprint(dk.graph, dk.index)
+
+    injector = FaultInjector(point, mode, seed=seed)
+    injected: InjectedFaultError | None = None
+    quarantined: QuarantineError | None = None
+    with injector:
+        try:
+            action()
+        except InjectedFaultError as error:
+            injected = error
+        except QuarantineError as error:
+            quarantined = error
+
+    if quarantined is not None:
+        return ChaosOutcome(
+            op, point, mode, injector.fired, "unrepaired", str(quarantined)
+        )
+    if injected is not None:
+        after = state_fingerprint(dk.graph, dk.index)
+        if after != before:
+            return ChaosOutcome(
+                op, point, mode, True, "broken",
+                "rollback left the store different from its pre-op state",
+            )
+        mismatches = _query_mismatches(dk)
+        if mismatches:
+            return ChaosOutcome(op, point, mode, True, "broken", mismatches[0])
+        return ChaosOutcome(op, point, mode, True, "rolled-back")
+
+    # The operation committed; whatever the fault did, the store must now
+    # answer queries exactly like the data graph.
+    mismatches = _query_mismatches(dk)
+    if mismatches:
+        return ChaosOutcome(
+            op, point, mode, injector.fired, "broken", mismatches[0]
+        )
+    if pipeline.last_repair is not None:
+        strategy = pipeline.last_repair.strategy
+        return ChaosOutcome(
+            op, point, mode, injector.fired, "repaired", f"via {strategy}"
+        )
+    if injector.fired:
+        return ChaosOutcome(op, point, mode, True, "absorbed")
+    return ChaosOutcome(op, point, mode, False, "not-hit")
+
+
+def run_chaos_suite(
+    seed: int = 0,
+    journal_dir: str | Path | None = None,
+) -> ChaosReport:
+    """Run the full operation × fault-point × mode matrix.
+
+    Args:
+        seed: determinism anchor; printed in the report so any failure
+            reproduces from its ``(op, point, mode, seed)`` quadruple.
+        journal_dir: when given, every scenario journals to
+            ``<dir>/<op>--<point>--<mode>.jsonl`` (the CI chaos job
+            uploads these as artifacts on failure).
+
+    Returns:
+        A :class:`ChaosReport`; ``report.ok`` is the suite verdict.
+    """
+    directory = Path(journal_dir) if journal_dir is not None else None
+    if directory is not None:
+        directory.mkdir(parents=True, exist_ok=True)
+    report = ChaosReport(seed=seed)
+    for op, points in POINTS_FOR_OP.items():
+        for point in points:
+            for mode in FAULT_MODES:
+                report.outcomes.append(
+                    _run_scenario(op, point, mode, seed, directory)
+                )
+    return report

@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the update pipeline.
+
+The chaos suite must prove one property: *whatever* goes wrong inside a
+mutating operation, the store ends up either rolled back bit-identically
+or repaired to a valid index.  "Whatever goes wrong" is modelled by
+named **injection points** threaded through the update and maintenance
+code (:data:`FAULT_POINTS`); an armed :class:`FaultInjector` either
+raises :class:`~repro.exceptions.InjectedFaultError` or silently
+corrupts the index's similarity state on the Nth hit of a point.
+
+Raising faults exercise the transaction/rollback layer; corrupting
+faults slip past it on purpose (nothing raises, so the transaction
+commits) and exercise the audit-quarantine-repair layer instead.
+
+Everything is deterministic: the corruption victim is derived from the
+armed seed and the index's current shape, never from global randomness,
+so every chaos failure reproduces from its printed ``(point, mode,
+seed)`` triple.
+
+When no injector is armed, :func:`fault_point` is a dict lookup plus a
+``None`` check — cheap enough to leave compiled into the hot update
+path permanently.
+"""
+
+from __future__ import annotations
+
+from types import TracebackType
+from typing import TYPE_CHECKING
+
+from repro.exceptions import InjectedFaultError, MaintenanceError
+
+if TYPE_CHECKING:
+    from repro.indexes.base import IndexGraph
+
+#: Registry of injection points threaded through the update/refinement
+#: code, keyed by name with a short description of where the point sits.
+FAULT_POINTS: dict[str, str] = {
+    "add_edge.planned": "dk_add_edge: plan complete, before the first write",
+    "add_edge.graph_mutated": "dk_add_edge: data edge in, index untouched",
+    "add_edge.index_edge": "dk_add_edge: index edge in, ks not yet lowered",
+    "add_edge.lowered": "dk_add_edge: after the Algorithm-5 sweep",
+    "remove_edge.planned": "dk_remove_edge: plan complete, before writes",
+    "remove_edge.graph_mutated": "dk_remove_edge: data edge out, index stale",
+    "remove_edge.lowered": "dk_remove_edge: after the lowering sweep",
+    "add_subgraph.grafted": "dk_add_subgraph: subgraph grafted, no index yet",
+    "add_subgraph.reindexed": "dk_add_subgraph: merged index built",
+    "promote.split": "promote_nodes: after an extent split inside a round",
+    "demote.reindexed": "demote_index: coarser index built, not yet swapped",
+    "pipeline.pre_audit": "pipeline: operation done, audit not yet run",
+}
+
+#: Injection modes: ``raise`` throws InjectedFaultError at the point;
+#: ``corrupt`` silently damages a k value and lets the operation finish.
+FAULT_MODES = ("raise", "corrupt")
+
+
+class FaultInjector:
+    """Arms one injection point; also a context manager installing itself.
+
+    Args:
+        point: a key of :data:`FAULT_POINTS`.
+        mode: ``"raise"`` or ``"corrupt"``.
+        trigger_on_hit: fire on the Nth time the point is reached
+            (1-based); later hits pass through untouched.
+        seed: determinism anchor for corruption victim selection.
+
+    Attributes:
+        hits: how often the armed point has been reached.
+        fired: whether the fault actually triggered.
+    """
+
+    def __init__(
+        self,
+        point: str,
+        mode: str = "raise",
+        trigger_on_hit: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if point not in FAULT_POINTS:
+            raise MaintenanceError(
+                f"unknown fault point {point!r}; registered: "
+                f"{', '.join(sorted(FAULT_POINTS))}"
+            )
+        if mode not in FAULT_MODES:
+            raise MaintenanceError(
+                f"unknown fault mode {mode!r}; use one of {FAULT_MODES}"
+            )
+        if trigger_on_hit < 1:
+            raise MaintenanceError("trigger_on_hit is 1-based")
+        self.point = point
+        self.mode = mode
+        self.trigger_on_hit = trigger_on_hit
+        self.seed = seed
+        self.hits = 0
+        self.fired = False
+
+    # -- installation ---------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        _install(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        _uninstall(self)
+
+    # -- the hit path ---------------------------------------------------
+
+    def hit(self, point: str, index: "IndexGraph | None") -> None:
+        """Called by :func:`fault_point` when this injector is armed."""
+        if point != self.point:
+            return
+        self.hits += 1
+        if self.fired or self.hits != self.trigger_on_hit:
+            return
+        self.fired = True
+        if self.mode == "raise":
+            raise InjectedFaultError(point, self.hits)
+        if index is not None:
+            self._corrupt(index)
+
+    def _corrupt(self, index: "IndexGraph") -> None:
+        """Deterministically damage one local similarity.
+
+        The victim is a non-root index node that has at least one parent
+        (so the +10 bump is guaranteed to violate Definition 3 against
+        realistic k ranges), chosen by the seed.  Indexes too small to
+        corrupt are left alone — the chaos harness records the fault as
+        fired either way.
+        """
+        candidates = [
+            node
+            for node in range(index.num_nodes)
+            if index.parents[node]
+        ]
+        if not candidates:
+            return
+        victim = candidates[self.seed % len(candidates)]
+        index.k[victim] = index.k[victim] + 10
+
+
+#: The armed injector, if any.  A single slot (not a stack): chaos runs
+#: one fault at a time, which is also what keeps failures attributable.
+_ARMED: FaultInjector | None = None
+
+
+def _install(injector: FaultInjector) -> None:
+    global _ARMED
+    if _ARMED is not None:
+        raise MaintenanceError(
+            f"fault injector already armed at {_ARMED.point!r}"
+        )
+    _ARMED = injector
+
+
+def _uninstall(injector: FaultInjector) -> None:
+    global _ARMED
+    if _ARMED is injector:
+        _ARMED = None
+
+
+def inject_faults(
+    point: str,
+    mode: str = "raise",
+    trigger_on_hit: int = 1,
+    seed: int = 0,
+) -> FaultInjector:
+    """Convenience constructor: ``with inject_faults("add_edge.planned"): ...``."""
+    return FaultInjector(point, mode, trigger_on_hit=trigger_on_hit, seed=seed)
+
+
+def fault_point(name: str, index: "IndexGraph | None" = None) -> None:
+    """Mark an injection point in production code.
+
+    ``name`` must be registered in :data:`FAULT_POINTS` (checked only
+    when an injector is armed, keeping the disarmed path free).  Pass
+    the index being mutated so corrupting faults have a target.
+    """
+    armed = _ARMED
+    if armed is not None:
+        if name not in FAULT_POINTS:
+            raise MaintenanceError(f"unregistered fault point {name!r}")
+        armed.hit(name, index)

@@ -1,0 +1,293 @@
+"""Write-ahead journaling for D(k)-index updates.
+
+The :class:`UpdateJournal` is a JSONL file with one entry per line:
+
+- ``{"type": "base", "seq": 0, "index": {...}}`` — a full snapshot of
+  the starting :class:`~repro.core.dindex.DKIndex` (the
+  ``repro-indexgraph`` document of :mod:`repro.indexes.serialize`,
+  graph embedded), written once when the journal is attached.
+- ``{"type": "begin", "seq": n, "op": "add_edge", "args": {...}}`` —
+  appended and flushed *before* the operation touches anything, so a
+  crash mid-operation leaves a dangling ``begin`` rather than silence.
+- ``{"type": "commit", "seq": n}`` / ``{"type": "abort", "seq": n,
+  "reason": "..."}`` — the operation's fate.
+
+:meth:`UpdateJournal.replay` rebuilds an index by loading the base
+snapshot and re-executing every *committed* operation in sequence order
+— dangling and aborted entries are skipped.  Replay goes through the
+same core update algorithms as live execution, so the replayed index
+partitions the data identically to the journaled one (asserted by the
+maintenance test suite).
+
+Journaled operation names and their argument schemas:
+
+==============  ====================================================
+``add_edge``    ``{"src": int, "dst": int}``
+``add_edges``   ``{"edges": [[int, int], ...]}``
+``remove_edge``  ``{"src": int, "dst": int}``
+``add_subgraph``  ``{"subgraph": <repro-datagraph doc>, "requirements": {...}}``
+``promote``     ``{"requirements": {...} | null}``
+``demote``      ``{"requirements": {...}}``
+==============  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from repro.exceptions import JournalError
+
+if TYPE_CHECKING:  # runtime import stays lazy: the facade imports the
+    from repro.core.dindex import DKIndex  # update code, which imports us
+
+#: Operations the journal knows how to record and replay.
+JOURNALED_OPS = (
+    "add_edge",
+    "add_edges",
+    "remove_edge",
+    "add_subgraph",
+    "promote",
+    "demote",
+)
+
+
+@dataclass
+class JournalEntry:
+    """One parsed journal line."""
+
+    type: str
+    seq: int
+    op: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+    reason: str = ""
+
+
+class UpdateJournal:
+    """Append-only JSONL write-ahead journal for one D(k)-index.
+
+    Attach with :meth:`open` (writes the base snapshot when the file is
+    new); or construct directly over an existing journal file for
+    read-only use (:meth:`entries`, :meth:`replay`).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._next_seq = 1
+        self._open_seqs: set[int] = set()
+        if self.path.exists():
+            for entry in self.entries():
+                if entry.seq >= self._next_seq:
+                    self._next_seq = entry.seq + 1
+                if entry.type == "begin":
+                    self._open_seqs.add(entry.seq)
+                elif entry.type in ("commit", "abort"):
+                    self._open_seqs.discard(entry.seq)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str | Path, dk: "DKIndex") -> "UpdateJournal":
+        """Attach a journal to ``dk``, snapshotting it if the file is new."""
+        journal = cls(path)
+        if not journal.path.exists() or journal.path.stat().st_size == 0:
+            journal.write_base(dk)
+        return journal
+
+    def write_base(self, dk: "DKIndex") -> None:
+        """Write the base snapshot (seq 0).  Must be the first entry."""
+        from repro.indexes.serialize import index_to_dict
+
+        if self.path.exists() and self.path.stat().st_size > 0:
+            raise JournalError(f"{self.path} already has entries; cannot re-base")
+        document = index_to_dict(
+            dk.index, embed_graph=True, requirements=dict(dk.requirements)
+        )
+        self._append({"type": "base", "seq": 0, "index": document})
+
+    def begin(self, op: str, args: Mapping[str, Any]) -> int:
+        """Record intent to run ``op``; returns the sequence number.
+
+        Raises:
+            JournalError: for an unknown operation name.
+        """
+        if op not in JOURNALED_OPS:
+            raise JournalError(f"unknown journal op {op!r}; use one of {JOURNALED_OPS}")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._append({"type": "begin", "seq": seq, "op": op, "args": dict(args)})
+        self._open_seqs.add(seq)
+        return seq
+
+    def commit(self, seq: int) -> None:
+        """Mark operation ``seq`` committed."""
+        self._close(seq, {"type": "commit", "seq": seq})
+
+    def abort(self, seq: int, reason: str = "") -> None:
+        """Mark operation ``seq`` aborted (rolled back)."""
+        self._close(seq, {"type": "abort", "seq": seq, "reason": reason})
+
+    def _close(self, seq: int, record: dict[str, Any]) -> None:
+        if seq not in self._open_seqs:
+            raise JournalError(f"seq {seq} is not an open operation")
+        self._append(record)
+        self._open_seqs.discard(seq)
+
+    def _append(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[JournalEntry]:
+        """Parse the journal, line by line.
+
+        Raises:
+            JournalError: on malformed lines (truncated trailing lines —
+                the one thing a crash can legitimately leave behind —
+                are tolerated and end the iteration instead).
+        """
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                except json.JSONDecodeError:
+                    if line.endswith("\n"):
+                        raise JournalError(
+                            f"{self.path}:{number}: malformed journal line"
+                        ) from None
+                    return  # torn final write from a crash; replayable prefix ends here
+                if not isinstance(record, dict) or "type" not in record:
+                    raise JournalError(
+                        f"{self.path}:{number}: journal line is not an entry object"
+                    )
+                yield JournalEntry(
+                    type=str(record["type"]),
+                    seq=int(record.get("seq", -1)),
+                    op=str(record.get("op", "")),
+                    args=dict(record.get("args", {})),
+                    reason=str(record.get("reason", "")),
+                )
+
+    def dangling(self) -> list[int]:
+        """Sequence numbers with a ``begin`` but no ``commit``/``abort``."""
+        return sorted(self._open_seqs)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def replay(self) -> "DKIndex":
+        """Rebuild an index: base snapshot + committed operations, in order.
+
+        Returns:
+            A fresh :class:`~repro.core.dindex.DKIndex` over a fresh data
+            graph; the journaled store is never touched.
+
+        Raises:
+            JournalError: when the journal has no base snapshot or a
+                committed operation cannot be re-executed.
+        """
+        from repro.core.dindex import DKIndex
+        from repro.graph.serialize import graph_from_dict
+        from repro.indexes.serialize import index_from_dict
+
+        saw_base = False
+        begins: dict[int, JournalEntry] = {}
+        committed: list[int] = []
+        for entry in self.entries():
+            if entry.type == "base":
+                if saw_base:
+                    raise JournalError(f"{self.path}: duplicate base snapshot")
+                saw_base = True
+            elif entry.type == "begin":
+                begins[entry.seq] = entry
+            elif entry.type == "commit":
+                committed.append(entry.seq)
+        if not saw_base:
+            raise JournalError(f"{self.path}: journal has no base snapshot")
+
+        index, requirements = index_from_dict(self._base_document())
+        dk = DKIndex(index.graph, index, requirements or {})
+
+        from repro.core.promote import demote_index, promote_requirements
+        from repro.core.requirements import merge_requirements
+        from repro.core.updates import (
+            dk_add_edge,
+            dk_add_edges,
+            dk_add_subgraph,
+            dk_remove_edge,
+        )
+
+        for seq in sorted(committed):
+            entry = begins.get(seq)
+            if entry is None:
+                raise JournalError(f"{self.path}: commit for unknown seq {seq}")
+            op, args = entry.op, entry.args
+            try:
+                if op == "add_edge":
+                    dk_add_edge(dk.graph, dk.index, int(args["src"]), int(args["dst"]))
+                elif op == "add_edges":
+                    edges = [(int(s), int(d)) for s, d in args["edges"]]
+                    dk_add_edges(dk.graph, dk.index, edges)
+                elif op == "remove_edge":
+                    dk_remove_edge(
+                        dk.graph, dk.index, int(args["src"]), int(args["dst"])
+                    )
+                elif op == "add_subgraph":
+                    subgraph = graph_from_dict(args["subgraph"])
+                    reqs = {
+                        str(name): int(value)
+                        for name, value in dict(args["requirements"]).items()
+                    }
+                    dk.index, _mapping = dk_add_subgraph(
+                        dk.graph, dk.index, subgraph, reqs
+                    )
+                    dk.requirements = reqs
+                elif op == "promote":
+                    incoming = args.get("requirements")
+                    if incoming is not None:
+                        dk.requirements = merge_requirements(
+                            dk.requirements,
+                            {str(n): int(v) for n, v in dict(incoming).items()},
+                        )
+                    promote_requirements(dk.graph, dk.index, dk.requirements)
+                elif op == "demote":
+                    reqs = {
+                        str(name): int(value)
+                        for name, value in dict(args["requirements"]).items()
+                    }
+                    dk.index = demote_index(dk.index, reqs)
+                    dk.requirements = reqs
+                else:
+                    raise JournalError(f"seq {seq}: unknown op {op!r}")
+            except JournalError:
+                raise
+            except (KeyError, TypeError, ValueError) as error:
+                raise JournalError(
+                    f"{self.path}: seq {seq} ({op}) is not replayable: {error}"
+                ) from error
+        return dk
+
+    def _base_document(self) -> dict[str, Any]:
+        """The raw base-snapshot document (first line, ``index`` field)."""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        record = json.loads(first)
+        raw = record.get("index")
+        if not isinstance(raw, dict):
+            raise JournalError(f"{self.path}: base snapshot is malformed")
+        return raw

@@ -28,6 +28,7 @@ from repro.analysis.rules import (
     FrozenSetattrRule,
     QuadraticMembershipRule,
     SeededRandomRule,
+    SimilarityOwnershipRule,
     TypedDefsRule,
 )
 from repro.exceptions import ReproError
@@ -482,3 +483,62 @@ def test_repo_ships_lint_clean():
     assert report.ok, report.format_text()
     committed = load_baseline(repo / "lint-baseline.json")
     assert len(committed) == 0
+
+
+# ------------------------- DK107 similarity-assignment ------------------
+
+
+def test_similarity_assignment_flagged_outside_owners():
+    source = """
+    def corrupt(index, node):
+        index.k[node] = 0
+    """
+    findings = lint(SimilarityOwnershipRule, source, "repro.indexes.evaluation")
+    assert len(findings) == 1
+    assert findings[0].rule_id == "DK107"
+    assert "assign_similarity" in findings[0].message
+
+
+def test_similarity_augmented_assignment_flagged():
+    source = """
+    def bump(index, node):
+        index.k[node] += 10
+    """
+    findings = lint(SimilarityOwnershipRule, source, "repro.engine")
+    assert len(findings) == 1
+
+
+def test_similarity_mutating_method_flagged():
+    source = """
+    def grow(index):
+        index.k.append(0)
+    """
+    findings = lint(SimilarityOwnershipRule, source, "repro.bench.update")
+    assert len(findings) == 1
+
+
+def test_similarity_assignment_allowed_in_owner_modules():
+    source = """
+    def lower(index, node, value):
+        index.k[node] = value
+    """
+    for owner in ("repro.core.updates", "repro.maintenance.transaction",
+                  "repro.maintenance.faults"):
+        assert lint(SimilarityOwnershipRule, source, owner) == []
+
+
+def test_similarity_self_owned_class_exempt():
+    source = """
+    class IndexGraph:
+        def add_node(self, label_id, k):
+            self.k.append(k)
+    """
+    assert lint(SimilarityOwnershipRule, source, "repro.indexes.base") == []
+
+
+def test_similarity_read_access_not_flagged():
+    source = """
+    def histogram(index):
+        return sorted(index.k)
+    """
+    assert lint(SimilarityOwnershipRule, source, "repro.indexes.metrics") == []

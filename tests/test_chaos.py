@@ -1,0 +1,62 @@
+"""Tests for the chaos suite (:mod:`repro.maintenance.chaos`).
+
+The suite is itself the test of the maintenance stack; these tests pin
+its headline guarantee (zero broken / unrepaired scenarios across the
+whole operation x fault-point x mode matrix) and its reporting surface.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.maintenance.chaos import (
+    ORACLE_QUERIES,
+    POINTS_FOR_OP,
+    run_chaos_suite,
+)
+from repro.maintenance.faults import FAULT_MODES, FAULT_POINTS
+from repro.maintenance.journal import UpdateJournal
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_matrix_rolls_back_or_repairs(seed, tmp_path):
+    report = run_chaos_suite(seed=seed, journal_dir=tmp_path)
+    assert report.ok, report.format()
+    counts = report.counts()
+    assert counts.get("broken", 0) == 0
+    assert counts.get("unrepaired", 0) == 0
+    expected = sum(len(points) for points in POINTS_FOR_OP.values()) * len(
+        FAULT_MODES
+    )
+    assert len(report.outcomes) == expected
+    # The matrix must actually exercise both recovery paths.
+    assert counts.get("rolled-back", 0) > 0
+    assert counts.get("repaired", 0) > 0
+
+
+def test_chaos_writes_one_journal_per_scenario(tmp_path):
+    run_chaos_suite(seed=0, journal_dir=tmp_path)
+    journals = sorted(tmp_path.glob("*.jsonl"))
+    assert journals
+    # Every journal starts with a base snapshot and parses end to end.
+    for path in journals[:5]:
+        entries = list(UpdateJournal(path).entries())
+        assert entries[0].type == "base"
+
+
+def test_points_for_op_only_names_registered_points():
+    for op, points in POINTS_FOR_OP.items():
+        for point in points:
+            assert point in FAULT_POINTS, (op, point)
+        assert "pipeline.pre_audit" in points
+
+
+def test_oracle_covers_multi_step_paths():
+    assert any(query.count(".") >= 2 for query in ORACLE_QUERIES)
+
+
+def test_cli_chaos(capsys):
+    code = main(["chaos", "--seed", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "scenarios" in out

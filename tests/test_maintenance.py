@@ -1,0 +1,458 @@
+"""Tests for :mod:`repro.maintenance` — transactions, journal, audit, repair.
+
+The subsystem's contract, stated once: every mutating operation either
+completes and passes its audit, rolls the store back bit-identically, or
+ends in a repaired (re-audited) index — and with a journal attached, the
+whole history replays from the base snapshot to the same partition.
+"""
+
+import random
+
+import pytest
+
+from repro.core.dindex import DKIndex
+from repro.core.updates import dk_add_edge
+from repro.exceptions import (
+    InjectedFaultError,
+    JournalError,
+    MaintenanceError,
+    QuarantineError,
+    UpdateError,
+)
+from repro.graph.builder import graph_from_edges
+from repro.graph.datagraph import DataGraph
+from repro.indexes.evaluation import evaluate_on_index
+from repro.maintenance.audit import (
+    AUDIT_LEVELS,
+    audit_level_from_env,
+    run_audit,
+    scoped_fast_ok,
+)
+from repro.maintenance.faults import FAULT_POINTS, FaultInjector, inject_faults
+from repro.maintenance.journal import JOURNALED_OPS, UpdateJournal
+from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
+from repro.maintenance.repair import repair_index
+from repro.maintenance.transaction import UpdateTransaction, state_fingerprint
+from repro.paths.evaluator import evaluate_on_data_graph
+from repro.paths.query import make_query
+
+
+def make_store(journal_path=None, audit="fast", auto_repair=True):
+    """A small store with shared labels, a cycle and index edges to spare."""
+    graph = graph_from_edges(
+        ["db", "m", "t", "a", "m", "t", "a", "m", "x", "t"],
+        [
+            (0, 1), (1, 2), (1, 3),
+            (0, 4), (4, 5), (4, 6),
+            (0, 7), (7, 8), (7, 9), (7, 10),
+            (7, 2),  # a -> m reference edge, closes a cycle region
+        ],
+    )
+    dk = DKIndex.build(graph, {"t": 2, "x": 3})
+    dk.maintenance = MaintenanceConfig(
+        audit=audit, journal_path=journal_path, auto_repair=auto_repair
+    )
+    return dk
+
+
+def store_queries(dk):
+    """Index answers for a battery of label paths (validation on)."""
+    answers = {}
+    for text in ("t", "m.t", "db.m", "db.m.t", "db.m.a", "m.x"):
+        answers[text] = evaluate_on_index(dk.index, make_query(text))
+    return answers
+
+
+# ------------------------- transactions --------------------------------
+
+
+def test_add_edge_scope_rolls_back_bit_identically():
+    dk = make_store()
+    before = state_fingerprint(dk.graph, dk.index)
+    with pytest.raises(InjectedFaultError):
+        with UpdateTransaction(dk.graph, dk.index, "add-edge", edge=(2, 9)):
+            with inject_faults("add_edge.lowered"):
+                dk_add_edge(dk.graph, dk.index, 2, 9)
+    assert state_fingerprint(dk.graph, dk.index) == before
+
+
+def test_remove_edge_scope_restores_adjacency_order():
+    dk = make_store()
+    # (7, 2) sits mid-list in node 7's children; the rollback must put
+    # it back at the same position, not just back in the set.
+    before = state_fingerprint(dk.graph, dk.index)
+    with pytest.raises(InjectedFaultError):
+        with UpdateTransaction(dk.graph, dk.index, "remove-edge", edge=(7, 2)):
+            with inject_faults("remove_edge.lowered"):
+                from repro.core.updates import dk_remove_edge
+
+                dk_remove_edge(dk.graph, dk.index, 7, 2)
+    assert state_fingerprint(dk.graph, dk.index) == before
+
+
+def test_full_scope_rolls_back_promote():
+    dk = make_store()
+    before = state_fingerprint(dk.graph, dk.index)
+    with pytest.raises(RuntimeError):
+        with UpdateTransaction(dk.graph, dk.index, "full"):
+            from repro.core.promote import promote_requirements
+
+            promote_requirements(dk.graph, dk.index, {"m": 2, "t": 2})
+            raise RuntimeError("boom after the writes")
+    assert state_fingerprint(dk.graph, dk.index) == before
+
+
+def test_clean_exit_keeps_the_writes():
+    dk = make_store()
+    before = state_fingerprint(dk.graph, dk.index)
+    with UpdateTransaction(dk.graph, dk.index, "add-edge", edge=(2, 9)):
+        dk_add_edge(dk.graph, dk.index, 2, 9)
+    assert state_fingerprint(dk.graph, dk.index) != before
+    assert dk.graph.has_edge(2, 9)
+
+
+def test_edge_scope_requires_edge():
+    dk = make_store()
+    with pytest.raises(MaintenanceError):
+        UpdateTransaction(dk.graph, dk.index, "add-edge")
+
+
+def test_transaction_rejects_foreign_index():
+    dk = make_store()
+    other = make_store()
+    with pytest.raises(MaintenanceError):
+        UpdateTransaction(dk.graph, other.index)
+
+
+# ------------------------- journal -------------------------------------
+
+
+def test_journal_records_begin_commit_and_abort(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    with pytest.raises(UpdateError):
+        dk.add_edge(2, 9)  # duplicate: raises, rolls back, journals abort
+    entries = list(UpdateJournal(path).entries())
+    types = [entry.type for entry in entries]
+    assert types == ["base", "begin", "commit", "begin", "abort"]
+    assert entries[1].op == "add_edge"
+    assert entries[1].args == {"src": 2, "dst": 9}
+    assert "UpdateError" in entries[4].reason
+    assert UpdateJournal(path).dangling() == []
+
+
+def test_journal_base_written_once(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    # Re-attaching to a non-empty journal must not re-base.
+    journal = UpdateJournal.open(path, dk)
+    assert [e.type for e in journal.entries()][0] == "base"
+    assert sum(1 for e in journal.entries() if e.type == "base") == 1
+    with pytest.raises(JournalError):
+        journal.write_base(dk)
+
+
+def test_journal_rejects_unknown_op(tmp_path):
+    dk = make_store()
+    journal = UpdateJournal.open(tmp_path / "j.jsonl", dk)
+    with pytest.raises(JournalError):
+        journal.begin("compact", {})
+    assert "compact" not in JOURNALED_OPS
+
+
+def test_journal_tolerates_torn_final_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "begin", "seq": 99')  # crash mid-write
+    journal = UpdateJournal(path)
+    assert [e.type for e in journal.entries()] == ["base", "begin", "commit"]
+    replayed = journal.replay()
+    assert replayed.graph.has_edge(2, 9)
+
+
+def test_journal_rejects_malformed_complete_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json at all\n")
+    with pytest.raises(JournalError):
+        list(UpdateJournal(path).entries())
+
+
+def test_replay_requires_base(tmp_path):
+    path = tmp_path / "no-base.jsonl"
+    path.write_text('{"type":"begin","seq":1,"op":"add_edge","args":{}}\n')
+    with pytest.raises(JournalError):
+        UpdateJournal(path).replay()
+
+
+def test_dangling_begin_is_skipped_by_replay(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type":"begin","seq":77,"op":"add_edge","args":{"src":3,"dst":8}}\n')
+    journal = UpdateJournal(path)
+    assert journal.dangling() == [77]
+    replayed = journal.replay()
+    assert replayed.graph.has_edge(2, 9)
+    assert not replayed.graph.has_edge(3, 8)
+
+
+def test_replay_partition_identical_after_random_edge_sequence(tmp_path):
+    """The acceptance criterion: 100 journaled random edge ops, then
+    ``replay()`` rebuilds the identical partition from the base snapshot."""
+    rng = random.Random(7)
+    graph = DataGraph()
+    nodes = [graph.add_node(rng.choice("abcx")) for _ in range(30)]
+    for position, node in enumerate(nodes):
+        parent = graph.root if position == 0 else nodes[rng.randrange(position)]
+        graph.add_edge_if_absent(parent, node)
+    dk = DKIndex.build(graph, {"x": 2, "a": 1})
+    path = tmp_path / "journal.jsonl"
+    dk.maintenance = MaintenanceConfig(audit="fast", journal_path=path)
+
+    applied = 0
+    while applied < 100:
+        src = rng.randrange(graph.num_nodes)
+        dst = rng.randrange(1, graph.num_nodes)
+        if src == dst:
+            continue
+        if graph.has_edge(src, dst):
+            if rng.random() < 0.2:  # mix some removals into the stream
+                dk.remove_edge(src, dst)
+                applied += 1
+            continue
+        dk.add_edge(src, dst)
+        applied += 1
+
+    replayed = UpdateJournal(path).replay()
+    assert replayed.index.node_of == dk.index.node_of
+    assert replayed.index.extents == dk.index.extents
+    assert replayed.index.k == dk.index.k
+    assert state_fingerprint(replayed.graph, replayed.index) == state_fingerprint(
+        dk.graph, dk.index
+    )
+
+
+# ------------------------- audit tiers ---------------------------------
+
+
+def test_audit_off_sees_nothing():
+    dk = make_store()
+    dk.index.k[dk.index.node_of[2]] += 10  # corrupt
+    outcome = run_audit(dk.index, "off")
+    assert outcome.ok
+
+
+def test_fast_audit_catches_violation_in_touched_neighbourhood():
+    dk = make_store()
+    victim = dk.index.node_of[2]
+    parent = next(iter(dk.index.parents[victim]))
+    dk.index.k[victim] += 10
+    outcome = run_audit(dk.index, "fast", [parent])
+    assert not outcome.ok
+    assert any("D(k) constraint" in problem for problem in outcome.problems)
+
+
+def test_fast_audit_full_scan_when_no_touched_set():
+    dk = make_store()
+    dk.index.k[dk.index.node_of[2]] += 10
+    outcome = run_audit(dk.index, "fast")
+    assert not outcome.ok
+
+
+def test_deep_audit_catches_corruption_anywhere():
+    dk = make_store()
+    dk.index.k[dk.index.node_of[2]] += 10
+    # Touched set far from the corruption: fast scoping would miss it,
+    # deep must not.
+    outcome = run_audit(dk.index, "deep", [0])
+    assert not outcome.ok
+
+
+def test_deep_audit_spot_checks_touched_extents():
+    dk = make_store()
+    outcome = run_audit(dk.index, "deep", list(range(dk.index.num_nodes)))
+    assert outcome.ok
+    assert outcome.nodes_spot_checked > 0
+
+
+def test_run_audit_rejects_unknown_level():
+    dk = make_store()
+    with pytest.raises(MaintenanceError):
+        run_audit(dk.index, "paranoid")
+    assert "paranoid" not in AUDIT_LEVELS
+
+
+def test_scoped_fast_ok_expected_k_detects_drift():
+    dk = make_store()
+    victim = dk.index.node_of[2]
+    assert scoped_fast_ok(dk.index, [victim], expected={victim: dk.index.k[victim]})
+    dk.index.k[victim] += 10
+    assert not scoped_fast_ok(
+        dk.index, [victim], expected={victim: dk.index.k[victim] - 10}
+    )
+
+
+def test_audit_level_from_env(monkeypatch):
+    monkeypatch.delenv("DKINDEX_AUDIT", raising=False)
+    assert audit_level_from_env() == "fast"
+    monkeypatch.setenv("DKINDEX_AUDIT", "deep")
+    assert audit_level_from_env() == "deep"
+    monkeypatch.setenv("DKINDEX_AUDIT", "loud")
+    with pytest.raises(MaintenanceError):
+        audit_level_from_env()
+
+
+# ------------------------- fault injection -----------------------------
+
+
+def test_fault_injector_rejects_unknown_point_and_mode():
+    with pytest.raises(MaintenanceError):
+        FaultInjector("add_edge.nowhere")
+    with pytest.raises(MaintenanceError):
+        FaultInjector("add_edge.planned", mode="explode")
+
+
+def test_single_armed_slot():
+    with inject_faults("add_edge.planned"):
+        with pytest.raises(MaintenanceError):
+            with inject_faults("add_edge.lowered"):
+                pass  # pragma: no cover
+
+
+def test_fault_points_registry_documents_every_point():
+    assert "pipeline.pre_audit" in FAULT_POINTS
+    assert all(description for description in FAULT_POINTS.values())
+
+
+# ------------------------- pipeline ------------------------------------
+
+
+def test_pipeline_repairs_injected_corruption():
+    dk = make_store(audit="deep")
+    with inject_faults("pipeline.pre_audit", mode="corrupt", seed=3):
+        report = dk.add_edge(2, 9)
+    assert dk.graph.has_edge(2, 9) and report is not None
+    pipeline = dk.pipeline
+    assert not pipeline.quarantined
+    assert pipeline.last_repair is not None and pipeline.last_repair.repaired
+    # The healed index answers queries exactly like the data graph.
+    for text in ("t", "m.t", "db.m.t", "m.x"):
+        query = make_query(text)
+        assert evaluate_on_index(dk.index, query) == evaluate_on_data_graph(
+            dk.graph, query
+        )
+
+
+def test_pipeline_quarantines_without_auto_repair():
+    dk = make_store(audit="deep", auto_repair=False)
+    with pytest.raises(QuarantineError):
+        with inject_faults("pipeline.pre_audit", mode="corrupt", seed=3):
+            dk.add_edge(2, 9)
+    assert dk.pipeline.quarantined
+    with pytest.raises(QuarantineError):
+        dk.add_edge(3, 8)  # further updates refused while quarantined
+
+
+def test_pipeline_rolls_back_and_journals_raise_faults(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    before = state_fingerprint(dk.graph, dk.index)
+    with pytest.raises(InjectedFaultError):
+        with inject_faults("add_edge.graph_mutated"):
+            dk.add_edge(2, 9)
+    assert state_fingerprint(dk.graph, dk.index) == before
+    types = [entry.type for entry in UpdateJournal(path).entries()]
+    assert types == ["base", "begin", "abort"]
+
+
+def test_pipeline_batch_is_atomic():
+    dk = make_store()
+    before = state_fingerprint(dk.graph, dk.index)
+    with pytest.raises(InjectedFaultError):
+        with inject_faults("add_edge.planned", trigger_on_hit=2):
+            dk.add_edges([(2, 9), (3, 8)])
+    # The first edge of the batch must be gone too.
+    assert state_fingerprint(dk.graph, dk.index) == before
+    reports = dk.add_edges([(2, 9), (3, 8)])
+    assert len(reports) == 2 and dk.graph.has_edge(2, 9)
+
+
+def test_pipeline_answers_stay_exact_across_facade_ops():
+    dk = make_store(audit="deep")
+    dk.add_edge(2, 9)
+    dk.remove_edge(7, 2)
+    sub = graph_from_edges(["m", "t", "a"], [(0, 1), (1, 2), (1, 3)])
+    dk.add_subgraph(sub)
+    dk.promote({"m": 1})
+    dk.demote({"t": 1})
+    for text, answer in store_queries(dk).items():
+        assert answer == evaluate_on_data_graph(dk.graph, make_query(text)), text
+
+
+def test_facade_lazy_pipeline_reuse():
+    dk = make_store()
+    assert dk.pipeline is dk.pipeline
+    assert isinstance(dk.pipeline, UpdatePipeline)
+
+
+# ------------------------- repair ladder -------------------------------
+
+
+def test_repair_lower_rung_heals_sound_violations():
+    dk = make_store()
+    # Drop a parent's similarity below a high-k child's requirement:
+    # Definition 3 breaks, but every k is still honest (lowering always
+    # is), so the cheapest rung — a lowering sweep — can heal it.
+    child = max(
+        (n for n in range(dk.index.num_nodes) if dk.index.parents[n]),
+        key=lambda n: dk.index.k[n],
+    )
+    assert dk.index.k[child] >= 2
+    parent = next(iter(dk.index.parents[child]))
+    dk.index.k[parent] = 0
+    outcome = run_audit(dk.index, "deep")
+    assert not outcome.ok
+    report = repair_index(dk.graph, dk.index, dk.requirements, outcome)
+    assert report.repaired
+    assert report.strategy == "lower"
+    assert report.index is not None
+    assert run_audit(report.index, "deep").ok
+    assert "lower" in report.format()
+
+
+def test_repair_escalates_past_lowering_for_dishonest_similarity():
+    dk = make_store()
+    victim = dk.index.node_of[2]
+    dk.index.k[victim] += 10
+    outcome = run_audit(dk.index, "deep")
+    assert not outcome.ok
+    report = repair_index(dk.graph, dk.index, dk.requirements, outcome)
+    assert report.repaired
+    # Lowering to the Definition-3 ceiling still overclaims similarity,
+    # so the ladder must climb to a rung that recomputes it.
+    assert report.strategy in ("reindex", "rebuild")
+    assert run_audit(report.index, "deep").ok
+
+
+def test_repair_falls_through_to_rebuild_on_partition_damage():
+    dk = make_store()
+    # Tear a node out of its extent: lowering cannot fix a partition
+    # hole, so the ladder must escalate past the first rung.
+    victim = dk.index.node_of[2]
+    dk.index.extents[victim].remove(2)
+    outcome = run_audit(dk.index, "deep")
+    assert not outcome.ok
+    report = repair_index(dk.graph, dk.index, dk.requirements, outcome)
+    assert report.repaired
+    assert report.strategy in ("reindex", "rebuild")
+    assert report.index is not None
+    assert run_audit(report.index, "deep").ok
+    assert len(report.attempts) >= 2

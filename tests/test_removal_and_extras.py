@@ -16,7 +16,7 @@ from conftest import (
 from repro.core.construction import build_dk_index
 from repro.core.dindex import check_dk_constraint
 from repro.core.updates import dk_add_edge, dk_remove_edge
-from repro.exceptions import GraphError, UpdateError
+from repro.exceptions import GraphError, UnknownNodeError, UpdateError
 from repro.graph.builder import graph_from_edges
 from repro.graph.visualize import data_graph_to_dot, index_graph_to_dot
 from repro.indexes.akindex import build_ak_index
@@ -86,6 +86,37 @@ def test_dk_remove_edge_rejects_missing():
     index, _ = build_dk_index(g, {})
     with pytest.raises(UpdateError):
         dk_remove_edge(g, index, 2, 1)
+
+
+def test_dk_remove_edge_rejects_unknown_endpoints():
+    g = graph_from_edges(["a", "t"], [(0, 1), (1, 2)])
+    index, _ = build_dk_index(g, {})
+    with pytest.raises(UnknownNodeError):
+        dk_remove_edge(g, index, 1, 42)
+    with pytest.raises(UnknownNodeError):
+        dk_remove_edge(g, index, -3, 1)
+    newcomer = g.add_node("z")  # known to the graph, not to the index
+    with pytest.raises(UnknownNodeError):
+        dk_remove_edge(g, index, 1, newcomer)
+
+
+def test_dk_remove_edge_rejects_foreign_index():
+    g = graph_from_edges(["a", "t"], [(0, 1), (1, 2)])
+    other = graph_from_edges(["a", "t"], [(0, 1), (1, 2)])
+    index, _ = build_dk_index(other, {})
+    with pytest.raises(UpdateError):
+        dk_remove_edge(g, index, 1, 2)
+
+
+def test_dk_remove_edge_failure_leaves_state_untouched():
+    g = graph_from_edges(["a", "t", "t"], [(0, 1), (1, 2), (1, 3)])
+    index, _ = build_dk_index(g, {"t": 2})
+    before_edges = g.num_edges
+    before_k = list(index.k)
+    with pytest.raises(UpdateError):
+        dk_remove_edge(g, index, 2, 3)  # no such data edge
+    assert g.num_edges == before_edges
+    assert list(index.k) == before_k
 
 
 @given(small_graphs(max_nodes=9), label_requirements(), st.integers(0, 10_000))

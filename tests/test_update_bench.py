@@ -1,0 +1,95 @@
+"""Tests for the update-pipeline benchmark harness and its CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.update import (
+    MODES,
+    SCHEMA,
+    UpdateBenchConfig,
+    _edge_stream,
+    format_report,
+    run_update_bench,
+    write_report,
+)
+from repro.cli import main
+from repro.datasets.xmark import generate_xmark
+from repro.exceptions import DatasetError
+
+TINY = UpdateBenchConfig(scale="0.05", repeats=1, edges=5, datasets=("xmark",))
+
+
+def test_report_structure_and_overheads():
+    report = run_update_bench(TINY)
+    assert report["schema"] == SCHEMA
+    assert report["config"]["scale_factor"] == 0.05
+    results = report["results"]
+    assert [row["mode"] for row in results] == list(MODES)
+    for row in results:
+        assert row["dataset"] == "xmark"
+        assert row["edges"] == 5
+        assert row["median_s"] >= 0.0
+        assert len(row["times_s"]) == 1
+    entry = report["overheads"]["xmark"]
+    assert set(entry) >= {"legacy_s", "off_s", "fast_s", "deep_s"}
+    assert "fast_over_off" in entry
+    assert "fast vs off" in format_report(report)
+
+
+def test_edge_stream_deterministic_and_fresh():
+    graph = generate_xmark(scale=0.05, seed=0).graph
+    edges = _edge_stream(graph, 20, seed=3)
+    assert edges == _edge_stream(graph, 20, seed=3)
+    assert len(edges) == len(set(edges)) == 20
+    assert all(not graph.has_edge(src, dst) for src, dst in edges)
+
+
+def test_unknown_dataset_and_scale_rejected():
+    with pytest.raises(DatasetError):
+        run_update_bench(
+            UpdateBenchConfig(scale="0.05", repeats=1, datasets=("enron",))
+        )
+    with pytest.raises(DatasetError):
+        UpdateBenchConfig(scale="galactic").scale_factor
+
+
+def test_write_report_round_trips(tmp_path):
+    report = run_update_bench(TINY)
+    out = tmp_path / "BENCH_updates.json"
+    write_report(report, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == SCHEMA
+    assert loaded["datasets"]["xmark"]["nodes"] > 0
+
+
+def test_cli_bench_update(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(
+        [
+            "bench", "update",
+            "--scale", "0.05",
+            "--repeats", "1",
+            "--edges", "5",
+            "--datasets", "xmark",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "fast vs off" in captured
+    loaded = json.loads(out.read_text())
+    assert loaded["config"]["edges"] == 5
+
+
+def test_committed_baseline_meets_the_overhead_bar():
+    """The acceptance criterion: the committed ``BENCH_updates.json`` was
+    produced at scale small and records a fast-audit overhead <= 25%."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_updates.json"
+    report = json.loads(path.read_text())
+    assert report["schema"] == SCHEMA
+    assert report["config"]["scale"] == "small"
+    assert report["config"]["edges"] >= 100
+    for dataset, entry in report["overheads"].items():
+        assert entry["fast_over_off"] <= 0.25, (dataset, entry)

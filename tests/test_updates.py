@@ -27,10 +27,16 @@ from repro.core.dindex import check_dk_constraint
 from repro.core.updates import (
     ak_propagate_add_edge,
     dk_add_edge,
+    dk_add_edges,
     dk_add_subgraph,
+    enforce_dk_constraint,
     update_local_similarity,
 )
-from repro.exceptions import UpdateError
+from repro.exceptions import (
+    IndexInvariantError,
+    UnknownNodeError,
+    UpdateError,
+)
 from repro.graph.builder import graph_from_edges
 from repro.indexes.akindex import build_ak_index
 from repro.indexes.evaluation import evaluate_on_index
@@ -310,3 +316,97 @@ def test_subgraph_addition_random(graph, subgraph, requirements, seed):
     assert evaluate_on_index(new_index, query) == evaluate_on_data_graph(
         graph, query
     )
+
+
+# ------------------- endpoint validation + constraint guards -----------
+
+
+def test_dk_add_edge_rejects_unknown_endpoints():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    before_edges = g.num_edges
+    with pytest.raises(UnknownNodeError):
+        dk_add_edge(g, index, 1, 99)
+    with pytest.raises(UnknownNodeError):
+        dk_add_edge(g, index, -1, 2)
+    assert g.num_edges == before_edges
+
+
+def test_dk_add_edge_rejects_node_outside_index():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    newcomer = g.add_node("z")  # graph grew; the index never saw it
+    with pytest.raises(UnknownNodeError):
+        dk_add_edge(g, index, 1, newcomer)
+
+
+def test_dk_add_edges_bad_batch_is_a_no_op():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    before_edges = g.num_edges
+    before_k = list(index.k)
+    # Edge (1, 6) is valid but must not be applied: the batch also
+    # contains an unknown endpoint and fails validation up front.
+    with pytest.raises(UnknownNodeError):
+        dk_add_edges(g, index, [(1, 6), (2, 99)])
+    assert g.num_edges == before_edges
+    assert not g.has_edge(1, 6)
+    assert list(index.k) == before_k
+
+
+def test_dk_add_edges_rejects_duplicates_within_batch():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    with pytest.raises(UpdateError):
+        dk_add_edges(g, index, [(1, 6), (1, 6)])
+    with pytest.raises(UpdateError):
+        dk_add_edges(g, index, [(0, 1)])  # already in the graph
+    assert not g.has_edge(1, 6)
+
+
+def test_check_dk_constraint_accepts_fresh_and_flags_corrupt():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    check_dk_constraint(index)  # fresh build satisfies Definition 3
+    e_node = next(iter(index.nodes_with_label("e")))
+    index.k[e_node] += 5
+    with pytest.raises(IndexInvariantError):
+        check_dk_constraint(index)
+
+
+def test_enforce_dk_constraint_is_idempotent():
+    g = figure3_graph()
+    index, _ = build_dk_index(g, {"e": 3})
+    assert enforce_dk_constraint(index) == 0  # valid index: nothing to do
+    e_node = next(iter(index.nodes_with_label("e")))
+    index.k[e_node] += 5
+    assert enforce_dk_constraint(index) >= 1
+    check_dk_constraint(index)
+    assert enforce_dk_constraint(index) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    graph=small_graphs(),
+    requirements=label_requirements(),
+    bumps=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=1, max_value=6)),
+        max_size=4,
+    ),
+)
+def test_enforce_restores_definition3_after_any_corruption(
+    graph, requirements, bumps
+):
+    """Property: whatever upward corruption hits the similarity vector,
+    ``enforce_dk_constraint`` returns the index to Definition 3, and a
+    repeated call confirms the fixpoint."""
+    index, _ = build_dk_index(graph, requirements)
+    check_dk_constraint(index)  # any freshly built index satisfies it
+    for position, bump in bumps:
+        index.k[position % index.num_nodes] += bump
+    enforce_dk_constraint(index)
+    check_dk_constraint(index)
+    assert enforce_dk_constraint(index) == 0
+    # Lowering never broke the structural invariants either.
+    index.check_invariants()
