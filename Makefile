@@ -13,7 +13,8 @@ help:
 	@echo "  typecheck  run mypy (strict on repro.core/indexes/partition/analysis)"
 	@echo "  bench      quick benchmark pass (PYTHONPATH=src)"
 	@echo "  bench-full full-scale benchmark pass"
-	@echo "  chaos      run the fault-injection chaos suite (seed 0)"
+	@echo "  chaos      run both chaos suites: update faults + the"
+	@echo "             checkpoint-store durability crash matrix (seed 0)"
 	@echo "  results    regenerate docs/results-scale-1.0.txt"
 	@echo "  examples   run every example script"
 	@echo "  clean      remove caches and build artifacts"

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.atomic_persistence import AtomicPersistenceRule
 from repro.analysis.rules.cost_accounting import CostAccountingRule
 from repro.analysis.rules.extent_ownership import ExtentOwnershipRule
 from repro.analysis.rules.frozen_setattr import FrozenSetattrRule
@@ -27,6 +28,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     QuadraticMembershipRule,
     TypedDefsRule,
     SimilarityOwnershipRule,
+    AtomicPersistenceRule,
 )
 
 
@@ -75,6 +77,7 @@ def get_rules(
 
 
 __all__: Sequence[str] = [
+    "AtomicPersistenceRule",
     "CostAccountingRule",
     "ExtentOwnershipRule",
     "FrozenSetattrRule",

@@ -1,0 +1,95 @@
+"""DK108: persisted files are written through the atomic writer.
+
+A bare ``open(path, "w")`` on a snapshot, index or journal file is the
+durability bug this repository's checkpoint subsystem exists to kill: a
+crash mid-``json.dump`` destroys the previous good file and leaves a
+truncated, unloadable one, and nothing seals the result against later
+bit-rot.  Every persistence path must route through
+:func:`repro.maintenance.store.atomic_write_text` /
+``atomic_write_document`` (temp + fsync + rename + sha256 footer)
+instead.
+
+The rule flags ``open()`` calls whose mode creates or truncates a file
+(``"w"``, ``"x"``, ``"w+"``, binary variants) inside the persistence
+modules.  Append mode is allowed — the write-ahead journal's commit
+protocol *is* flush-and-fsync appends — and reads are out of scope.
+:mod:`repro.maintenance.store` itself is the owner of the one
+legitimate truncating write (the temp file inside the atomic
+sequence) and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.engine import ModuleContext, Rule
+from repro.analysis.findings import Finding
+
+#: Modules that persist repository state and must write atomically.
+PERSISTENCE_MODULES = (
+    "repro.graph.serialize",
+    "repro.indexes.serialize",
+    "repro.workload.serialize",
+    "repro.maintenance",
+)
+
+#: The module owning the atomic write sequence (its temp-file
+#: truncating write is the mechanism, not a violation).
+OWNER_MODULE = "repro.maintenance.store"
+
+
+class AtomicPersistenceRule(Rule):
+    """Flags truncating ``open()`` calls outside the atomic writer."""
+
+    rule_id: ClassVar[str] = "DK108"
+    name: ClassVar[str] = "atomic-persistence"
+    description: ClassVar[str] = (
+        "persistence modules may not open files with a truncating mode; "
+        "route writes through repro.maintenance.store.atomic_write_text "
+        "/ atomic_write_document"
+    )
+    module_prefixes: ClassVar[tuple[str, ...]] = PERSISTENCE_MODULES
+
+    def applies(self, context: ModuleContext) -> bool:
+        if not super().applies(context):
+            return False
+        return context.module != OWNER_MODULE
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+                continue
+            mode = self._mode_argument(node)
+            if mode is None:
+                continue  # dynamic or absent mode: reads default to "r"
+            if "w" in mode or "x" in mode:
+                yield self.finding(
+                    context,
+                    node,
+                    f"open() with truncating mode {mode!r} in a persistence "
+                    "module; a crash here destroys the previous good file — "
+                    "write through repro.maintenance.store."
+                    "atomic_write_text / atomic_write_document instead",
+                )
+
+    @staticmethod
+    def _mode_argument(node: ast.Call) -> str | None:
+        """The literal mode string of an ``open()`` call, if present."""
+        candidate: ast.expr | None = None
+        if len(node.args) >= 2:
+            candidate = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    candidate = keyword.value
+                    break
+        if candidate is None:
+            return None
+        if isinstance(candidate, ast.Constant) and isinstance(
+            candidate.value, str
+        ):
+            return candidate.value
+        return None

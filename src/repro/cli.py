@@ -13,11 +13,21 @@ Commands:
   the Table-1 edge-addition stream through the transactional pipeline
   at every audit tier; writes ``BENCH_updates.json`` (see
   docs/robustness.md).
+- ``dkindex bench recovery [--scale S] [--edges N] [--out FILE]`` —
+  time checkpoint recovery against an Algorithm-2 rebuild and write
+  ``BENCH_recovery.json`` (see docs/robustness.md).
 - ``dkindex audit FILE [--level fast|deep]`` — audit a stored
   D(k)-index; exits 1 on findings.
-- ``dkindex chaos [--seed N] [--journal-dir DIR]`` — run the
-  fault-injection suite proving rollback-or-repair for every update
-  operation; exits 1 if any scenario breaks.
+- ``dkindex chaos [--seed N] [--journal-dir DIR] [--no-durability]`` —
+  run the fault-injection suite proving rollback-or-repair for every
+  update operation, then the durability crash matrix over the
+  checkpoint store; exits 1 if any scenario breaks.
+- ``dkindex checkpoint DIR [--init FILE] [--retain N]`` — create a
+  checkpoint store around a saved index, or roll an existing store
+  forward to a fresh generation (recover, snapshot, rotate).
+- ``dkindex recover DIR [--out FILE]`` — climb the recovery ladder of a
+  checkpoint store, print the recovery report, optionally save the
+  recovered index; exits 1 when unrecoverable.
 - ``dkindex generate <xmark|nasa> --out FILE [--scale S] [--seed N]`` —
   write a dataset graph as JSON.
 - ``dkindex stats FILE`` — print statistics of a stored graph.
@@ -76,6 +86,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 name for name in args.datasets.split(",") if name
             ),
             out=args.out or "BENCH_updates.json",
+        )
+    if args.experiment == "recovery":
+        from repro.bench.recovery import main_entry as recovery_entry
+
+        return recovery_entry(
+            scale=args.scale,
+            repeats=args.repeats,
+            seed=args.seed,
+            edges=args.edges,
+            datasets=tuple(
+                name for name in args.datasets.split(",") if name
+            ),
+            out=args.out or "BENCH_recovery.json",
         )
     config = ExperimentConfig(scale=float(args.scale))
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -203,11 +226,67 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.maintenance.chaos import run_chaos_suite
+    from repro.maintenance.chaos import run_chaos_suite, run_durability_suite
 
     report = run_chaos_suite(seed=args.seed, journal_dir=args.journal_dir)
     print(report.format())
-    return 0 if report.ok else 1
+    ok = report.ok
+    if not args.no_durability:
+        work_dir = (
+            f"{args.journal_dir}/durability"
+            if args.journal_dir is not None
+            else None
+        )
+        durability = run_durability_suite(seed=args.seed, work_dir=work_dir)
+        print()
+        print(durability.format())
+        ok = ok and durability.ok
+    return 0 if ok else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from repro.indexes.serialize import load_dk_index
+    from repro.maintenance.store import CheckpointStore
+
+    if args.init is not None:
+        dk = load_dk_index(args.init)
+        store = CheckpointStore.create(args.directory, dk, retain=args.retain)
+        print(
+            f"created checkpoint store {args.directory} at generation "
+            f"{store.current_generation()} from {args.init}"
+        )
+        return 0
+    store = CheckpointStore(args.directory, retain=args.retain)
+    report = store.recover()
+    if not report.recovered or report.dk is None:
+        print(report.format())
+        return 1
+    info = store.checkpoint(report.dk)
+    pruned = (
+        f", pruned generation(s) {', '.join(map(str, info.pruned))}"
+        if info.pruned
+        else ""
+    )
+    print(
+        f"checkpointed {args.directory} at generation {info.generation} "
+        f"({report.replayed} journaled operation(s) folded in{pruned})"
+    )
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.maintenance.store import CheckpointStore
+
+    report = CheckpointStore(args.directory).recover()
+    print(report.format())
+    if not report.recovered or report.dk is None:
+        return 1
+    if args.out is not None:
+        from repro.indexes.serialize import save_dk_index
+
+        save_dk_index(report.dk, args.out)
+        print(f"saved recovered index to {args.out}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -245,27 +324,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
-                       choices=[*EXPERIMENTS, "refine", "update", "all"])
+                       choices=[*EXPERIMENTS, "refine", "update",
+                                "recovery", "all"])
     bench.add_argument("--scale", default="1.0",
-                       help="dataset scale factor; the refine/update "
-                       "experiments also accept small/medium/large")
+                       help="dataset scale factor; the refine/update/"
+                       "recovery experiments also accept small/medium/large")
     bench.add_argument("--csv", action="store_true",
                        help="emit CSV series instead of text tables")
     bench.add_argument("--repeats", type=int, default=3,
-                       help="(refine/update) timed runs per cell; medians "
-                       "recorded")
+                       help="(refine/update/recovery) timed runs per cell; "
+                       "medians recorded")
     bench.add_argument("--seed", type=int, default=0,
-                       help="(refine/update) dataset generator seed")
+                       help="(refine/update/recovery) dataset generator seed")
     bench.add_argument("--jobs", type=int, default=0,
                        help="(refine) also time the parallel worklist "
                        "engine with this many worker processes")
     bench.add_argument("--edges", type=int, default=100,
-                       help="(update) edge additions per timed run")
+                       help="(update) edge additions per timed run; "
+                       "(recovery) journaled operations to replay")
     bench.add_argument("--datasets", default="xmark,nasa",
-                       help="(refine/update) comma-separated generator names")
+                       help="(refine/update/recovery) comma-separated "
+                       "generator names")
     bench.add_argument("--out", default=None,
-                       help="(refine/update) report file to write (default "
-                       "BENCH_refinement.json / BENCH_updates.json)")
+                       help="(refine/update/recovery) report file to write "
+                       "(default BENCH_refinement.json / BENCH_updates.json "
+                       "/ BENCH_recovery.json)")
     bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser("generate", help="generate a dataset graph")
@@ -329,7 +412,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="determinism anchor, printed in the report")
     chaos.add_argument("--journal-dir", default=None,
                        help="write per-scenario journals into this directory")
+    chaos.add_argument("--no-durability", action="store_true",
+                       help="skip the checkpoint-store durability crash "
+                       "matrix and run only the update-operation suite")
     chaos.set_defaults(func=_cmd_chaos)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="create a checkpoint store, or roll one to a new generation",
+    )
+    checkpoint.add_argument("directory", help="the checkpoint store directory")
+    checkpoint.add_argument("--init", default=None, metavar="FILE",
+                            help="initialise a new store from this saved "
+                            "index (save_dk_index output) instead of rolling "
+                            "an existing store forward")
+    checkpoint.add_argument("--retain", type=int, default=2,
+                            help="older generations to keep as recovery "
+                            "rungs (default: 2)")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    recover = sub.add_parser(
+        "recover",
+        help="recover a checkpoint store and print the recovery report",
+    )
+    recover.add_argument("directory", help="the checkpoint store directory")
+    recover.add_argument("--out", default=None, metavar="FILE",
+                         help="save the recovered index here (save_dk_index "
+                         "format)")
+    recover.set_defaults(func=_cmd_recover)
 
     lint = sub.add_parser(
         "lint", help="run the AST invariant linter over the codebase"

@@ -72,6 +72,14 @@ class JournalError(MaintenanceError):
     """A write-ahead journal is corrupt or cannot be replayed."""
 
 
+class CheckpointError(MaintenanceError):
+    """A checkpoint-store operation failed (bad layout, unwritable state)."""
+
+
+class RecoveryError(MaintenanceError):
+    """Point-in-time recovery exhausted every rung of the ladder."""
+
+
 class QuarantineError(MaintenanceError):
     """A post-update audit failed and automatic repair did not recover.
 

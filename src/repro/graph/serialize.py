@@ -93,20 +93,34 @@ def graph_from_dict(data: dict[str, Any]) -> DataGraph:
 
 
 def save_graph(graph: DataGraph, target: str | Path | IO[str]) -> None:
-    """Serialize ``graph`` as JSON to a path or text file object."""
+    """Serialize ``graph`` as JSON to a path or text file object.
+
+    Paths are written through the atomic sealed writer of
+    :mod:`repro.maintenance.store`: a crash mid-save leaves the
+    previous good file, and any later byte flip is detected on load.
+    """
+    from repro.maintenance.store import atomic_write_document
+
     document = graph_to_dict(graph)
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
+        atomic_write_document(target, document)
     else:
         json.dump(document, target)
 
 
 def load_graph(source: str | Path | IO[str]) -> DataGraph:
-    """Load a graph previously written by :func:`save_graph`."""
+    """Load a graph previously written by :func:`save_graph`.
+
+    Sealed files are integrity-checked; unsealed version-1 files from
+    before the seal existed load as before.
+
+    Raises:
+        SerializationError: on integrity or structural problems.
+    """
+    from repro.maintenance.store import read_document
+
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        data: Any = read_document(source)
     else:
         data = json.load(source)
     return graph_from_dict(data)

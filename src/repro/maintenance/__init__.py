@@ -21,7 +21,12 @@ runs through four layers:
 
 :class:`~repro.maintenance.pipeline.UpdatePipeline` composes the layers
 and is the default update path of :class:`~repro.core.dindex.DKIndex`
-and :class:`~repro.engine.Database`.  See ``docs/robustness.md``.
+and :class:`~repro.engine.Database`.  Durability lives in
+:mod:`repro.maintenance.store`: atomic sealed writes for every
+persistence path, the generation-numbered :class:`CheckpointStore`, and
+point-in-time recovery (``dkindex checkpoint`` / ``dkindex recover``),
+crash-tested by the durability half of the chaos suite.  See
+``docs/robustness.md``.
 
 Exports resolve lazily (PEP 562): the update hot path imports
 :mod:`repro.maintenance.faults` without dragging in the pipeline (which
@@ -44,16 +49,36 @@ if TYPE_CHECKING:  # pragma: no cover - for type checkers only
         ChaosOutcome,
         ChaosReport,
         run_chaos_suite,
+        run_durability_suite,
     )
     from repro.maintenance.faults import (
+        DURABILITY_FAULT_POINTS,
         FAULT_POINTS,
         FaultInjector,
         fault_point,
         inject_faults,
     )
-    from repro.maintenance.journal import JournalEntry, UpdateJournal
+    from repro.maintenance.journal import (
+        JournalEntry,
+        JournalScan,
+        UpdateJournal,
+        apply_journal_op,
+        scan_journal,
+    )
     from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
     from repro.maintenance.repair import RepairReport, repair_index
+    from repro.maintenance.store import (
+        ArtifactStatus,
+        CheckpointInfo,
+        CheckpointStore,
+        RecoveryReport,
+        RungAttempt,
+        atomic_write_document,
+        atomic_write_text,
+        read_document,
+        seal,
+        unseal,
+    )
     from repro.maintenance.transaction import (
         GraphCheckpoint,
         IndexCheckpoint,
@@ -70,16 +95,31 @@ _EXPORTS: dict[str, str] = {
     "ChaosOutcome": "repro.maintenance.chaos",
     "ChaosReport": "repro.maintenance.chaos",
     "run_chaos_suite": "repro.maintenance.chaos",
+    "run_durability_suite": "repro.maintenance.chaos",
+    "DURABILITY_FAULT_POINTS": "repro.maintenance.faults",
     "FAULT_POINTS": "repro.maintenance.faults",
     "FaultInjector": "repro.maintenance.faults",
     "fault_point": "repro.maintenance.faults",
     "inject_faults": "repro.maintenance.faults",
     "JournalEntry": "repro.maintenance.journal",
+    "JournalScan": "repro.maintenance.journal",
     "UpdateJournal": "repro.maintenance.journal",
+    "apply_journal_op": "repro.maintenance.journal",
+    "scan_journal": "repro.maintenance.journal",
     "MaintenanceConfig": "repro.maintenance.pipeline",
     "UpdatePipeline": "repro.maintenance.pipeline",
     "RepairReport": "repro.maintenance.repair",
     "repair_index": "repro.maintenance.repair",
+    "ArtifactStatus": "repro.maintenance.store",
+    "CheckpointInfo": "repro.maintenance.store",
+    "CheckpointStore": "repro.maintenance.store",
+    "RecoveryReport": "repro.maintenance.store",
+    "RungAttempt": "repro.maintenance.store",
+    "atomic_write_document": "repro.maintenance.store",
+    "atomic_write_text": "repro.maintenance.store",
+    "read_document": "repro.maintenance.store",
+    "seal": "repro.maintenance.store",
+    "unseal": "repro.maintenance.store",
     "GraphCheckpoint": "repro.maintenance.transaction",
     "IndexCheckpoint": "repro.maintenance.transaction",
     "UpdateTransaction": "repro.maintenance.transaction",

@@ -35,12 +35,14 @@ from typing import Callable
 
 from repro.core.dindex import DKIndex
 from repro.core.updates import dk_add_edge
-from repro.exceptions import InjectedFaultError, QuarantineError
+from repro.exceptions import InjectedFaultError, QuarantineError, ReproError
 from repro.graph.builder import graph_from_edges
 from repro.graph.datagraph import DataGraph
+from repro.graph.serialize import graph_to_dict
 from repro.indexes.evaluation import evaluate_on_index
 from repro.maintenance.faults import FAULT_MODES, FaultInjector
 from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
+from repro.maintenance.store import CheckpointStore
 from repro.maintenance.transaction import state_fingerprint
 from repro.paths.evaluator import evaluate_on_data_graph
 from repro.paths.query import make_query
@@ -112,10 +114,11 @@ class ChaosOutcome:
 
 @dataclass
 class ChaosReport:
-    """Everything :func:`run_chaos_suite` proved (or failed to)."""
+    """Everything a chaos suite run proved (or failed to)."""
 
     seed: int
     outcomes: list[ChaosOutcome] = field(default_factory=list)
+    title: str = "chaos suite"
 
     @property
     def failures(self) -> list[ChaosOutcome]:
@@ -136,7 +139,7 @@ class ChaosReport:
         return tally
 
     def format(self) -> str:
-        lines = [f"chaos suite, seed {self.seed}:"]
+        lines = [f"{self.title}, seed {self.seed}:"]
         lines.extend(outcome.format() for outcome in self.outcomes)
         tally = ", ".join(
             f"{name}: {count}" for name, count in sorted(self.counts().items())
@@ -331,4 +334,215 @@ def run_chaos_suite(
                 report.outcomes.append(
                     _run_scenario(op, point, mode, seed, directory)
                 )
+    return report
+
+
+# ----------------------------------------------------------------------
+# The durability crash matrix
+# ----------------------------------------------------------------------
+
+#: Every durability scenario: which phase of the checkpoint-store
+#: lifecycle is attacked, at which injection point, in which mode, on
+#: which hit of the point (the atomic writes of a checkpoint are hit 1 =
+#: snapshot, hit 2 = journal base, hit 3 = ``CURRENT``; a journal append
+#: is hit 1 = the ``begin`` record, hit 2 = the ``commit``), and a label
+#: for what that hit lands on.
+DURABILITY_SCENARIOS: tuple[tuple[str, str, str, int, str], ...] = (
+    ("checkpoint", "store.torn_write", "raise", 1, "snapshot"),
+    ("checkpoint", "store.torn_write", "raise", 2, "journal base"),
+    ("checkpoint", "store.torn_write", "raise", 3, "CURRENT"),
+    ("checkpoint", "store.partial_rename", "raise", 1, "snapshot"),
+    ("checkpoint", "store.partial_rename", "raise", 2, "journal base"),
+    ("checkpoint", "store.partial_rename", "raise", 3, "CURRENT"),
+    ("checkpoint", "store.missing_fsync", "raise", 1, "snapshot"),
+    ("checkpoint", "store.missing_fsync", "raise", 2, "journal base"),
+    ("checkpoint", "store.missing_fsync", "raise", 3, "CURRENT"),
+    ("checkpoint", "store.bit_flip", "corrupt", 1, "snapshot"),
+    ("checkpoint", "store.bit_flip", "corrupt", 2, "journal base"),
+    ("checkpoint", "store.bit_flip", "corrupt", 3, "CURRENT"),
+    ("append", "journal.torn_append", "raise", 1, "begin record"),
+    ("append", "journal.torn_append", "raise", 2, "commit record"),
+    ("append", "journal.bit_flip", "corrupt", 1, "journal file"),
+    ("append", "journal.bit_flip", "corrupt", 2, "journal file"),
+    ("recover", "recover.mid_ladder", "raise", 1, "first rung"),
+)
+
+#: How many committed operations each durability scenario applies before
+#: the fault is armed (its committed history).
+_DURABILITY_HISTORY = 3
+
+
+def _graph_key(graph: DataGraph) -> tuple[object, ...]:
+    """An order-insensitive identity for a data graph's content."""
+    document = graph_to_dict(graph)
+    return (
+        tuple(document["labels"]),
+        tuple(document["nodes"]),
+        tuple(sorted((src, dst) for src, dst in document["edges"])),
+    )
+
+
+def _run_durability_scenario(
+    phase: str,
+    point: str,
+    mode: str,
+    hit: int,
+    target: str,
+    seed: int,
+    work_dir: Path,
+) -> ChaosOutcome:
+    """One cell of the crash matrix; see :func:`run_durability_suite`."""
+    rng = random.Random(f"{seed}:{phase}:{point}:{mode}:{hit}")
+    store_dir = work_dir / f"{phase}--{point}--{mode}--{hit}"
+    dk = _fixture()
+    store = CheckpointStore.create(store_dir, dk)
+    pipeline = UpdatePipeline(dk, store.maintenance_config(audit="deep"))
+
+    # The committed history the store must never lose to a crash: the
+    # graph identity and oracle answers after every committed prefix.
+    prefixes = [(_graph_key(dk.graph), _oracle(dk.graph))]
+    for _ in range(_DURABILITY_HISTORY):
+        src, dst = rng.choice(_new_edge_candidates(dk.graph))
+        pipeline.add_edge(src, dst)
+        prefixes.append((_graph_key(dk.graph), _oracle(dk.graph)))
+
+    injector = FaultInjector(point, mode, trigger_on_hit=hit, seed=seed)
+    crashed = False
+    with injector:
+        try:
+            if phase == "checkpoint":
+                store.checkpoint(dk, pipeline)
+            elif phase == "append":
+                src, dst = rng.choice(_new_edge_candidates(dk.graph))
+                pipeline.add_edge(src, dst)
+                if mode == "corrupt":
+                    # No crash: the operation committed durably before
+                    # the injected rot landed somewhere in the journal.
+                    prefixes.append((_graph_key(dk.graph), _oracle(dk.graph)))
+            else:  # phase == "recover": crash the first recovery attempt
+                CheckpointStore(store_dir).recover()
+        except InjectedFaultError:
+            crashed = True
+        except ReproError:
+            # Injected rot detected *during* the phase by an integrity
+            # check — a loud typed failure, which is the contract; the
+            # process still "dies" and recovery takes over below.
+            crashed = True
+
+    # "The machine reboots": all in-memory state is dead, only the
+    # store directory survives.  Recover and judge the result.
+    label = f"hit {hit} ({target})"
+    try:
+        report = CheckpointStore(store_dir).recover()
+    except ReproError as error:
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "unrepaired",
+            f"{label}: recovery raised: {error}",
+        )
+    if not report.recovered or report.dk is None:
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "unrepaired",
+            f"{label}: every rung of the ladder failed",
+        )
+
+    recovered = report.dk
+    recovered_key = _graph_key(recovered.graph)
+    matched = None
+    for position in range(len(prefixes) - 1, -1, -1):
+        graph_key, answers = prefixes[position]
+        if recovered_key != graph_key:
+            continue
+        if all(
+            evaluate_on_index(recovered.index, make_query(text)) == truth
+            for text, truth in answers.items()
+        ):
+            matched = position
+            break
+    if matched is None:
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "broken",
+            f"{label}: recovered state matches no committed prefix",
+        )
+    lost = len(prefixes) - 1 - matched
+    if mode == "raise":
+        # A crash destroys nothing durable: zero committed-operation
+        # loss, exactly, or the scenario is broken.
+        if lost:
+            return ChaosOutcome(
+                phase, point, mode, injector.fired, "broken",
+                f"{label}: lost {lost} committed operation(s) to a crash",
+            )
+        if not crashed and injector.fired:
+            return ChaosOutcome(
+                phase, point, mode, injector.fired, "broken",
+                f"{label}: injected crash did not propagate",
+            )
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "recovered",
+            f"{label}: via {report.strategy}",
+        )
+    # Bit-rot may destroy unique journal records; then the recovered
+    # state must be a committed point in time *and* the report must say
+    # loss happened — silent shrinkage is as broken as wrong answers.
+    if lost == 0:
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "recovered",
+            f"{label}: via {report.strategy}",
+        )
+    if report.data_loss:
+        return ChaosOutcome(
+            phase, point, mode, injector.fired, "point-in-time",
+            f"{label}: {lost} op(s) rotted away, reported via {report.strategy}",
+        )
+    return ChaosOutcome(
+        phase, point, mode, injector.fired, "broken",
+        f"{label}: {lost} op(s) vanished without data_loss being reported",
+    )
+
+
+def run_durability_suite(
+    seed: int = 0,
+    work_dir: str | Path | None = None,
+) -> ChaosReport:
+    """Run the durability crash matrix over the checkpoint store.
+
+    For every scenario in :data:`DURABILITY_SCENARIOS`: build a fixture
+    store with a committed operation history, crash (or bit-rot) one
+    phase of the checkpoint-store lifecycle at one injection point,
+    throw away all in-memory state, run
+    :meth:`~repro.maintenance.store.CheckpointStore.recover`, and hold
+    the result to the durability contract:
+
+    - after a **crash** (``raise`` faults) the recovered index must be
+      query-equivalent to the state with *every* committed operation
+      applied — zero committed-operation loss;
+    - after **bit-rot** (``corrupt`` faults) the recovered index must be
+      query-equivalent to a committed point in time, and any operation
+      that rotted away must be declared in the
+      :class:`~repro.maintenance.store.RecoveryReport` (``data_loss``)
+      — honest point-in-time recovery, never silent shrinkage.
+
+    Args:
+        seed: determinism anchor (also steers where bit-rot lands).
+        work_dir: where scenario store directories are built; a
+            temporary directory (removed afterwards) when omitted.  The
+            CI recovery-smoke job points this at an artifact directory.
+
+    Returns:
+        A :class:`ChaosReport`; ``report.ok`` is the suite verdict.
+    """
+    import tempfile
+
+    if work_dir is None:
+        with tempfile.TemporaryDirectory(prefix="dk-durability-") as scratch:
+            return run_durability_suite(seed=seed, work_dir=scratch)
+    directory = Path(work_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = ChaosReport(seed=seed, title="durability crash matrix")
+    for phase, point, mode, hit, target in DURABILITY_SCENARIOS:
+        report.outcomes.append(
+            _run_durability_scenario(
+                phase, point, mode, hit, target, seed, directory
+            )
+        )
     return report

@@ -30,11 +30,32 @@ from typing import TYPE_CHECKING
 from repro.exceptions import InjectedFaultError, MaintenanceError
 
 if TYPE_CHECKING:
+    from pathlib import Path
+
     from repro.indexes.base import IndexGraph
+
+#: Durability injection points threaded through the persistence code
+#: (:mod:`repro.maintenance.store` and the journal's append path).  The
+#: ``raise`` mode simulates a crash at that instant — the store code
+#: arranges that the filesystem already looks exactly like a real crash
+#: would leave it (torn temp file, durable-but-unrenamed temp, lost
+#: pages after a rename without fsync).  The ``corrupt`` mode models
+#: bit-rot: one byte of the just-written file flips silently and the
+#: operation carries on.
+DURABILITY_FAULT_POINTS: dict[str, str] = {
+    "store.torn_write": "atomic write: temp file half-written at the crash",
+    "store.partial_rename": "atomic write: temp durable, rename never issued",
+    "store.missing_fsync": "atomic write: renamed without fsync; pages lost",
+    "store.bit_flip": "atomic write: destination durable, then one byte rots",
+    "journal.torn_append": "journal append: the entry line tears mid-write",
+    "journal.bit_flip": "journal append: one byte of the file rots afterwards",
+    "recover.mid_ladder": "recovery: crash between two rungs of the ladder",
+}
 
 #: Registry of injection points threaded through the update/refinement
 #: code, keyed by name with a short description of where the point sits.
 FAULT_POINTS: dict[str, str] = {
+    **DURABILITY_FAULT_POINTS,
     "add_edge.planned": "dk_add_edge: plan complete, before the first write",
     "add_edge.graph_mutated": "dk_add_edge: data edge in, index untouched",
     "add_edge.index_edge": "dk_add_edge: index edge in, ks not yet lowered",
@@ -110,7 +131,12 @@ class FaultInjector:
 
     # -- the hit path ---------------------------------------------------
 
-    def hit(self, point: str, index: "IndexGraph | None") -> None:
+    def hit(
+        self,
+        point: str,
+        index: "IndexGraph | None",
+        path: "Path | None" = None,
+    ) -> None:
         """Called by :func:`fault_point` when this injector is armed."""
         if point != self.point:
             return
@@ -120,7 +146,9 @@ class FaultInjector:
         self.fired = True
         if self.mode == "raise":
             raise InjectedFaultError(point, self.hits)
-        if index is not None:
+        if path is not None:
+            self._corrupt_file(path)
+        elif index is not None:
             self._corrupt(index)
 
     def _corrupt(self, index: "IndexGraph") -> None:
@@ -141,6 +169,25 @@ class FaultInjector:
             return
         victim = candidates[self.seed % len(candidates)]
         index.k[victim] = index.k[victim] + 10
+
+    def _corrupt_file(self, path: "Path") -> None:
+        """Flip one bit of ``path`` (bit-rot), at the seed-chosen offset.
+
+        The flip may land anywhere — a checksum prefix, a JSON digit, a
+        line separator — which is exactly the point: the durability
+        chaos suite must show that *every* landing spot is detected by
+        the integrity layer, never silently absorbed into a different
+        index.  Missing or empty files are left alone (the fault still
+        counts as fired; there is nothing to rot).
+        """
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            return
+        if not data:
+            return
+        data[self.seed % len(data)] ^= 0x01
+        path.write_bytes(bytes(data))
 
 
 #: The armed injector, if any.  A single slot (not a stack): chaos runs
@@ -173,15 +220,20 @@ def inject_faults(
     return FaultInjector(point, mode, trigger_on_hit=trigger_on_hit, seed=seed)
 
 
-def fault_point(name: str, index: "IndexGraph | None" = None) -> None:
+def fault_point(
+    name: str,
+    index: "IndexGraph | None" = None,
+    path: "Path | None" = None,
+) -> None:
     """Mark an injection point in production code.
 
     ``name`` must be registered in :data:`FAULT_POINTS` (checked only
     when an injector is armed, keeping the disarmed path free).  Pass
-    the index being mutated so corrupting faults have a target.
+    the index being mutated — or, for durability points, the file just
+    written — so corrupting faults have a target.
     """
     armed = _ARMED
     if armed is not None:
         if name not in FAULT_POINTS:
             raise MaintenanceError(f"unregistered fault point {name!r}")
-        armed.hit(name, index)
+        armed.hit(name, index, path)

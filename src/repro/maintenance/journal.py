@@ -1,11 +1,24 @@
 """Write-ahead journaling for D(k)-index updates.
 
-The :class:`UpdateJournal` is a JSONL file with one entry per line:
+The :class:`UpdateJournal` is a line-oriented file with one entry per
+line.  Since format version 2, every line is framed with a CRC32 of its
+payload so corruption *anywhere* in the file — not just a torn tail —
+is detected and localized to a line number::
+
+    9a2b3c4d {"type":"base","seq":0,"index":{...}}
+    11f00e77 {"type":"begin","seq":1,"op":"add_edge","args":{...}}
+    5d6e7f80 {"type":"commit","seq":1}
+
+Version-1 journals (bare JSON lines, no checksum) are still readable;
+the two framings may even be mixed, which is what happens when a new
+release appends to an old journal.  The entry vocabulary is unchanged:
 
 - ``{"type": "base", "seq": 0, "index": {...}}`` — a full snapshot of
   the starting :class:`~repro.core.dindex.DKIndex` (the
   ``repro-indexgraph`` document of :mod:`repro.indexes.serialize`,
-  graph embedded), written once when the journal is attached.
+  graph embedded), written once when the journal is attached — through
+  the atomic writer of :mod:`repro.maintenance.store`, so a crash
+  mid-base never leaves a half-written journal head.
 - ``{"type": "begin", "seq": n, "op": "add_edge", "args": {...}}`` —
   appended and flushed *before* the operation touches anything, so a
   crash mid-operation leaves a dangling ``begin`` rather than silence.
@@ -17,7 +30,9 @@ snapshot and re-executing every *committed* operation in sequence order
 — dangling and aborted entries are skipped.  Replay goes through the
 same core update algorithms as live execution, so the replayed index
 partitions the data identically to the journaled one (asserted by the
-maintenance test suite).
+maintenance test suite).  :func:`scan_journal` is the forgiving
+variant used by checkpoint recovery: instead of raising on a corrupt
+line it reports the replayable prefix and where the damage sits.
 
 Journaled operation names and their argument schemas:
 
@@ -35,11 +50,13 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.exceptions import JournalError
+from repro.maintenance.faults import fault_point
 
 if TYPE_CHECKING:  # runtime import stays lazy: the facade imports the
     from repro.core.dindex import DKIndex  # update code, which imports us
@@ -54,6 +71,9 @@ JOURNALED_OPS = (
     "demote",
 )
 
+#: Journal line-framing version written by this release.
+JOURNAL_VERSION = 2
+
 
 @dataclass
 class JournalEntry:
@@ -66,8 +86,54 @@ class JournalEntry:
     reason: str = ""
 
 
+def _encode_line(record: dict[str, Any]) -> str:
+    """One version-2 journal line: CRC32 frame + compact JSON payload."""
+    payload = json.dumps(record, separators=(",", ":"))
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {payload}\n"
+
+
+def _decode_line(line: str) -> dict[str, Any] | None:
+    """Parse one journal line of either framing version.
+
+    Returns ``None`` for an undecodable line — the caller decides
+    whether that is a tolerable torn tail or hard corruption.
+    """
+    stripped = line.strip()
+    if stripped.startswith("{"):  # version-1 framing: bare JSON, no CRC
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            return None
+        return record if isinstance(record, dict) else None
+    prefix, _, payload = stripped.partition(" ")
+    if len(prefix) != 8 or not payload:
+        return None
+    try:
+        stored = int(prefix, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF != stored:
+        return None
+    try:
+        record = json.loads(payload)
+    except json.JSONDecodeError:
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _entry_from_record(record: dict[str, Any]) -> JournalEntry:
+    return JournalEntry(
+        type=str(record["type"]),
+        seq=int(record.get("seq", -1)),
+        op=str(record.get("op", "")),
+        args=dict(record.get("args", {})),
+        reason=str(record.get("reason", "")),
+    )
+
+
 class UpdateJournal:
-    """Append-only JSONL write-ahead journal for one D(k)-index.
+    """Append-only write-ahead journal for one D(k)-index.
 
     Attach with :meth:`open` (writes the base snapshot when the file is
     new); or construct directly over an existing journal file for
@@ -100,15 +166,23 @@ class UpdateJournal:
         return journal
 
     def write_base(self, dk: "DKIndex") -> None:
-        """Write the base snapshot (seq 0).  Must be the first entry."""
+        """Write the base snapshot (seq 0).  Must be the first entry.
+
+        The base is the journal's single point of total loss, so unlike
+        ordinary appends it goes through the atomic writer: a crash
+        mid-base leaves no journal file rather than a torn head.
+        """
         from repro.indexes.serialize import index_to_dict
+        from repro.maintenance.store import atomic_write_text
 
         if self.path.exists() and self.path.stat().st_size > 0:
             raise JournalError(f"{self.path} already has entries; cannot re-base")
         document = index_to_dict(
             dk.index, embed_graph=True, requirements=dict(dk.requirements)
         )
-        self._append({"type": "base", "seq": 0, "index": document})
+        atomic_write_text(
+            self.path, _encode_line({"type": "base", "seq": 0, "index": document})
+        )
 
     def begin(self, op: str, args: Mapping[str, Any]) -> int:
         """Record intent to run ``op``; returns the sequence number.
@@ -139,11 +213,19 @@ class UpdateJournal:
         self._open_seqs.discard(seq)
 
     def _append(self, record: dict[str, Any]) -> None:
-        line = json.dumps(record, separators=(",", ":"))
+        line = _encode_line(record)
+        half = len(line) // 2
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            handle.write(line[:half])
+            handle.flush()
+            # Crash here: a torn tail — the one thing a crashed append
+            # may legitimately leave behind; readers stop before it.
+            fault_point("journal.torn_append")
+            handle.write(line[half:])
             handle.flush()
             os.fsync(handle.fileno())
+        # Bit-rot somewhere in the (now durable) journal.
+        fault_point("journal.bit_flip", path=self.path)
 
     # ------------------------------------------------------------------
     # Reading
@@ -153,34 +235,35 @@ class UpdateJournal:
         """Parse the journal, line by line.
 
         Raises:
-            JournalError: on malformed lines (truncated trailing lines —
-                the one thing a crash can legitimately leave behind —
-                are tolerated and end the iteration instead).
+            JournalError: on a malformed or checksum-failing line, with
+                the path, line number and the length of the replayable
+                prefix before it (truncated trailing lines — the one
+                thing a crash can legitimately leave behind — are
+                tolerated and end the iteration instead).
         """
-        with open(self.path, "r", encoding="utf-8") as handle:
+        yielded = 0
+        # errors="replace": an undecodable byte must surface as a
+        # checksum failure on its line, not an untyped UnicodeDecodeError.
+        with open(self.path, "r", encoding="utf-8", errors="replace") as handle:
             for number, line in enumerate(handle, start=1):
                 stripped = line.strip()
                 if not stripped:
                     continue
-                try:
-                    record = json.loads(stripped)
-                except json.JSONDecodeError:
-                    if line.endswith("\n"):
-                        raise JournalError(
-                            f"{self.path}:{number}: malformed journal line"
-                        ) from None
-                    return  # torn final write from a crash; replayable prefix ends here
-                if not isinstance(record, dict) or "type" not in record:
+                record = _decode_line(line)
+                if record is None:
+                    if not line.endswith("\n"):
+                        return  # torn final write from a crash
                     raise JournalError(
-                        f"{self.path}:{number}: journal line is not an entry object"
+                        f"{self.path}:{number}: malformed or checksum-failing "
+                        f"journal line (replayable prefix: {yielded} entries)"
                     )
-                yield JournalEntry(
-                    type=str(record["type"]),
-                    seq=int(record.get("seq", -1)),
-                    op=str(record.get("op", "")),
-                    args=dict(record.get("args", {})),
-                    reason=str(record.get("reason", "")),
-                )
+                if "type" not in record:
+                    raise JournalError(
+                        f"{self.path}:{number}: journal line is not an entry "
+                        f"object (replayable prefix: {yielded} entries)"
+                    )
+                yielded += 1
+                yield _entry_from_record(record)
 
     def dangling(self) -> list[int]:
         """Sequence numbers with a ``begin`` but no ``commit``/``abort``."""
@@ -198,11 +281,11 @@ class UpdateJournal:
             graph; the journaled store is never touched.
 
         Raises:
-            JournalError: when the journal has no base snapshot or a
-                committed operation cannot be re-executed.
+            JournalError: when the journal has no base snapshot, a line
+                is corrupt, or a committed operation cannot be
+                re-executed.
         """
         from repro.core.dindex import DKIndex
-        from repro.graph.serialize import graph_from_dict
         from repro.indexes.serialize import index_from_dict
 
         saw_base = False
@@ -220,74 +303,211 @@ class UpdateJournal:
         if not saw_base:
             raise JournalError(f"{self.path}: journal has no base snapshot")
 
-        index, requirements = index_from_dict(self._base_document())
+        index, requirements = index_from_dict(self.base_document())
         dk = DKIndex(index.graph, index, requirements or {})
-
-        from repro.core.promote import demote_index, promote_requirements
-        from repro.core.requirements import merge_requirements
-        from repro.core.updates import (
-            dk_add_edge,
-            dk_add_edges,
-            dk_add_subgraph,
-            dk_remove_edge,
-        )
 
         for seq in sorted(committed):
             entry = begins.get(seq)
             if entry is None:
                 raise JournalError(f"{self.path}: commit for unknown seq {seq}")
-            op, args = entry.op, entry.args
-            try:
-                if op == "add_edge":
-                    dk_add_edge(dk.graph, dk.index, int(args["src"]), int(args["dst"]))
-                elif op == "add_edges":
-                    edges = [(int(s), int(d)) for s, d in args["edges"]]
-                    dk_add_edges(dk.graph, dk.index, edges)
-                elif op == "remove_edge":
-                    dk_remove_edge(
-                        dk.graph, dk.index, int(args["src"]), int(args["dst"])
-                    )
-                elif op == "add_subgraph":
-                    subgraph = graph_from_dict(args["subgraph"])
-                    reqs = {
-                        str(name): int(value)
-                        for name, value in dict(args["requirements"]).items()
-                    }
-                    dk.index, _mapping = dk_add_subgraph(
-                        dk.graph, dk.index, subgraph, reqs
-                    )
-                    dk.requirements = reqs
-                elif op == "promote":
-                    incoming = args.get("requirements")
-                    if incoming is not None:
-                        dk.requirements = merge_requirements(
-                            dk.requirements,
-                            {str(n): int(v) for n, v in dict(incoming).items()},
-                        )
-                    promote_requirements(dk.graph, dk.index, dk.requirements)
-                elif op == "demote":
-                    reqs = {
-                        str(name): int(value)
-                        for name, value in dict(args["requirements"]).items()
-                    }
-                    dk.index = demote_index(dk.index, reqs)
-                    dk.requirements = reqs
-                else:
-                    raise JournalError(f"seq {seq}: unknown op {op!r}")
-            except JournalError:
-                raise
-            except (KeyError, TypeError, ValueError) as error:
-                raise JournalError(
-                    f"{self.path}: seq {seq} ({op}) is not replayable: {error}"
-                ) from error
+            apply_journal_op(
+                dk, entry.op, entry.args, source=f"{self.path} seq {seq}"
+            )
         return dk
 
-    def _base_document(self) -> dict[str, Any]:
-        """The raw base-snapshot document (first line, ``index`` field)."""
-        with open(self.path, "r", encoding="utf-8") as handle:
+    def base_document(self) -> dict[str, Any]:
+        """The raw base-snapshot document (first line, ``index`` field).
+
+        Raises:
+            JournalError: when the first line is missing, corrupt, or
+                not a base entry.
+        """
+        with open(self.path, "r", encoding="utf-8", errors="replace") as handle:
             first = handle.readline()
-        record = json.loads(first)
+        record = _decode_line(first) if first.strip() else None
+        if record is None:
+            raise JournalError(
+                f"{self.path}:1: base snapshot line is missing or corrupt "
+                "(replayable prefix: 0 entries)"
+            )
         raw = record.get("index")
-        if not isinstance(raw, dict):
+        if record.get("type") != "base" or not isinstance(raw, dict):
             raise JournalError(f"{self.path}: base snapshot is malformed")
         return raw
+
+
+def apply_journal_op(
+    dk: "DKIndex", op: str, args: Mapping[str, Any], source: str = "<journal>"
+) -> None:
+    """Re-execute one journaled operation on ``dk`` through the core
+    update algorithms (the shared engine of replay and recovery).
+
+    Raises:
+        JournalError: for an unknown operation or unreplayable arguments.
+    """
+    from repro.core.promote import demote_index, promote_requirements
+    from repro.core.requirements import merge_requirements
+    from repro.core.updates import (
+        dk_add_edge,
+        dk_add_edges,
+        dk_add_subgraph,
+        dk_remove_edge,
+    )
+    from repro.graph.serialize import graph_from_dict
+
+    try:
+        if op == "add_edge":
+            dk_add_edge(dk.graph, dk.index, int(args["src"]), int(args["dst"]))
+        elif op == "add_edges":
+            edges = [(int(s), int(d)) for s, d in args["edges"]]
+            dk_add_edges(dk.graph, dk.index, edges)
+        elif op == "remove_edge":
+            dk_remove_edge(dk.graph, dk.index, int(args["src"]), int(args["dst"]))
+        elif op == "add_subgraph":
+            subgraph = graph_from_dict(args["subgraph"])
+            reqs = {
+                str(name): int(value)
+                for name, value in dict(args["requirements"]).items()
+            }
+            dk.index, _mapping = dk_add_subgraph(dk.graph, dk.index, subgraph, reqs)
+            dk.requirements = reqs
+        elif op == "promote":
+            incoming = args.get("requirements")
+            if incoming is not None:
+                dk.requirements = merge_requirements(
+                    dk.requirements,
+                    {str(n): int(v) for n, v in dict(incoming).items()},
+                )
+            promote_requirements(dk.graph, dk.index, dk.requirements)
+        elif op == "demote":
+            reqs = {
+                str(name): int(value)
+                for name, value in dict(args["requirements"]).items()
+            }
+            dk.index = demote_index(dk.index, reqs)
+            dk.requirements = reqs
+        else:
+            raise JournalError(f"{source}: unknown op {op!r}")
+    except JournalError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise JournalError(f"{source}: {op} is not replayable: {error}") from error
+
+
+@dataclass
+class JournalScan:
+    """A forgiving read of a (possibly damaged) journal.
+
+    Attributes:
+        path: the scanned file.
+        base_document: the base snapshot's ``index`` document, or
+            ``None`` when the base line is missing or corrupt.
+        committed_ops: ``(seq, op, args)`` for every operation whose
+            ``begin`` *and* ``commit`` both survived, in seq order,
+            truncated at the first committed seq whose ``begin`` was
+            destroyed — replay must stop at the last consistent point
+            rather than skip a committed operation and apply its
+            successors to the wrong state.
+        dangling: ``begin`` seqs with no verdict (crash mid-operation).
+        corrupt_lines: line numbers that failed their checksum or did
+            not parse.  Line framing resyncs at the next newline, so a
+            corrupt *base* line (line 1 — redundant with the
+            generation's snapshot) does not stop the scan; a corrupt
+            line in the operation region does, because record order
+            beyond it can no longer be trusted.  A torn final line is
+            *not* corruption; that is the normal signature of a
+            crashed append.
+        lost_ops: committed seqs that cannot be replayed (their
+            ``begin`` record was destroyed, or they follow one that
+            was) — definite data loss, to be surfaced by recovery.
+        notes: human-readable anomaly descriptions, localized by line.
+    """
+
+    path: Path
+    base_document: dict[str, Any] | None = None
+    committed_ops: list[tuple[int, str, dict[str, Any]]] = field(
+        default_factory=list
+    )
+    dangling: list[int] = field(default_factory=list)
+    corrupt_lines: list[int] = field(default_factory=list)
+    lost_ops: list[int] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def damaged(self) -> bool:
+        """Whether any complete line failed its integrity check."""
+        return bool(self.corrupt_lines)
+
+
+def scan_journal(path: str | Path) -> JournalScan:
+    """Read as much of a journal as integrity checks allow.
+
+    Unlike :meth:`UpdateJournal.entries` this never raises on damage:
+    recovery needs the replayable prefix *and* an honest account of
+    what was lost, not an exception.
+    """
+    scan = JournalScan(path=Path(path))
+    begins: dict[int, tuple[str, dict[str, Any]]] = {}
+    committed: list[int] = []
+    aborted: set[int] = set()
+    try:
+        handle = open(scan.path, "r", encoding="utf-8", errors="replace")
+    except OSError as error:
+        scan.notes.append(f"{scan.path}: cannot read: {error}")
+        return scan
+    with handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            record = _decode_line(line)
+            if record is None or "type" not in record:
+                if not line.endswith("\n"):
+                    scan.notes.append(
+                        f"{scan.path}:{number}: torn final line "
+                        "(crashed append; entry never committed)"
+                    )
+                    break
+                scan.corrupt_lines.append(number)
+                if number == 1:
+                    # The base line is redundant with the generation's
+                    # snapshot, and line framing resyncs at the next
+                    # newline: keep reading the operation records.
+                    scan.notes.append(
+                        f"{scan.path}:1: corrupt base line; reading the "
+                        "operation records behind it"
+                    )
+                    continue
+                scan.notes.append(
+                    f"{scan.path}:{number}: corrupt journal line; entries "
+                    "beyond it are unrecoverable from this file"
+                )
+                break
+            entry = _entry_from_record(record)
+            if entry.type == "base":
+                raw = record.get("index")
+                if isinstance(raw, dict) and scan.base_document is None:
+                    scan.base_document = raw
+            elif entry.type == "begin":
+                begins[entry.seq] = (entry.op, entry.args)
+            elif entry.type == "commit":
+                committed.append(entry.seq)
+            elif entry.type == "abort":
+                aborted.add(entry.seq)
+    for seq in sorted(committed):
+        if seq not in begins:
+            scan.notes.append(
+                f"{scan.path}: commit for seq {seq} has no surviving begin; "
+                "replay stops at the last consistent point before it"
+            )
+            break
+        op, args = begins.pop(seq)
+        scan.committed_ops.append((seq, op, args))
+    replayable = {seq for seq, _op, _args in scan.committed_ops}
+    committed_seqs = set(committed)
+    scan.lost_ops = sorted(committed_seqs - replayable)
+    scan.dangling = sorted(
+        seq
+        for seq in begins
+        if seq not in aborted and seq not in committed_seqs
+    )
+    return scan

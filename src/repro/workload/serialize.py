@@ -85,20 +85,33 @@ def load_from_dict(data: dict[str, Any]) -> QueryLoad:
 
 
 def save_query_load(load: QueryLoad, target: str | Path | IO[str]) -> None:
-    """Serialize a query load as JSON to a path or text stream."""
+    """Serialize a query load as JSON to a path or text stream.
+
+    Paths are written through the atomic sealed writer of
+    :mod:`repro.maintenance.store` (crash-safe, integrity-checked).
+    """
+    from repro.maintenance.store import atomic_write_document
+
     document = load_to_dict(load)
     if isinstance(target, (str, Path)):
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
+        atomic_write_document(target, document)
     else:
         json.dump(document, target)
 
 
 def load_query_load(source: str | Path | IO[str]) -> QueryLoad:
-    """Load a query load written by :func:`save_query_load`."""
+    """Load a query load written by :func:`save_query_load`.
+
+    Sealed files are integrity-checked; unsealed version-1 files load
+    as before.
+
+    Raises:
+        SerializationError: on integrity or structural problems.
+    """
+    from repro.maintenance.store import read_document
+
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
+        data: Any = read_document(source)
     else:
         data = json.load(source)
     return load_from_dict(data)

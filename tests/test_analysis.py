@@ -23,6 +23,7 @@ from repro.analysis import (
 )
 from repro.analysis.engine import PARSE_ERROR_RULE_ID
 from repro.analysis.rules import (
+    AtomicPersistenceRule,
     CostAccountingRule,
     ExtentOwnershipRule,
     FrozenSetattrRule,
@@ -542,3 +543,61 @@ def test_similarity_read_access_not_flagged():
         return sorted(index.k)
     """
     assert lint(SimilarityOwnershipRule, source, "repro.indexes.metrics") == []
+
+
+# ------------------------- DK108 atomic-persistence ---------------------
+
+
+def test_truncating_open_flagged_in_persistence_modules():
+    source = """
+    import json
+
+    def save(document, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+    """
+    for module in ("repro.indexes.serialize", "repro.maintenance.journal"):
+        findings = lint(AtomicPersistenceRule, source, module)
+        assert len(findings) == 1
+        assert findings[0].rule_id == "DK108"
+        assert "atomic_write" in findings[0].message
+
+
+def test_truncating_mode_keyword_and_exclusive_create_flagged():
+    source = """
+    def save(path, other):
+        open(path, mode="w+")
+        open(other, "xb")
+    """
+    findings = lint(AtomicPersistenceRule, source, "repro.graph.serialize")
+    assert len(findings) == 2
+
+
+def test_append_and_read_opens_allowed():
+    source = """
+    def touch(path):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("x")
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+        open(path)
+    """
+    assert lint(AtomicPersistenceRule, source, "repro.maintenance.journal") == []
+
+
+def test_atomic_writer_module_owns_its_truncating_write():
+    source = """
+    def atomic_write_text(path, text):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    """
+    assert lint(AtomicPersistenceRule, source, "repro.maintenance.store") == []
+
+
+def test_truncating_open_fine_outside_persistence_modules():
+    source = """
+    def dump(path, text):
+        with open(path, "w") as handle:
+            handle.write(text)
+    """
+    assert lint(AtomicPersistenceRule, source, "repro.bench.reporting") == []

@@ -111,3 +111,59 @@ def test_bad_query_syntax_is_clean_error(tmp_path, capsys):
     code = main(["query", str(out), "item..name"])
     assert code == 1
     assert "error:" in capsys.readouterr().err
+
+
+def test_checkpoint_init_roll_and_recover(tmp_path, capsys):
+    from repro.core.dindex import DKIndex
+    from repro.graph.builder import graph_from_edges
+    from repro.indexes.serialize import load_dk_index, save_dk_index
+
+    graph = graph_from_edges(
+        ["db", "m", "t", "a", "m", "t"], [(0, 1), (1, 2), (1, 3), (0, 4), (4, 5)]
+    )
+    dk = DKIndex.build(graph, {"t": 1})
+    saved = tmp_path / "index.json"
+    save_dk_index(dk, saved)
+    store = tmp_path / "store"
+
+    assert main(["checkpoint", str(store), "--init", str(saved)]) == 0
+    assert "generation 1" in capsys.readouterr().out
+    assert main(["checkpoint", str(store)]) == 0
+    assert "generation 2" in capsys.readouterr().out
+
+    out = tmp_path / "recovered.json"
+    assert main(["recover", str(store), "--out", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "recovered via" in output
+    restored = load_dk_index(out)
+    assert restored.graph.num_edges == dk.graph.num_edges
+
+
+def test_recover_unrecoverable_store_exits_nonzero(tmp_path, capsys):
+    store = tmp_path / "store"
+    store.mkdir()
+    (store / "snapshot-0000001.json").write_text("garbage", encoding="utf-8")
+    assert main(["recover", str(store)]) == 1
+    assert "UNRECOVERED" in capsys.readouterr().out
+
+
+def test_bench_recovery_writes_report(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_recovery.json"
+    code = main(
+        ["bench", "recovery", "--scale", "0.05", "--repeats", "1",
+         "--edges", "3", "--datasets", "xmark", "--out", str(out)]
+    )
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["schema"] == "dkindex-bench-recovery/1"
+    assert {row["arm"] for row in report["results"]} == {"recover", "rebuild"}
+    assert "[RECOVERY]" in capsys.readouterr().out
+
+
+def test_chaos_no_durability_flag(capsys):
+    code = main(["chaos", "--seed", "1", "--no-durability"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "durability crash matrix" not in output

@@ -116,10 +116,13 @@ def test_dk_constraint_checked_on_load(tmp_path):
     dk = DKIndex.build(g, {"x": 2})
     path = tmp_path / "dk.json"
     save_dk_index(dk, path)
-    data = json.loads(path.read_text())
+    from repro.maintenance.store import seal, unseal
+
+    body, _sealed = unseal(path.read_text(), str(path))
+    data = json.loads(body)
     data["k"] = [0] * len(data["k"])
     data["k"][-1] = 5  # violates Definition 3 somewhere
-    path.write_text(json.dumps(data))
+    path.write_text(seal(json.dumps(data)))
     with pytest.raises(SerializationError):
         load_dk_index(path)
 

@@ -29,7 +29,13 @@ from repro.maintenance.audit import (
     scoped_fast_ok,
 )
 from repro.maintenance.faults import FAULT_POINTS, FaultInjector, inject_faults
-from repro.maintenance.journal import JOURNALED_OPS, UpdateJournal
+from repro.maintenance.journal import (
+    JOURNAL_VERSION,
+    JOURNALED_OPS,
+    UpdateJournal,
+    _decode_line,
+    scan_journal,
+)
 from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
 from repro.maintenance.repair import repair_index
 from repro.maintenance.transaction import UpdateTransaction, state_fingerprint
@@ -182,6 +188,59 @@ def test_journal_rejects_malformed_complete_line(tmp_path):
         handle.write("not json at all\n")
     with pytest.raises(JournalError):
         list(UpdateJournal(path).entries())
+
+
+def test_journal_lines_are_crc_framed(tmp_path):
+    assert JOURNAL_VERSION == 2
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    for line in path.read_text(encoding="utf-8").splitlines():
+        prefix, _, payload = line.partition(" ")
+        assert len(prefix) == 8 and int(prefix, 16) >= 0
+        record = _decode_line(line)
+        assert record is not None and "type" in record
+
+
+def test_mid_file_corruption_names_path_line_and_prefix(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    dk.add_edge(3, 5)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines[3] = "deadbeef" + lines[3][8:]  # destroy the second begin
+    path.write_text("".join(lines), encoding="utf-8")
+    with pytest.raises(JournalError) as error:
+        list(UpdateJournal(path).entries())
+    assert f"{path}:4" in str(error.value)
+    assert "replayable prefix: 3 entries" in str(error.value)
+
+
+def test_scan_journal_stops_at_corrupt_operation_record(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    dk.add_edge(3, 5)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines[3] = "deadbeef" + lines[3][8:]
+    path.write_text("".join(lines), encoding="utf-8")
+    scan = scan_journal(path)  # forgiving twin of entries(): never raises
+    assert scan.damaged and scan.corrupt_lines == [4]
+    assert scan.committed_ops == [(1, "add_edge", {"src": 2, "dst": 9})]
+    assert any("unrecoverable" in note for note in scan.notes)
+
+
+def test_scan_journal_corrupt_base_still_reads_operations(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    dk = make_store(journal_path=path)
+    dk.add_edge(2, 9)
+    lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines[0] = "deadbeef" + lines[0][8:]
+    path.write_text("".join(lines), encoding="utf-8")
+    scan = scan_journal(path)
+    assert scan.base_document is None
+    assert scan.corrupt_lines == [1]
+    assert scan.committed_ops == [(1, "add_edge", {"src": 2, "dst": 9})]
 
 
 def test_replay_requires_base(tmp_path):

@@ -1,0 +1,457 @@
+"""Tests for :mod:`repro.maintenance.store` — the durability subsystem.
+
+The contract under test: every persistence path is crash-atomic (a
+crash leaves the old file or the new one, never a hybrid), every saved
+byte is covered by an integrity check (any single-byte flip is a typed
+error, never a silently different index), and the checkpoint store's
+recovery ladder turns whatever a crash or bit-rot left behind into a
+deep-audited index — flagging, never hiding, any committed operation
+it could not get back.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dindex import DKIndex
+from repro.exceptions import (
+    CheckpointError,
+    InjectedFaultError,
+    JournalError,
+    RecoveryError,
+    SerializationError,
+)
+from repro.graph.builder import graph_from_edges
+from repro.graph.serialize import load_graph, save_graph
+from repro.indexes.evaluation import evaluate_on_index
+from repro.indexes.serialize import index_to_dict, load_dk_index, save_dk_index
+from repro.maintenance.chaos import run_durability_suite
+from repro.maintenance.faults import inject_faults
+from repro.maintenance.journal import UpdateJournal, _encode_line, scan_journal
+from repro.maintenance.pipeline import UpdatePipeline
+from repro.maintenance.store import (
+    CURRENT_NAME,
+    TMP_SUFFIX,
+    CheckpointStore,
+    atomic_write_document,
+    atomic_write_text,
+    journal_name,
+    read_document,
+    seal,
+    snapshot_name,
+    unseal,
+)
+from repro.paths.query import make_query
+
+
+def small_dk():
+    """A compact store with shared labels and a multi-node extent."""
+    graph = graph_from_edges(
+        ["db", "m", "t", "a", "m", "t", "a", "m", "x", "t"],
+        [
+            (0, 1), (1, 2), (1, 3),
+            (0, 4), (4, 5), (4, 6),
+            (0, 7), (7, 8), (7, 9), (7, 10),
+            (7, 2),
+        ],
+    )
+    return DKIndex.build(graph, {"t": 2, "x": 3})
+
+
+def answers(dk):
+    """Index answers for a battery of label paths."""
+    return {
+        text: evaluate_on_index(dk.index, make_query(text))
+        for text in ("t", "m.t", "db.m", "db.m.t", "db.m.a", "m.x")
+    }
+
+
+def flip_byte(path: Path, offset: int, mask: int = 0x01) -> None:
+    raw = bytearray(path.read_bytes())
+    raw[offset % len(raw)] ^= mask
+    path.write_bytes(bytes(raw))
+
+
+# ------------------------- atomic writes -------------------------------
+
+
+def test_atomic_write_replaces_and_leaves_no_temp(tmp_path):
+    target = tmp_path / "doc.txt"
+    atomic_write_text(target, "old")
+    atomic_write_text(target, "new content")
+    assert target.read_text(encoding="utf-8") == "new content"
+    assert list(tmp_path.glob(f"*{TMP_SUFFIX}")) == []
+
+
+@pytest.mark.parametrize("point", ["store.torn_write", "store.partial_rename"])
+def test_crash_before_rename_preserves_old_content(tmp_path, point):
+    target = tmp_path / "doc.txt"
+    atomic_write_text(target, "old")
+    with pytest.raises(InjectedFaultError):
+        with inject_faults(point):
+            atomic_write_text(target, "new content")
+    assert target.read_text(encoding="utf-8") == "old"
+
+
+def test_missing_fsync_crash_leaves_detectable_half_write(tmp_path):
+    target = tmp_path / "doc.json"
+    document = {"format": "x", "payload": list(range(40))}
+    with pytest.raises(InjectedFaultError):
+        with inject_faults("store.missing_fsync"):
+            atomic_write_document(target, document)
+    text = seal(json.dumps(document))
+    assert target.read_text(encoding="utf-8") == text[: len(text) // 2]
+    with pytest.raises(SerializationError):
+        read_document(target)
+
+
+# ------------------------- sealed documents ----------------------------
+
+
+def test_seal_unseal_roundtrip():
+    body = json.dumps({"a": 1})
+    text = seal(body)
+    recovered, sealed = unseal(text)
+    assert recovered == body
+    assert sealed
+
+
+def test_unseal_passes_legacy_text_through():
+    legacy = '{"format": "repro-datagraph"}\n'
+    recovered, sealed = unseal(legacy)
+    assert recovered == legacy
+    assert not sealed
+
+
+def test_read_document_verifies_the_seal(tmp_path):
+    target = tmp_path / "doc.json"
+    atomic_write_document(target, {"format": "x", "value": 7})
+    assert read_document(target)["value"] == 7
+    flip_byte(target, 12)
+    with pytest.raises(SerializationError):
+        read_document(target)
+
+
+def test_read_document_accepts_unsealed_legacy_files(tmp_path):
+    target = tmp_path / "legacy.json"
+    target.write_text(json.dumps({"format": "x", "value": 3}), encoding="utf-8")
+    assert read_document(target)["value"] == 3
+
+
+def test_unsupported_seal_version_rejected(tmp_path):
+    body = json.dumps({"a": 1})
+    footer = json.dumps(
+        {"format": "repro-seal", "version": 99, "algorithm": "sha256", "digest": "0"}
+    )
+    target = tmp_path / "doc.json"
+    target.write_text(body + "\n" + footer + "\n", encoding="utf-8")
+    with pytest.raises(SerializationError):
+        read_document(target)
+
+
+def test_legacy_unsealed_index_and_graph_still_load(tmp_path):
+    dk = small_dk()
+    index_path = tmp_path / "index.json"
+    index_path.write_text(
+        json.dumps(
+            index_to_dict(
+                dk.index, embed_graph=True, requirements=dict(dk.requirements)
+            )
+        ),
+        encoding="utf-8",
+    )
+    restored = load_dk_index(index_path)
+    assert answers(restored) == answers(dk)
+
+    from repro.graph.serialize import graph_to_dict
+
+    graph_path = tmp_path / "graph.json"
+    graph_path.write_text(json.dumps(graph_to_dict(dk.graph)), encoding="utf-8")
+    assert load_graph(graph_path).num_edges == dk.graph.num_edges
+
+
+# ------------------------- bit-flip properties -------------------------
+
+
+@pytest.fixture(scope="module")
+def sealed_artifacts(tmp_path_factory):
+    """One saved index file and one saved graph file, sealed."""
+    base = tmp_path_factory.mktemp("sealed")
+    dk = small_dk()
+    index_path = base / "index.json"
+    save_dk_index(dk, index_path)
+    graph_path = base / "graph.json"
+    save_graph(dk.graph, graph_path)
+    return {"index": index_path, "graph": graph_path}
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_any_single_byte_flip_in_sealed_file_is_typed_error(
+    sealed_artifacts, data
+):
+    kind = data.draw(st.sampled_from(["index", "graph"]))
+    pristine = sealed_artifacts[kind].read_bytes()
+    offset = data.draw(st.integers(min_value=0, max_value=len(pristine) - 1))
+    mask = data.draw(st.sampled_from([0x01, 0x08, 0x80]))
+    raw = bytearray(pristine)
+    raw[offset] ^= mask
+    loader = load_dk_index if kind == "index" else load_graph
+    with tempfile.TemporaryDirectory() as scratch:
+        damaged = Path(scratch) / "damaged.json"
+        damaged.write_bytes(bytes(raw))
+        with pytest.raises(SerializationError):
+            loader(damaged)
+
+
+@pytest.fixture(scope="module")
+def journal_fixture(tmp_path_factory):
+    """A v2 journal with a base and three committed operations."""
+    base = tmp_path_factory.mktemp("journal")
+    dk = small_dk()
+    path = base / "ops.jsonl"
+    journal = UpdateJournal.open(path, dk)
+    for src, dst in ((2, 9), (3, 5), (6, 8)):
+        seq = journal.begin("add_edge", {"src": src, "dst": dst})
+        journal.commit(seq)
+    pristine = list(UpdateJournal(path).entries())
+    committed = scan_journal(path).committed_ops
+    return path, pristine, committed
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_journal_byte_flip_never_silently_changes_replay(journal_fixture, data):
+    path, pristine_entries, pristine_ops = journal_fixture
+    raw = bytearray(path.read_bytes())
+    offset = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+    mask = data.draw(st.sampled_from([0x01, 0x08, 0x80]))
+    raw[offset] ^= mask
+    with tempfile.TemporaryDirectory() as scratch:
+        damaged = Path(scratch) / "ops.jsonl"
+        damaged.write_bytes(bytes(raw))
+        # The strict reader: a typed error, or a prefix of the pristine
+        # entries — a flipped trailing newline is indistinguishable from
+        # a torn append, which readers tolerate by stopping before it.
+        try:
+            survived = list(UpdateJournal(damaged).entries())
+        except JournalError:
+            pass
+        else:
+            assert survived == pristine_entries[: len(survived)]
+        # The forgiving reader never raises, and what it offers for
+        # replay is always a prefix of the true committed history.
+        scan = scan_journal(damaged)
+        assert scan.committed_ops == pristine_ops[: len(scan.committed_ops)]
+        if scan.committed_ops != pristine_ops:
+            assert scan.damaged or scan.notes
+
+
+def test_legacy_v1_journal_replays(tmp_path):
+    dk = small_dk()
+    document = index_to_dict(
+        dk.index, embed_graph=True, requirements=dict(dk.requirements)
+    )
+    path = tmp_path / "v1.jsonl"
+    lines = [
+        {"type": "base", "seq": 0, "index": document},
+        {"type": "begin", "seq": 1, "op": "add_edge", "args": {"src": 2, "dst": 9}},
+        {"type": "commit", "seq": 1},
+    ]
+    path.write_text(
+        "".join(json.dumps(record) + "\n" for record in lines), encoding="utf-8"
+    )
+    replayed = UpdateJournal(path).replay()
+    from repro.core.updates import dk_add_edge
+
+    dk_add_edge(dk.graph, dk.index, 2, 9)
+    assert answers(replayed) == answers(dk)
+
+
+def test_mixed_framing_v1_base_v2_appends(tmp_path):
+    dk = small_dk()
+    document = index_to_dict(
+        dk.index, embed_graph=True, requirements=dict(dk.requirements)
+    )
+    path = tmp_path / "mixed.jsonl"
+    path.write_text(
+        json.dumps({"type": "base", "seq": 0, "index": document}) + "\n",
+        encoding="utf-8",
+    )
+    journal = UpdateJournal(path)  # a new release appending to an old file
+    seq = journal.begin("add_edge", {"src": 2, "dst": 9})
+    journal.commit(seq)
+    scan = scan_journal(path)
+    assert scan.committed_ops == [(1, "add_edge", {"src": 2, "dst": 9})]
+    assert not scan.damaged
+
+
+# ------------------------- checkpoint store ----------------------------
+
+
+def make_checkpointed_store(tmp_path, ops_per_generation=(2, 2)):
+    """A store with one generation per entry of ``ops_per_generation``,
+    each generation's journal holding that many committed edge adds."""
+    dk = small_dk()
+    edges = iter(((2, 9), (3, 5), (6, 8), (9, 4), (10, 1), (5, 7)))
+    store = CheckpointStore.create(tmp_path / "store", dk)
+    pipeline = UpdatePipeline(dk, store.maintenance_config(audit="deep"))
+    for round_number, count in enumerate(ops_per_generation):
+        if round_number:
+            store.checkpoint(dk, pipeline)
+        for _ in range(count):
+            pipeline.add_edge(*next(edges))
+    return store, dk
+
+
+def test_create_refuses_an_existing_store(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (1,))
+    with pytest.raises(CheckpointError):
+        CheckpointStore.create(store.directory, dk)
+
+
+def test_retain_must_leave_the_ladder_rungs():
+    with pytest.raises(CheckpointError):
+        CheckpointStore("anywhere", retain=0)
+
+
+def test_checkpoint_rotates_prunes_and_repoints(tmp_path):
+    dk = small_dk()
+    store = CheckpointStore.create(tmp_path / "store", dk, retain=2)
+    pruned = []
+    for _ in range(4):
+        info = store.checkpoint(dk)
+        pruned.extend(info.pruned)
+    assert store.generations() == [3, 4, 5]
+    assert pruned == [1, 2]
+    assert read_document(store.directory / CURRENT_NAME)["generation"] == 5
+    assert store.journal_path.name == journal_name(5)
+
+
+def test_recover_clean_store_replays_the_live_journal(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (2, 2))
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.strategy == "snapshot-2+replay"
+    assert report.replayed == 2
+    assert not report.data_loss
+    assert report.dk is not None and answers(report.dk) == answers(dk)
+    assert "recovered via" in report.format()
+
+
+def test_recover_empty_directory_is_a_typed_error(tmp_path):
+    with pytest.raises(RecoveryError):
+        CheckpointStore(tmp_path / "nothing").recover()
+
+
+def test_recover_sweeps_inflight_temp_files(tmp_path):
+    store, _dk = make_checkpointed_store(tmp_path, (1,))
+    leftover = store.directory / (snapshot_name(2) + TMP_SUFFIX)
+    leftover.write_text("half a snapsh", encoding="utf-8")
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert not leftover.exists()
+    assert any("temp file" in issue for issue in report.issues)
+
+
+def test_recover_with_corrupt_current_pointer_trusts_the_scan(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (1, 1))
+    flip_byte(store.directory / CURRENT_NAME, 5)
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.generation == 2
+    statuses = {a.name: a.status for a in report.artifacts}
+    assert statuses[CURRENT_NAME] == "corrupt"
+
+
+def test_corrupt_snapshot_falls_back_to_the_journal_base(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (2, 2))
+    flip_byte(store.directory / snapshot_name(2), 40)
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.strategy == "journal-base-2+replay"
+    assert report.replayed == 2
+    assert not report.data_loss
+    assert answers(report.dk) == answers(dk)
+    statuses = {a.name: a.status for a in report.artifacts}
+    assert statuses[snapshot_name(2)] == "corrupt"
+
+
+def test_older_generation_rung_chains_every_later_journal(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (2, 2))
+    # Destroy generation 2's snapshot and its journal base: recovery
+    # must climb down to generation 1 and replay both journals in order.
+    flip_byte(store.directory / snapshot_name(2), 40)
+    journal = store.directory / journal_name(2)
+    lines = journal.read_text(encoding="utf-8").splitlines(keepends=True)
+    lines[0] = "deadbeef" + lines[0][8:]
+    journal.write_text("".join(lines), encoding="utf-8")
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.strategy == "snapshot-1+replay"
+    assert report.replayed == 4
+    # A destroyed base line is redundant with the snapshot chain — the
+    # operation records behind it were all rescued, so no loss.
+    assert not report.data_loss
+    assert answers(report.dk) == answers(dk)
+
+
+def test_audit_failing_snapshot_falls_through_to_rebuild(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (2,))
+    # Reseal the snapshot with one child block's k inflated past its
+    # parent's bound: it parses and loads, but the deep audit must
+    # reject the Definition-3 violation, pushing recovery to the
+    # Algorithm-2 rebuild rung.
+    path = store.directory / snapshot_name(1)
+    body, sealed = unseal(path.read_text(encoding="utf-8"))
+    assert sealed
+    document = json.loads(body)
+    # Block of data node 6 — one the replayed edge operations never
+    # touch, so the bogus k survives replay and reaches the audit.
+    document["k"][document["node_of"][6]] += 7
+    path.write_text(seal(json.dumps(document)), encoding="utf-8")
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.strategy == "rebuild-1+replay"
+    assert report.replayed == 2
+    assert answers(report.dk) == answers(dk)
+    assert any(not rung.succeeded for rung in report.rungs)
+
+
+def test_destroyed_operation_record_recovers_point_in_time(tmp_path):
+    store, dk_oracle = make_checkpointed_store(tmp_path, (3,))
+    journal = store.directory / journal_name(1)
+    lines = journal.read_text(encoding="utf-8").splitlines(keepends=True)
+    # Line 4 is the begin of seq 2; destroying it loses seq 2 and 3.
+    lines[3] = "deadbeef" + lines[3][8:]
+    journal.write_text("".join(lines), encoding="utf-8")
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered
+    assert report.replayed == 1
+    assert report.data_loss
+    assert "WITH DATA LOSS" in report.format()
+    # The recovered state is the consistent point after seq 1 alone.
+    dk = small_dk()
+    from repro.core.updates import dk_add_edge
+
+    dk_add_edge(dk.graph, dk.index, 2, 9)
+    assert answers(report.dk) == answers(dk)
+
+
+def test_crash_mid_ladder_then_rerun_recovers(tmp_path):
+    store, dk = make_checkpointed_store(tmp_path, (1, 1))
+    with pytest.raises(InjectedFaultError):
+        with inject_faults("recover.mid_ladder"):
+            CheckpointStore(store.directory).recover()
+    report = CheckpointStore(store.directory).recover()
+    assert report.recovered and answers(report.dk) == answers(dk)
+
+
+def test_durability_suite_is_clean(tmp_path):
+    report = run_durability_suite(seed=0, work_dir=tmp_path / "chaos")
+    assert report.ok, report.format()
+    assert "durability crash matrix" in report.format()
