@@ -3,13 +3,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help install test lint typecheck bench bench-full chaos results examples clean
+.PHONY: help install test lint lint-deep typecheck bench bench-full chaos results examples clean
 
 help:
 	@echo "Targets:"
 	@echo "  install    editable install (pip install -e .)"
 	@echo "  test       run the test suite (PYTHONPATH=src)"
 	@echo "  lint       run the repro.analysis invariant linter over src/ and tests/"
+	@echo "  lint-deep  per-file linter plus the interprocedural pass"
+	@echo "             (DK109-DK112); refreshes analysis-effects.json"
 	@echo "  typecheck  run mypy (strict on repro.core/indexes/partition/analysis)"
 	@echo "  bench      quick benchmark pass (PYTHONPATH=src)"
 	@echo "  bench-full full-scale benchmark pass"
@@ -27,6 +29,9 @@ test:
 
 lint:
 	$(PYTHON) -m repro lint src tests
+
+lint-deep: lint
+	$(PYTHON) -m repro lint src --deep --effects-out analysis-effects.json
 
 typecheck:
 	$(PYTHON) -m mypy src/repro

@@ -89,3 +89,58 @@ def walk_scope(scope: ast.AST) -> Iterable[ast.AST]:
         ):
             continue
         stack.extend(ast.iter_child_nodes(node))
+
+
+def lambda_slug(node: ast.Lambda) -> str:
+    """Position-stable display name for an anonymous function."""
+    return f"<lambda@L{node.lineno}C{node.col_offset}>"
+
+
+def build_qualnames(tree: ast.Module, module: str) -> dict[int, str]:
+    """Dotted qualified names for every def/class/lambda in ``tree``.
+
+    Keys are ``id(node)`` (the tree outlives the map wherever this is
+    used).  Naming follows PEP 3155 with two deliberate deviations the
+    call-graph layer relies on:
+
+    - lambdas are named positionally (``<lambda@L12C4>``) so two
+      lambdas in one module never collide;
+    - comprehension scopes are *transparent* — a lambda inside a list
+      comprehension inside ``C.f`` is ``mod.C.f.<locals>.<lambda@...>``
+      with no ``<listcomp>`` segment, matching how the effect analysis
+      folds comprehension bodies into their enclosing function.
+    """
+    names: dict[int, str] = {}
+
+    def visit(parent: ast.AST, prefix: str, in_function: bool) -> None:
+        separator = ".<locals>." if in_function else "."
+        for child in ast.iter_child_nodes(parent):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{separator}{child.name}"
+                names[id(child)] = qualname
+                visit(child, qualname, True)
+            elif isinstance(child, ast.ClassDef):
+                qualname = f"{prefix}{separator}{child.name}"
+                names[id(child)] = qualname
+                visit(child, qualname, False)
+            elif isinstance(child, ast.Lambda):
+                qualname = f"{prefix}{separator}{lambda_slug(child)}"
+                names[id(child)] = qualname
+                visit(child, qualname, True)
+            else:
+                visit(child, prefix, in_function)
+
+    visit(tree, module, False)
+    return names
+
+
+def parameter_names(node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> list[str]:
+    """All parameter names of a function, in declaration order."""
+    args = node.args
+    params = [arg.arg for arg in args.posonlyargs + args.args]
+    if args.vararg is not None:
+        params.append(args.vararg.arg)
+    params.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg is not None:
+        params.append(args.kwarg.arg)
+    return params

@@ -65,6 +65,36 @@ class Baseline:
                 new.append(finding)
         return new, matched
 
+    def stale_entries(
+        self, findings: Sequence[Finding]
+    ) -> list[tuple[str, str, str, int]]:
+        """Entries no current finding justifies.
+
+        Returns ``(rule, path, snippet, excess count)`` tuples for
+        every baseline entry whose count exceeds the number of matching
+        findings in the *raw* (pre-subtraction) run.  Stale entries are
+        fixed violations still being carried — they mask any future
+        regression with the same fingerprint.
+        """
+        current = Counter(finding.fingerprint() for finding in findings)
+        stale: list[tuple[str, str, str, int]] = []
+        for key, count in sorted(self.entries.items()):
+            excess = count - current.get(key, 0)
+            if excess > 0:
+                rule, path, snippet = key
+                stale.append((rule, path, snippet, excess))
+        return stale
+
+    def pruned(self, findings: Sequence[Finding]) -> "Baseline":
+        """A copy with stale entries removed (counts capped at actual)."""
+        current = Counter(finding.fingerprint() for finding in findings)
+        kept: Counter[tuple[str, str, str]] = Counter()
+        for key, count in self.entries.items():
+            keep = min(count, current.get(key, 0))
+            if keep > 0:
+                kept[key] = keep
+        return Baseline(kept)
+
     def to_json(self) -> str:
         """Serialise to the committed-file format (stable ordering)."""
         records = [

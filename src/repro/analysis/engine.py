@@ -103,6 +103,18 @@ class ModuleContext:
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
                 context.parents[id(child)] = parent
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            # A ``# dk: ignore[...]`` on the ``def`` line also covers
+            # findings anchored in the decorator list above it.
+            for decorator in node.decorator_list:
+                first = getattr(decorator, "lineno", node.lineno)
+                last = getattr(decorator, "end_lineno", first) or first
+                for line in range(first, last + 1):
+                    context.suppressions.add_line_alias(line, node.lineno)
         return context
 
     def parent(self, node: ast.AST) -> ast.AST | None:

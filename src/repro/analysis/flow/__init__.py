@@ -1,0 +1,84 @@
+"""``repro.analysis.flow`` — whole-program (interprocedural) analysis.
+
+The per-file rules (DK101–DK108) see one module at a time, so they can
+only police *syntactic* contracts.  This package adds the whole-program
+layer the adaptive-index roadmap needs (parallel refinement, serving,
+sharded builds all depend on separation properties no single file can
+prove):
+
+- :mod:`repro.analysis.flow.callgraph` builds a module-resolved call
+  graph over ``src/repro`` — imports, class-scoped method dispatch,
+  decorator unwrapping and higher-order parameter binding (the
+  pipeline's ``action=lambda: ...`` callbacks resolve to real edges);
+- :mod:`repro.analysis.flow.effects` infers a per-function **effect
+  summary** (index/graph state writes, IO, randomness, process spawns,
+  alias-returning) and propagates it over the call graph to a fixpoint;
+- :mod:`repro.analysis.flow.rules` turns the summaries into the deep
+  rule pack DK109–DK112, run by ``dkindex lint --deep``.
+
+The analysis is deliberately *optimistic* where it cannot resolve
+(an unresolved call contributes no effects) and *conservative* where
+it can: that keeps the deep pass a tripwire with near-zero false-alarm
+cost on this codebase rather than a verifier.  ``docs/static-analysis.md``
+documents the model and how to write a new interprocedural rule.
+"""
+
+from repro.analysis.flow.callgraph import (
+    CallSite,
+    ClassInfo,
+    DispatchSite,
+    FunctionInfo,
+    Program,
+    build_program,
+    build_program_from_sources,
+)
+from repro.analysis.flow.effects import (
+    Effect,
+    EffectAnalysis,
+    EffectSummary,
+    analyze_program,
+    export_effects,
+)
+from repro.analysis.flow.rules import (
+    DEEP_RULE_CLASSES,
+    DeepRule,
+    all_deep_rules,
+    deep_rule_tokens,
+    get_deep_rules,
+)
+from repro.analysis.flow.runner import (
+    DeepReport,
+    DeepStats,
+    analyze_paths,
+    analyze_sources,
+    run_deep,
+    run_deep_rules,
+    write_effects,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "DEEP_RULE_CLASSES",
+    "DeepReport",
+    "DeepRule",
+    "DeepStats",
+    "DispatchSite",
+    "Effect",
+    "EffectAnalysis",
+    "EffectSummary",
+    "FunctionInfo",
+    "Program",
+    "all_deep_rules",
+    "analyze_paths",
+    "analyze_program",
+    "analyze_sources",
+    "build_program",
+    "build_program_from_sources",
+    "deep_rule_tokens",
+    "export_effects",
+    "get_deep_rules",
+    "run_deep",
+    "run_deep_rules",
+    "write_effects",
+]

@@ -1,0 +1,861 @@
+"""Module-resolved call graph over the ``repro`` source tree.
+
+The builder parses every file into the same :class:`ModuleContext` the
+per-file engine uses, assigns PEP-3155-style qualified names to every
+function/class/lambda, then resolves call sites in three layers:
+
+1. **Names and imports** — per-module symbol tables built from
+   ``import``/``from ... import`` statements and module-level
+   definitions, followed transitively (``from a import f`` where ``a``
+   re-exports ``f`` from ``b`` resolves to ``b.f``).
+2. **Method dispatch via class scoping** — ``self.m()`` resolves in the
+   enclosing class (and its in-program bases); receivers typed by a
+   parameter annotation, a constructor assignment (``store =
+   CheckpointStore(...)``) or an instance-attribute assignment in the
+   class body (``self.journal = UpdateJournal.open(...)``) resolve the
+   same way.  Decorators are unwrapped: a call to a decorated function
+   is an edge to the underlying ``def``.
+3. **Higher-order parameter binding** — when a function invokes one of
+   its *parameters* (``action()``), every lambda/function literally
+   passed for that parameter at a resolved call site becomes an edge.
+   This is how the update pipeline's ``action=lambda: dk_add_edge(...)``
+   callbacks are connected to the transaction context that covers them.
+
+Every call site records whether it sits lexically under
+``with UpdateTransaction(...)`` — the coverage bit DK110 is built on.
+Unresolved calls (dynamic dispatch the three layers cannot see) simply
+produce no edge; the effect layer treats them as effect-free, which is
+the documented optimistic bias of the deep pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterator, Mapping, Sequence
+
+from repro.analysis.astutil import (
+    build_qualnames,
+    dotted_name,
+    lambda_slug,
+    parameter_names,
+    walk_scope,
+)
+from repro.analysis.engine import ModuleContext, iter_python_files
+from repro.exceptions import ReproError
+
+#: AST node types that define a function body the analysis walks.
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: Context-manager class names that establish rollback coverage (DK110).
+TRANSACTION_MANAGERS = frozenset({"UpdateTransaction"})
+
+#: ``pool.<method>`` names that ship a callable to worker processes.
+POOL_DISPATCH_METHODS = frozenset(
+    {
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+    }
+)
+
+#: Constructors whose ``target=`` keyword is a spawned callable.
+SPAWN_CONSTRUCTORS = frozenset({"Process", "Thread"})
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or lambda) of the analyzed program."""
+
+    qualname: str
+    module: str
+    context: ModuleContext
+    node: FunctionNode
+    class_qualname: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Terminal segment of the qualified name."""
+        if isinstance(self.node, ast.Lambda):
+            return lambda_slug(self.node)
+        return self.node.name
+
+    @property
+    def params(self) -> list[str]:
+        return parameter_names(self.node)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None and bool(self.params)
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods, bases and inferred attribute types."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)
+    base_names: list[str] = field(default_factory=list)
+    resolved_bases: list[str] = field(default_factory=list)
+    #: ``self.<attr>`` → class qualname, from annotations/constructors.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CallSite:
+    """One resolved invocation edge ``caller → callee``."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+    line: int
+    #: lexically inside ``with UpdateTransaction(...)`` in the caller.
+    covered: bool
+    #: edge produced by higher-order parameter binding or pool dispatch.
+    bound: bool = False
+
+
+@dataclass
+class DispatchSite:
+    """A callable shipped to another process (fork pool / Process)."""
+
+    caller: str
+    worker: str
+    node: ast.Call
+    line: int
+    kind: str  # "pool" or "process"
+
+
+@dataclass
+class Program:
+    """The parsed program plus its resolved call graph."""
+
+    contexts: dict[str, ModuleContext] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    calls: dict[str, list[CallSite]] = field(default_factory=dict)
+    callers: dict[str, list[CallSite]] = field(default_factory=dict)
+    dispatch_sites: list[DispatchSite] = field(default_factory=list)
+    unresolved_calls: int = 0
+    skipped_files: int = 0
+    #: the builder that produced this program; the effect layer reuses
+    #: its symbol tables (constructor/type resolution).
+    resolver: "_ProgramBuilder | None" = None
+
+    def context_for_path(self, path: str) -> ModuleContext | None:
+        for context in self.contexts.values():
+            if context.path == path:
+                return context
+        return None
+
+    def sites_from(self, qualname: str) -> list[CallSite]:
+        return self.calls.get(qualname, [])
+
+    def sites_to(self, qualname: str) -> list[CallSite]:
+        return self.callers.get(qualname, [])
+
+    @property
+    def call_edge_count(self) -> int:
+        return sum(len(sites) for sites in self.calls.values())
+
+
+# ---------------------------------------------------------------------------
+# Symbol tables
+# ---------------------------------------------------------------------------
+
+#: Symbol kinds: ("module", dotted) / ("func", qualname) /
+#: ("class", qualname) / ("import_from", module, name) / ("external", dotted)
+Symbol = tuple[str, ...]
+
+
+def _annotation_dotted(annotation: ast.expr | None) -> str | None:
+    """Best-effort class name out of an annotation expression.
+
+    Understands ``C``, ``m.C``, string annotations, ``C | None`` and
+    ``Optional[C]``; returns None for anything it cannot pin to a
+    single class.
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            parsed = ast.parse(annotation.value, mode="eval")
+        except SyntaxError:
+            return None
+        return _annotation_dotted(parsed.body)
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        return dotted_name(annotation)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        for side in (annotation.left, annotation.right):
+            if isinstance(side, ast.Constant) and side.value is None:
+                continue
+            resolved = _annotation_dotted(side)
+            if resolved is not None:
+                return resolved
+        return None
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        if base is not None and base.split(".")[-1] == "Optional":
+            inner = annotation.slice
+            return _annotation_dotted(inner)
+        return None
+    return None
+
+
+class _ProgramBuilder:
+    """Three-pass builder; see the module docstring."""
+
+    def __init__(self) -> None:
+        self.program = Program()
+        self.qualnames: dict[str, dict[int, str]] = {}
+        self.symbols: dict[str, dict[str, Symbol]] = {}
+        #: pending higher-order invocations: (caller, param, call node)
+        self.param_calls: list[tuple[str, str, ast.Call]] = []
+
+    # -- pass 1: collect -------------------------------------------------
+
+    def add_module(self, context: ModuleContext) -> None:
+        module = context.module
+        self.program.contexts[module] = context
+        names = build_qualnames(context.tree, module)
+        self.qualnames[module] = names
+        table: dict[str, Symbol] = {}
+        for statement in context.tree.body:
+            self._collect_import(statement, table)
+        class_stack: list[str] = []
+
+        def visit(parent: ast.AST) -> None:
+            for child in ast.iter_child_nodes(parent):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                    qualname = names[id(child)]
+                    owner = (
+                        class_stack[-1]
+                        if class_stack and class_stack[-1]
+                        else None
+                    )
+                    info = FunctionInfo(
+                        qualname=qualname,
+                        module=module,
+                        context=context,
+                        node=child,
+                        class_qualname=owner,
+                    )
+                    self.program.functions[qualname] = info
+                    if owner is not None and not isinstance(child, ast.Lambda):
+                        owner_info = self.program.classes[owner]
+                        # Methods directly in the class body only (a
+                        # lambda or nested def is not dispatchable).
+                        if isinstance(parent, ast.ClassDef):
+                            owner_info.methods[child.name] = qualname
+                    class_stack.append("")  # nested defs are not methods
+                    visit(child)
+                    class_stack.pop()
+                elif isinstance(child, ast.ClassDef):
+                    qualname = names[id(child)]
+                    self.program.classes[qualname] = ClassInfo(
+                        qualname=qualname,
+                        module=module,
+                        node=child,
+                        base_names=[
+                            dotted
+                            for base in child.bases
+                            if (dotted := dotted_name(base)) is not None
+                        ],
+                    )
+                    if isinstance(parent, ast.Module):
+                        table[child.name] = ("class", qualname)
+                    class_stack.append(qualname)
+                    visit(child)
+                    class_stack.pop()
+                else:
+                    visit(child)
+
+        visit(context.tree)
+        for statement in context.tree.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                table[statement.name] = ("func", names[id(statement)])
+        self.symbols[module] = table
+
+    @staticmethod
+    def _collect_import(statement: ast.stmt, table: dict[str, Symbol]) -> None:
+        if isinstance(statement, ast.Import):
+            for alias in statement.names:
+                if alias.asname is not None:
+                    table[alias.asname] = ("module", alias.name)
+                else:
+                    head = alias.name.split(".")[0]
+                    table[head] = ("module", head)
+        elif isinstance(statement, ast.ImportFrom) and statement.module:
+            if statement.level:
+                return  # relative imports are not used in this repo
+            for alias in statement.names:
+                bound = alias.asname or alias.name
+                table[bound] = ("import_from", statement.module, alias.name)
+
+    # -- pass 2: resolve symbols ----------------------------------------
+
+    def finalize_symbols(self) -> None:
+        for class_info in self.program.classes.values():
+            resolved: list[str] = []
+            for base in class_info.base_names:
+                target = self.resolve_dotted(class_info.module, base)
+                if target is not None and target[0] == "class":
+                    resolved.append(target[1])
+            class_info.resolved_bases = resolved
+        for class_info in self.program.classes.values():
+            self._collect_attr_types(class_info)
+
+    def resolve_dotted(
+        self, module: str, dotted: str, _depth: int = 0
+    ) -> tuple[str, str] | None:
+        """Resolve ``a.b.c`` in ``module`` to a program entity.
+
+        Returns ("func"|"class"|"external", fullname) or None when the
+        head name is unbound.
+        """
+        if _depth > 8:
+            return None
+        segments = dotted.split(".")
+        table = self.symbols.get(module, {})
+        symbol = table.get(segments[0])
+        if symbol is None:
+            return None
+        return self._follow(symbol, segments[1:], _depth)
+
+    def _follow(
+        self, symbol: Symbol, rest: list[str], depth: int
+    ) -> tuple[str, str] | None:
+        if depth > 8:
+            return None
+        kind = symbol[0]
+        if kind == "func":
+            return ("func", symbol[1]) if not rest else None
+        if kind == "class":
+            return self._follow_class(symbol[1], rest, depth)
+        if kind == "module":
+            target_module = symbol[1]
+            remaining = list(rest)
+            # Descend into submodules as long as they are in-program.
+            while remaining:
+                deeper = f"{target_module}.{remaining[0]}"
+                if deeper in self.symbols:
+                    target_module = deeper
+                    remaining.pop(0)
+                    continue
+                if target_module in self.symbols:
+                    inner = self.symbols[target_module].get(remaining[0])
+                    if inner is None:
+                        return ("external", f"{target_module}.{'.'.join(remaining)}")
+                    return self._follow(inner, remaining[1:], depth + 1)
+                return ("external", f"{target_module}.{'.'.join(remaining)}")
+            return ("external", target_module)
+        if kind == "import_from":
+            source_module, name = symbol[1], symbol[2]
+            if source_module in self.symbols:
+                inner = self.symbols[source_module].get(name)
+                if inner is not None:
+                    return self._follow(inner, rest, depth + 1)
+                # ``from pkg import submodule``
+                submodule = f"{source_module}.{name}"
+                if submodule in self.symbols:
+                    return self._follow(("module", submodule), rest, depth + 1)
+                return None
+            full = f"{source_module}.{name}"
+            return ("external", full + ("." + ".".join(rest) if rest else ""))
+        if kind == "external":
+            full = symbol[1] + ("." + ".".join(rest) if rest else "")
+            return ("external", full)
+        return None
+
+    def _follow_class(
+        self, class_qualname: str, rest: list[str], depth: int
+    ) -> tuple[str, str] | None:
+        if not rest:
+            return ("class", class_qualname)
+        method = self.lookup_method(class_qualname, rest[0])
+        if method is not None and len(rest) == 1:
+            return ("func", method)
+        return None
+
+    def lookup_method(self, class_qualname: str, name: str) -> str | None:
+        """Find ``name`` on the class or its in-program bases (DFS)."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.program.classes.get(current)
+            if info is None:
+                continue
+            if name in info.methods:
+                return info.methods[name]
+            stack.extend(info.resolved_bases)
+        return None
+
+    def _resolve_annotation(self, module: str, annotation: ast.expr | None) -> str | None:
+        dotted = _annotation_dotted(annotation)
+        if dotted is None:
+            return None
+        target = self.resolve_dotted(module, dotted)
+        if target is not None and target[0] == "class":
+            return target[1]
+        return None
+
+    def _collect_attr_types(self, class_info: ClassInfo) -> None:
+        module = class_info.module
+        for method_qualname in class_info.methods.values():
+            method = self.program.functions.get(method_qualname)
+            if method is None or isinstance(method.node, ast.Lambda):
+                continue
+            param_types = self._parameter_types(method)
+            for node in walk_scope(method.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                annotation: ast.expr | None = None
+                if isinstance(node, ast.AnnAssign):
+                    target, value, annotation = node.target, node.value, node.annotation
+                elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in ("self", "cls")
+                ):
+                    continue
+                attr = target.attr
+                inferred: str | None = None
+                if annotation is not None:
+                    inferred = self._resolve_annotation(module, annotation)
+                if inferred is None and isinstance(value, ast.Name):
+                    inferred = param_types.get(value.id)
+                if inferred is None and isinstance(value, ast.Call):
+                    inferred = self._constructor_class(module, value)
+                if inferred is not None:
+                    class_info.attr_types.setdefault(attr, inferred)
+
+    def _parameter_types(self, function: FunctionInfo) -> dict[str, str]:
+        """Parameter name → class qualname, from annotations and self."""
+        types: dict[str, str] = {}
+        node = function.node
+        if isinstance(node, ast.Lambda):
+            pass
+        else:
+            args = node.args
+            for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                resolved = self._resolve_annotation(function.module, arg.annotation)
+                if resolved is not None:
+                    types[arg.arg] = resolved
+        if function.is_method and function.params:
+            types.setdefault(function.params[0], function.class_qualname or "")
+        return {name: qual for name, qual in types.items() if qual}
+
+    def _constructor_class(self, module: str, call: ast.Call) -> str | None:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        target = self.resolve_dotted(module, dotted)
+        if target is not None and target[0] == "class":
+            return target[1]
+        # ``cls(graph)`` inside a classmethod constructs the own class;
+        # handled by the caller passing "cls" parameter types.
+        return None
+
+    # -- pass 3: call sites ---------------------------------------------
+
+    def resolve_calls(self) -> None:
+        for function in list(self.program.functions.values()):
+            self._resolve_function_calls(function)
+        self._bind_parameter_calls()
+
+    def _local_tables(
+        self, function: FunctionInfo
+    ) -> tuple[dict[str, str], dict[str, str]]:
+        """(local function bindings, local variable class types)."""
+        names = self.qualnames[function.module]
+        local_funcs: dict[str, str] = {}
+        local_types: dict[str, str] = dict(self._parameter_types(function))
+        for node in walk_scope(function.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                local_funcs[node.name] = names[id(node)]
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(node.value, ast.Lambda):
+                    local_funcs[target.id] = names[id(node.value)]
+                elif isinstance(node.value, ast.Call):
+                    inferred = self._constructor_class(function.module, node.value)
+                    if inferred is not None:
+                        local_types[target.id] = inferred
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and isinstance(item.optional_vars, ast.Name)
+                    ):
+                        inferred = self._constructor_class(
+                            function.module, item.context_expr
+                        )
+                        if inferred is not None:
+                            local_types[item.optional_vars.id] = inferred
+        return local_funcs, local_types
+
+    def _is_transaction_with(self, function: FunctionInfo, node: ast.With | ast.AsyncWith) -> bool:
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Call):
+                continue
+            dotted = dotted_name(expr.func)
+            if dotted is None:
+                continue
+            terminal = dotted.split(".")[-1]
+            if terminal in TRANSACTION_MANAGERS:
+                return True
+            resolved = self.resolve_dotted(function.module, dotted)
+            if (
+                resolved is not None
+                and resolved[0] == "class"
+                and resolved[1].split(".")[-1] in TRANSACTION_MANAGERS
+            ):
+                return True
+        return False
+
+    def _site_covered(self, function: FunctionInfo, node: ast.AST) -> bool:
+        context = function.context
+        current = context.parent(node)
+        while current is not None and current is not function.node:
+            if isinstance(current, (ast.With, ast.AsyncWith)):
+                if self._is_transaction_with(function, current):
+                    return True
+            if isinstance(current, FUNCTION_NODES):
+                break
+            current = context.parent(current)
+        return False
+
+    def _resolve_callable_ref(
+        self,
+        function: FunctionInfo,
+        expr: ast.expr,
+        local_funcs: dict[str, str],
+    ) -> str | None:
+        """A *reference* to a function (not a call): lambda or name."""
+        if isinstance(expr, ast.Lambda):
+            return self.qualnames[function.module].get(id(expr))
+        dotted = dotted_name(expr) if isinstance(expr, (ast.Name, ast.Attribute)) else None
+        if dotted is None:
+            return None
+        if dotted in local_funcs:
+            return local_funcs[dotted]
+        resolved = self.resolve_dotted(function.module, dotted)
+        if resolved is not None and resolved[0] == "func":
+            return resolved[1]
+        return None
+
+    def _resolve_function_calls(self, function: FunctionInfo) -> None:
+        local_funcs, local_types = self._local_tables(function)
+        class_info = (
+            self.program.classes.get(function.class_qualname)
+            if function.class_qualname
+            else None
+        )
+        params = set(function.params)
+        for node in walk_scope(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            self._maybe_dispatch_site(function, node, local_funcs, local_types)
+            callee = self._resolve_call(
+                function, node, local_funcs, local_types, class_info
+            )
+            if callee is None:
+                func_expr = node.func
+                if (
+                    isinstance(func_expr, ast.Name)
+                    and func_expr.id in params
+                ):
+                    self.param_calls.append((function.qualname, func_expr.id, node))
+                else:
+                    self.program.unresolved_calls += 1
+                continue
+            self._add_edge(function, callee, node)
+
+    def _add_edge(
+        self, function: FunctionInfo, callee: str, node: ast.Call, bound: bool = False
+    ) -> None:
+        site = CallSite(
+            caller=function.qualname,
+            callee=callee,
+            node=node,
+            line=node.lineno,
+            covered=self._site_covered(function, node),
+            bound=bound,
+        )
+        self.program.calls.setdefault(function.qualname, []).append(site)
+        self.program.callers.setdefault(callee, []).append(site)
+
+    def _receiver_class(
+        self,
+        function: FunctionInfo,
+        expr: ast.expr,
+        local_types: dict[str, str],
+    ) -> str | None:
+        """Class of a receiver expression (Name or self/typed attr)."""
+        if isinstance(expr, ast.Name):
+            return local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            owner = local_types.get(expr.value.id)
+            if owner is not None:
+                owner_info = self.program.classes.get(owner)
+                seen: set[str] = set()
+                while owner_info is not None and owner_info.qualname not in seen:
+                    seen.add(owner_info.qualname)
+                    if expr.attr in owner_info.attr_types:
+                        return owner_info.attr_types[expr.attr]
+                    bases = owner_info.resolved_bases
+                    owner_info = (
+                        self.program.classes.get(bases[0]) if bases else None
+                    )
+        return None
+
+    def _resolve_call(
+        self,
+        function: FunctionInfo,
+        node: ast.Call,
+        local_funcs: dict[str, str],
+        local_types: dict[str, str],
+        class_info: ClassInfo | None,
+    ) -> str | None:
+        func_expr = node.func
+        if isinstance(func_expr, ast.Name):
+            name = func_expr.id
+            if name in local_funcs:
+                return local_funcs[name]
+            if name == "cls" and name in local_types:  # ``cls(graph)``
+                return self.lookup_method(local_types[name], "__init__")
+            resolved = self.resolve_dotted(function.module, name)
+            if resolved is None:
+                return None
+            if resolved[0] == "func":
+                return resolved[1]
+            if resolved[0] == "class":
+                return self.lookup_method(resolved[1], "__init__")
+            return None
+        if isinstance(func_expr, ast.Attribute):
+            # Method on a typed receiver (self, typed local, typed attr).
+            receiver = func_expr.value
+            receiver_class = self._receiver_class(function, receiver, local_types)
+            if receiver_class is None and class_info is not None:
+                if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+                    receiver_class = class_info.qualname
+            if receiver_class is not None:
+                method = self.lookup_method(receiver_class, func_expr.attr)
+                if method is not None:
+                    return method
+            # ``SubgraphFixture().build()`` — constructor receiver.
+            if isinstance(receiver, ast.Call):
+                constructed = self._constructor_class(function.module, receiver)
+                if constructed is not None:
+                    return self.lookup_method(constructed, func_expr.attr)
+            dotted = dotted_name(func_expr)
+            if dotted is not None:
+                resolved = self.resolve_dotted(function.module, dotted)
+                if resolved is not None:
+                    if resolved[0] == "func":
+                        return resolved[1]
+                    if resolved[0] == "class":
+                        return self.lookup_method(resolved[1], "__init__")
+            return None
+        return None
+
+    # -- dispatch sites (fork pool / Process) ----------------------------
+
+    def _maybe_dispatch_site(
+        self,
+        function: FunctionInfo,
+        node: ast.Call,
+        local_funcs: dict[str, str],
+        local_types: dict[str, str],
+    ) -> None:
+        func_expr = node.func
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr in POOL_DISPATCH_METHODS
+            and self._looks_like_pool(function, func_expr.value)
+        ):
+            worker_expr: ast.expr | None = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "func":
+                    worker_expr = keyword.value
+            if worker_expr is not None:
+                worker = self._resolve_callable_ref(function, worker_expr, local_funcs)
+                if worker is not None:
+                    self.program.dispatch_sites.append(
+                        DispatchSite(
+                            caller=function.qualname,
+                            worker=worker,
+                            node=node,
+                            line=node.lineno,
+                            kind="pool",
+                        )
+                    )
+                    self._add_edge(function, worker, node, bound=True)
+            return
+        terminal: str | None = None
+        if isinstance(func_expr, (ast.Name, ast.Attribute)):
+            dotted = dotted_name(func_expr)
+            if dotted is not None:
+                terminal = dotted.split(".")[-1]
+        if terminal in SPAWN_CONSTRUCTORS:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    worker = self._resolve_callable_ref(
+                        function, keyword.value, local_funcs
+                    )
+                    if worker is not None:
+                        self.program.dispatch_sites.append(
+                            DispatchSite(
+                                caller=function.qualname,
+                                worker=worker,
+                                node=node,
+                                line=node.lineno,
+                                kind="process",
+                            )
+                        )
+                        self._add_edge(function, worker, node, bound=True)
+
+    def _looks_like_pool(self, function: FunctionInfo, receiver: ast.expr) -> bool:
+        """The dispatch receiver traces back to a ``.Pool(...)`` call."""
+        dotted = dotted_name(receiver)
+        if dotted is not None and "pool" in dotted.lower():
+            return True
+        if not isinstance(receiver, ast.Name):
+            return False
+        name = receiver.id
+        for node in walk_scope(function.node):
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = node.value
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (
+                        isinstance(item.optional_vars, ast.Name)
+                        and item.optional_vars.id == name
+                    ):
+                        value = item.context_expr
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, (ast.Name, ast.Attribute))
+            ):
+                value_name = dotted_name(value.func)
+                if value_name is not None and value_name.split(".")[-1] == "Pool":
+                    return True
+        return False
+
+    # -- higher-order parameter binding ----------------------------------
+
+    def _bind_parameter_calls(self) -> None:
+        """One round of callable-parameter binding (see module docs)."""
+        for caller_qualname, param, call_node in self.param_calls:
+            function = self.program.functions[caller_qualname]
+            invocations = list(self.program.callers.get(caller_qualname, []))
+            for site in invocations:
+                bound_expr = self._argument_for_param(function, site, param)
+                if bound_expr is None:
+                    continue
+                site_function = self.program.functions.get(site.caller)
+                if site_function is None:
+                    continue
+                local_funcs, _ = self._local_tables(site_function)
+                target = self._resolve_callable_ref(
+                    site_function, bound_expr, local_funcs
+                )
+                if target is not None:
+                    self._add_edge(function, target, call_node, bound=True)
+
+    @staticmethod
+    def _argument_for_param(
+        function: FunctionInfo, site: CallSite, param: str
+    ) -> ast.expr | None:
+        for keyword in site.node.keywords:
+            if keyword.arg == param:
+                return keyword.value
+        params = function.params
+        offset = 1 if function.is_method and isinstance(site.node.func, ast.Attribute) else 0
+        try:
+            index = params.index(param) - offset
+        except ValueError:
+            return None
+        if 0 <= index < len(site.node.args):
+            argument = site.node.args[index]
+            if not isinstance(argument, ast.Starred):
+                return argument
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def _build(contexts: Iterator[ModuleContext], skipped: int) -> Program:
+    builder = _ProgramBuilder()
+    for context in contexts:
+        builder.add_module(context)
+    builder.program.skipped_files = skipped
+    builder.finalize_symbols()
+    builder.resolve_calls()
+    builder.program.resolver = builder
+    return builder.program
+
+
+def build_program(paths: Sequence[str | Path]) -> Program:
+    """Parse and resolve every ``.py`` file under ``paths``.
+
+    Files that do not parse are skipped (the per-file engine already
+    reports them as DK000) and counted in ``skipped_files``.
+    """
+    contexts: list[ModuleContext] = []
+    skipped = 0
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ReproError(f"cannot read {file_path}: {error}") from error
+        display = str(PurePosixPath(file_path))
+        try:
+            contexts.append(ModuleContext.from_source(source, path=display))
+        except SyntaxError:
+            skipped += 1
+    return _build(iter(contexts), skipped)
+
+
+def build_program_from_sources(sources: Mapping[str, str]) -> Program:
+    """Build a program from in-memory modules (the unit-test entry).
+
+    ``sources`` maps dotted module names to source text; synthetic
+    paths ``<module>.py`` (dots replaced by slashes) anchor findings.
+    """
+    contexts: list[ModuleContext] = []
+    skipped = 0
+    for module, source in sources.items():
+        path = module.replace(".", "/") + ".py"
+        try:
+            contexts.append(
+                ModuleContext.from_source(source, path=path, module=module)
+            )
+        except SyntaxError:
+            skipped += 1
+    return _build(iter(contexts), skipped)

@@ -1,0 +1,945 @@
+"""Per-function effect summaries, propagated to a whole-program fixpoint.
+
+An **effect** is something a function may do beyond computing its
+return value, in the categories the D(k)-index rules care about:
+
+- writes to index/graph state — ``extents``, ``node_of``, ``k``
+  (similarity), ``children``/``parents`` (adjacency), ``_label_index``;
+- writes to module globals (``global`` declarations);
+- filesystem IO — truncating/appending ``open``, ``write_text``/
+  ``write_bytes``, ``os.fsync``;
+- process spawning and module-singleton randomness;
+- returning an *alias* of an argument's internal mutable state.
+
+Each effect carries a **source**: ``param`` (reachable from the
+function's arguments/receiver), ``free`` (a closure variable), or
+``global``/``ambient`` (module state, IO, spawns).  The distinction
+powers *freshness laundering*: a call whose every argument is a freshly
+constructed object cannot mutate caller-visible state through its
+parameters, so param-sourced effects of the callee are dropped at that
+site.  This is what keeps ``build_dk_index`` (which fills a brand-new
+:class:`IndexGraph` via the same mutator methods the update path uses)
+summarised as effect-free while ``dk_add_edge`` (same methods, shared
+receiver) is not.
+
+Freshness is a small abstract interpretation per function: a local is
+fresh iff **every** assignment to it is a constructor call of a program
+class, a call to a function whose own returns are fresh (computed as a
+prior fixpoint), a literal, or an attribute/subscript of a fresh value.
+Everything else — parameters, globals, closure variables, unresolved
+calls — is shared.
+
+The propagation fixpoint then pushes callee summaries to callers over
+the resolved call graph, extending a witness *chain* so a finding can
+say `mutation reaches here via dk_add_edge → assign_similarity`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Mapping
+
+from repro.analysis.astutil import chain_attribute, dotted_name, walk_scope
+from repro.analysis.flow.callgraph import (
+    FUNCTION_NODES,
+    CallSite,
+    FunctionInfo,
+    Program,
+)
+from repro.analysis.rules.extent_ownership import MUTATING_METHODS
+
+#: State attribute name → effect category.
+STATE_ATTR_CATEGORY: Mapping[str, str] = {
+    "extents": "extents",
+    "node_of": "node-of",
+    "k": "similarity",
+    "children": "adjacency",
+    "parents": "adjacency",
+    "_label_index": "label-index",
+}
+
+#: Effect categories that mean "index/graph state was written".
+STATE_CATEGORIES = frozenset(STATE_ATTR_CATEGORY.values())
+
+#: Ambient (non-state) effect categories.
+IO_CATEGORIES = frozenset({"open-truncate", "open-append", "file-write", "fsync"})
+AMBIENT_CATEGORIES = IO_CATEGORIES | {"spawn", "randomness"}
+
+#: Writes to shared non-index state (module globals, closed-over or
+#: global containers mutated in place).
+SHARED_WRITE_CATEGORIES = frozenset({"global-write", "container-write"})
+
+#: ``open`` modes that truncate/create (DK112's concern) vs append.
+_TRUNCATING_MODES = frozenset({"w", "w+", "wb", "wb+", "w+b", "x", "xb", "x+"})
+_APPENDING_MODES = frozenset({"a", "a+", "ab", "ab+", "a+b"})
+
+#: Builtin calls whose result is a fresh container.
+_FRESH_BUILTINS = frozenset(
+    {"list", "set", "dict", "tuple", "frozenset", "sorted", "reversed",
+     "bytearray", "Counter", "defaultdict", "deque", "OrderedDict"}
+)
+
+#: Sampling attributes of the module-level ``random`` singleton.
+_RANDOM_SINGLETON = "random"
+
+_LITERAL_NODES = (
+    ast.Constant,
+    ast.List,
+    ast.Tuple,
+    ast.Set,
+    ast.Dict,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.JoinedStr,
+    ast.Compare,
+    ast.BoolOp,
+    ast.UnaryOp,
+)
+
+#: How long a reported witness chain may grow.
+_MAX_CHAIN = 8
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One (deduplicated) effect of a function.
+
+    Attributes:
+        category: one of the category strings above.
+        source: ``param`` / ``free`` / ``global`` / ``ambient``.
+        module: module of the *witness* (where the primitive effect
+            lexically happens — may be far down the call chain).
+        path / line: the witness location.
+        detail: human fragment for findings.
+        chain: call chain from the summarised function to the witness
+            (empty for local effects).
+    """
+
+    category: str
+    source: str
+    module: str
+    path: str
+    line: int
+    detail: str
+    chain: tuple[str, ...] = ()
+    #: for ``param``-sourced effects: the parameter (of the function
+    #: whose summary holds this effect) the mutated object flows from;
+    #: None when the root is unknown (never laundered).
+    root: str | None = None
+
+    def key(self) -> tuple[str, str, str, str | None]:
+        return (self.category, self.source, self.module, self.root)
+
+    def describe(self) -> str:
+        via = f" via {' -> '.join(self.chain)}" if self.chain else ""
+        return f"{self.detail} ({self.path}:{self.line}){via}"
+
+
+@dataclass
+class LocalEffect:
+    """A primitive effect at a concrete site in one function body."""
+
+    effect: Effect
+    node: ast.AST
+    #: the site sits under ``with UpdateTransaction(...)``.
+    covered: bool
+
+
+@dataclass
+class EffectSummary:
+    """Transitive effects of one function."""
+
+    qualname: str
+    effects: dict[tuple[str, str, str, str | None], Effect] = field(
+        default_factory=dict
+    )
+    returns_fresh: bool | tuple[bool, ...] | None = None
+    returns_alias: Effect | None = None
+
+    def add(self, effect: Effect) -> bool:
+        key = effect.key()
+        if key in self.effects:
+            return False
+        self.effects[key] = effect
+        return True
+
+    def iter_effects(self) -> Iterator[Effect]:
+        return iter(self.effects.values())
+
+    def state_effects(self) -> list[Effect]:
+        return [e for e in self.effects.values() if e.category in STATE_CATEGORIES]
+
+    def has_category(self, category: str) -> bool:
+        return any(e.category == category for e in self.effects.values())
+
+
+@dataclass
+class _FunctionFacts:
+    """Per-function tables the local pass computes and rules reuse."""
+
+    info: FunctionInfo
+    param_names: set[str] = field(default_factory=set)
+    local_names: set[str] = field(default_factory=set)
+    global_names: set[str] = field(default_factory=set)
+    assignments: dict[str, list[ast.expr]] = field(default_factory=dict)
+    fresh: set[str] = field(default_factory=set)
+    local_effects: list[LocalEffect] = field(default_factory=list)
+    return_exprs: list[ast.expr | None] = field(default_factory=list)
+
+
+@dataclass
+class EffectAnalysis:
+    """Program + fixpoint summaries + the per-function fact tables."""
+
+    program: Program
+    summaries: dict[str, EffectSummary]
+    facts: dict[str, _FunctionFacts]
+
+    def summary(self, qualname: str) -> EffectSummary | None:
+        return self.summaries.get(qualname)
+
+    def classify_expr(self, caller: str, expr: ast.expr) -> str:
+        """``fresh`` / ``param`` / ``free`` / ``global`` for a call arg."""
+        facts = self.facts.get(caller)
+        if facts is None:
+            return "param"
+        return _classify(facts, expr, self)
+
+    def visible_effects(self, site: CallSite) -> list[Effect]:
+        """The callee's effects as seen by the caller at ``site``.
+
+        Param-rooted effects bound to fresh arguments are laundered
+        away; the rest are re-rooted into the caller's frame.
+        """
+        summary = self.summaries.get(site.callee)
+        if summary is None:
+            return []
+        return _effects_visible_at_site(self, site, summary)
+
+    def site_args_fresh(self, site: CallSite) -> bool:
+        """Every argument (and receiver) at the site is fresh.
+
+        Bound sites (higher-order/pool dispatch) are never fresh — the
+        interesting state flows through the closure, not the call.
+        """
+        if site.bound:
+            return False
+        exprs: list[ast.expr] = list(site.node.args)
+        exprs.extend(k.value for k in site.node.keywords)
+        if isinstance(site.node.func, ast.Attribute):
+            exprs.append(site.node.func.value)
+        return all(
+            self.classify_expr(site.caller, expr) == "fresh" for expr in exprs
+        )
+
+
+# ---------------------------------------------------------------------------
+# Freshness
+# ---------------------------------------------------------------------------
+
+
+def _canonical_root(facts: _FunctionFacts, expr: ast.expr) -> str | None:
+    """Trace an expression's root name through single-assignment locals.
+
+    ``graph = dk.graph; graph.add_edge(...)`` roots at ``dk``.
+    """
+    name = _root_name(expr)
+    seen: set[str] = set()
+    while name is not None and name not in seen:
+        seen.add(name)
+        values = facts.assignments.get(name)
+        if values is None or len(values) != 1:
+            break
+        value: ast.expr = values[0]
+        if isinstance(value, _TupleUnpack):
+            value = value.value
+        next_name = _root_name(value)
+        if next_name is None or next_name == name:
+            break
+        name = next_name
+    return name
+
+
+def _source_and_root(
+    facts: _FunctionFacts, expr: ast.expr, analysis: "EffectAnalysis"
+) -> tuple[str, str | None]:
+    """(source, root-parameter) classification of an expression."""
+    if _expr_is_fresh(facts, expr, analysis):
+        return ("fresh", None)
+    root = _canonical_root(facts, expr)
+    if root is None:
+        return ("param", None)
+    if root in facts.param_names:
+        return ("param", root)
+    if root in facts.local_names:
+        return ("param", None)  # shared local of unknown provenance
+    builder = analysis.program.resolver
+    if builder is not None and root in builder.symbols.get(facts.info.module, {}):
+        return ("global", None)
+    return ("free", None)
+
+
+def _classify(facts: _FunctionFacts, expr: ast.expr, analysis: "EffectAnalysis") -> str:
+    """Root classification of an expression (see module docstring)."""
+    return _source_and_root(facts, expr, analysis)[0]
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    current: ast.expr = expr
+    while True:
+        if isinstance(current, ast.Attribute):
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Call):
+            current = current.func
+        elif isinstance(current, ast.Name):
+            return current.id
+        else:
+            return None
+
+
+def _expr_is_fresh(
+    facts: _FunctionFacts, expr: ast.expr, analysis: "EffectAnalysis"
+) -> bool:
+    if isinstance(expr, _TupleUnpack):
+        return _unpack_is_fresh(facts, expr, analysis)
+    if isinstance(expr, _LITERAL_NODES):
+        return True
+    if isinstance(expr, ast.BinOp):
+        return _expr_is_fresh(facts, expr.left, analysis) and _expr_is_fresh(
+            facts, expr.right, analysis
+        )
+    if isinstance(expr, ast.IfExp):
+        return _expr_is_fresh(facts, expr.body, analysis) and _expr_is_fresh(
+            facts, expr.orelse, analysis
+        )
+    if isinstance(expr, ast.Starred):
+        return _expr_is_fresh(facts, expr.value, analysis)
+    if isinstance(expr, ast.Name):
+        return expr.id in facts.fresh
+    if isinstance(expr, (ast.Attribute, ast.Subscript)):
+        return _expr_is_fresh(facts, expr.value, analysis)
+    if isinstance(expr, ast.Call):
+        return _call_is_fresh(facts, expr, analysis)
+    return False
+
+
+def _call_is_fresh(
+    facts: _FunctionFacts, call: ast.Call, analysis: "EffectAnalysis"
+) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _FRESH_BUILTINS:
+        return True
+    if isinstance(func, ast.Attribute) and func.attr == "copy":
+        return True
+    builder = analysis.program.resolver
+    if builder is None:
+        return False
+    module = facts.info.module
+    if isinstance(func, (ast.Name, ast.Attribute)):
+        dotted = dotted_name(func)
+        if dotted is not None:
+            if dotted == "cls" and facts.info.class_qualname is not None:
+                return True
+            resolved = builder.resolve_dotted(module, dotted)
+            if resolved is not None and resolved[0] == "class":
+                return True
+            if resolved is not None and resolved[0] == "func":
+                summary = analysis.summaries.get(resolved[1])
+                return bool(summary is not None and summary.returns_fresh is True)
+    # Method constructors: ``IndexGraph.from_partition(...)`` resolves
+    # through the call graph; fall back to the resolved edge if any.
+    for site in analysis.program.sites_from(facts.info.qualname):
+        if site.node is call:
+            summary = analysis.summaries.get(site.callee)
+            return bool(summary is not None and summary.returns_fresh is True)
+    return False
+
+
+def _recompute_fresh(facts: _FunctionFacts, analysis: "EffectAnalysis") -> bool:
+    """One freshness sweep over the function's assignments."""
+    changed = False
+    for _ in range(3):  # locals may reference each other
+        round_changed = False
+        for name, values in facts.assignments.items():
+            if name in facts.fresh:
+                continue
+            if values and all(
+                _expr_is_fresh(facts, value, analysis) for value in values
+            ):
+                facts.fresh.add(name)
+                round_changed = True
+        if not round_changed:
+            break
+        changed = True
+    return changed
+
+
+def _returns_freshness(
+    facts: _FunctionFacts, analysis: "EffectAnalysis"
+) -> bool | tuple[bool, ...] | None:
+    if not facts.return_exprs:
+        return None
+    combined: bool | tuple[bool, ...] | None = None
+    for expr in facts.return_exprs:
+        if expr is None:
+            value: bool | tuple[bool, ...] = True  # ``return`` → None
+        elif isinstance(expr, ast.Tuple):
+            value = tuple(
+                _expr_is_fresh(facts, element, analysis) for element in expr.elts
+            )
+        else:
+            value = _expr_is_fresh(facts, expr, analysis)
+        if combined is None:
+            combined = value
+        elif isinstance(combined, tuple) and isinstance(value, tuple):
+            if len(combined) == len(value):
+                combined = tuple(a and b for a, b in zip(combined, value))
+            else:
+                combined = False
+        else:
+            combined = bool(combined is True and value is True)
+    return combined
+
+
+# ---------------------------------------------------------------------------
+# Local effect extraction
+# ---------------------------------------------------------------------------
+
+
+def _collect_facts(program: Program, info: FunctionInfo) -> _FunctionFacts:
+    facts = _FunctionFacts(info=info)
+    facts.param_names = set(info.params)
+    for node in walk_scope(info.node):
+        if isinstance(node, ast.Global):
+            facts.global_names.update(node.names)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                _record_assignment(facts, target, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            _record_assignment(facts, node.target, node.value)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    _record_assignment(
+                        facts, item.optional_vars, item.context_expr
+                    )
+        elif isinstance(node, ast.Return):
+            facts.return_exprs.append(node.value)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name_node in ast.walk(node.target):
+                if isinstance(name_node, ast.Name):
+                    facts.local_names.add(name_node.id)
+    if isinstance(info.node, ast.Lambda):
+        facts.return_exprs.append(info.node.body)
+    return facts
+
+
+def _record_assignment(
+    facts: _FunctionFacts, target: ast.expr, value: ast.expr
+) -> None:
+    if isinstance(target, ast.Name):
+        facts.local_names.add(target.id)
+        facts.assignments.setdefault(target.id, []).append(value)
+    elif isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+        value, (ast.Tuple, ast.List)
+    ) and len(target.elts) == len(value.elts):
+        for element, element_value in zip(target.elts, value.elts):
+            _record_assignment(facts, element, element_value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        # ``a, b = f(...)`` — element freshness via _TupleUnpack marker.
+        for index, element in enumerate(target.elts):
+            if isinstance(element, ast.Name):
+                facts.local_names.add(element.id)
+                facts.assignments.setdefault(element.id, []).append(
+                    _TupleUnpack(value, index)
+                )
+
+
+class _TupleUnpack(ast.expr):
+    """Synthetic expr: element ``index`` of an unpacked call result."""
+
+    def __init__(self, value: ast.expr, index: int) -> None:
+        super().__init__()
+        self.value = value
+        self.index = index
+        self.lineno = getattr(value, "lineno", 1)
+        self.col_offset = getattr(value, "col_offset", 0)
+
+
+def _unpack_is_fresh(
+    facts: _FunctionFacts, expr: _TupleUnpack, analysis: "EffectAnalysis"
+) -> bool:
+    value = expr.value
+    if not isinstance(value, ast.Call):
+        return _expr_is_fresh(facts, value, analysis)
+    for site in analysis.program.sites_from(facts.info.qualname):
+        if site.node is value:
+            summary = analysis.summaries.get(site.callee)
+            if summary is None:
+                return False
+            fresh = summary.returns_fresh
+            if fresh is True:
+                return True
+            if isinstance(fresh, tuple) and expr.index < len(fresh):
+                return fresh[expr.index]
+            return False
+    return False
+
+
+def _covered(program: Program, info: FunctionInfo, node: ast.AST) -> bool:
+    builder = program.resolver
+    if builder is None:
+        return False
+    context = info.context
+    current = context.parent(node)
+    while current is not None and current is not info.node:
+        if isinstance(current, (ast.With, ast.AsyncWith)):
+            if builder._is_transaction_with(info, current):
+                return True
+        if isinstance(current, FUNCTION_NODES):
+            break
+        current = context.parent(current)
+    return False
+
+
+def _state_write_sites(
+    analysis: "EffectAnalysis", facts: _FunctionFacts
+) -> Iterator[tuple[ast.AST, ast.Attribute, str]]:
+    """(statement node, state attribute, category) for direct writes."""
+    for node in walk_scope(facts.info.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                attribute = chain_attribute(node.func.value, STATE_ATTR_CATEGORY)
+                if attribute is not None:
+                    yield node, attribute, STATE_ATTR_CATEGORY[attribute.attr]
+            continue
+        for target in targets:
+            attribute = chain_attribute(target, STATE_ATTR_CATEGORY)
+            if attribute is not None:
+                yield node, attribute, STATE_ATTR_CATEGORY[attribute.attr]
+
+
+def _open_mode(call: ast.Call) -> str | None:
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        mode = call.args[1].value
+        return mode if isinstance(mode, str) else None
+    for keyword in call.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            mode = keyword.value.value
+            return mode if isinstance(mode, str) else None
+    if len(call.args) < 2:
+        return "r"
+    return None
+
+
+def _alias_expr(
+    facts: _FunctionFacts, expr: ast.expr, analysis: "EffectAnalysis"
+) -> ast.Attribute | None:
+    """The state attribute ``expr`` aliases, or None.
+
+    Matches ``x.extents``, ``x.extents[i]``, ``x._label_index.get(...)``
+    and names bound to such expressions — with a *shared* root.
+    """
+    current = expr
+    if isinstance(current, ast.Call):
+        func = current.func
+        if isinstance(func, ast.Attribute) and func.attr in ("get", "setdefault"):
+            current = func.value
+        else:
+            return None
+    if isinstance(current, ast.Name):
+        values = facts.assignments.get(current.id, [])
+        for value in values:
+            if isinstance(value, _TupleUnpack):
+                continue
+            found = _alias_expr(facts, value, analysis)
+            if found is not None:
+                return found
+        return None
+    attribute = chain_attribute(current, STATE_ATTR_CATEGORY)
+    if attribute is None:
+        return None
+    if _classify(facts, attribute.value, analysis) == "fresh":
+        return None
+    return attribute
+
+
+def _extract_local_effects(
+    analysis: "EffectAnalysis", facts: _FunctionFacts
+) -> None:
+    info = facts.info
+    program = analysis.program
+
+    def emit(
+        category: str,
+        source: str,
+        node: ast.AST,
+        detail: str,
+        root: str | None = None,
+    ) -> None:
+        facts.local_effects.append(
+            LocalEffect(
+                effect=Effect(
+                    category=category,
+                    source=source,
+                    module=info.module,
+                    path=info.context.path,
+                    line=getattr(node, "lineno", 1),
+                    detail=detail,
+                    root=root,
+                ),
+                node=node,
+                covered=_covered(program, info, node),
+            )
+        )
+
+    for node, attribute, category in _state_write_sites(analysis, facts):
+        source, root = _source_and_root(facts, attribute.value, analysis)
+        if source == "fresh":
+            continue
+        base = dotted_name(attribute.value) or "<expr>"
+        emit(category, source, node, f"writes `{base}.{attribute.attr}`", root)
+
+    for node in walk_scope(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in facts.global_names:
+                    emit(
+                        "global-write",
+                        "global",
+                        node,
+                        f"writes module global `{target.id}`",
+                    )
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_METHODS
+            and chain_attribute(func.value, STATE_ATTR_CATEGORY) is None
+        ):
+            source, _ = _source_and_root(facts, func.value, analysis)
+            if source in ("free", "global"):
+                base = dotted_name(func.value) or "<expr>"
+                emit(
+                    "container-write",
+                    source,
+                    node,
+                    f"mutates shared container `{base}` in place "
+                    f"(`.{func.attr}`)",
+                )
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _open_mode(node)
+            if mode is not None:
+                normalized = mode.replace("t", "")
+                if normalized in _TRUNCATING_MODES:
+                    emit(
+                        "open-truncate",
+                        "ambient",
+                        node,
+                        f"`open(..., {mode!r})` truncates the destination",
+                    )
+                elif normalized in _APPENDING_MODES:
+                    emit("open-append", "ambient", node, f"`open(..., {mode!r})`")
+            continue
+        dotted = (
+            dotted_name(func)
+            if isinstance(func, (ast.Name, ast.Attribute))
+            else None
+        )
+        terminal = dotted.split(".")[-1] if dotted else None
+        if terminal == "fsync":
+            emit("fsync", "ambient", node, "calls `os.fsync`")
+        elif terminal in ("write_text", "write_bytes"):
+            emit("file-write", "ambient", node, f"calls `.{terminal}(...)`")
+        elif dotted is not None and dotted.split(".")[0] == _RANDOM_SINGLETON:
+            if len(dotted.split(".")) == 2 and terminal != "Random":
+                emit(
+                    "randomness",
+                    "ambient",
+                    node,
+                    f"samples the `random` module singleton (`{dotted}`)",
+                )
+        if terminal in ("Pool", "Process", "fork", "spawn", "Popen") or (
+            terminal == "run"
+            and dotted is not None
+            and dotted.split(".")[0] == "subprocess"
+        ):
+            spawnish = terminal == "Pool" or (
+                dotted is not None
+                and any(
+                    segment in ("multiprocessing", "subprocess", "os", "mp")
+                    for segment in dotted.split(".")[:-1]
+                )
+            )
+            if spawnish:
+                emit("spawn", "ambient", node, f"spawns processes (`{dotted}`)")
+
+    # returns_alias (local detection; propagation happens in the fixpoint)
+    for expr in facts.return_exprs:
+        if expr is None:
+            continue
+        attribute = _alias_expr(facts, expr, analysis)
+        if attribute is not None:
+            base = dotted_name(attribute.value) or "<expr>"
+            summary = analysis.summaries[info.qualname]
+            if summary.returns_alias is None:
+                summary.returns_alias = Effect(
+                    category="returns-alias",
+                    source=_classify(facts, attribute.value, analysis),
+                    module=info.module,
+                    path=info.context.path,
+                    line=getattr(expr, "lineno", 1),
+                    detail=(
+                        f"returns a live reference to `{base}.{attribute.attr}`"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
+# The fixpoint
+# ---------------------------------------------------------------------------
+
+
+def analyze_program(program: Program) -> EffectAnalysis:
+    """Compute effect summaries for every function of ``program``."""
+    summaries = {
+        qualname: EffectSummary(qualname=qualname)
+        for qualname in program.functions
+    }
+    facts = {
+        qualname: _collect_facts(program, info)
+        for qualname, info in program.functions.items()
+    }
+    analysis = EffectAnalysis(program=program, summaries=summaries, facts=facts)
+
+    # Phase 1: freshness fixpoint (local fresh sets + returns_fresh).
+    for _ in range(12):
+        changed = False
+        for qualname, function_facts in facts.items():
+            if _recompute_fresh(function_facts, analysis):
+                changed = True
+            fresh = _returns_freshness(function_facts, analysis)
+            summary = summaries[qualname]
+            if fresh != summary.returns_fresh:
+                summary.returns_fresh = fresh
+                changed = True
+        if not changed:
+            break
+
+    # Phase 2: local effects.
+    for function_facts in facts.values():
+        _extract_local_effects(analysis, function_facts)
+        summary = summaries[function_facts.info.qualname]
+        for local in function_facts.local_effects:
+            summary.add(local.effect)
+
+    # Phase 3: transitive propagation over the call graph.
+    worklist = list(program.functions)
+    pending = set(worklist)
+    while worklist:
+        callee = worklist.pop()
+        pending.discard(callee)
+        callee_summary = summaries[callee]
+        for site in program.sites_to(callee):
+            caller_summary = summaries.get(site.caller)
+            if caller_summary is None:
+                continue
+            changed = _propagate_site(analysis, site, callee_summary, caller_summary)
+            if _propagate_alias(analysis, site, callee_summary, caller_summary):
+                changed = True
+            if changed and site.caller not in pending:
+                pending.add(site.caller)
+                worklist.append(site.caller)
+    return analysis
+
+
+def _param_has_default(info: FunctionInfo, param: str) -> bool:
+    args = info.node.args
+    positional = args.posonlyargs + args.args
+    defaulted = {
+        arg.arg for arg in positional[len(positional) - len(args.defaults) :]
+    }
+    defaulted.update(
+        arg.arg
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+        if default is not None
+    )
+    return param in defaulted
+
+
+def _argument_for_root(
+    site: CallSite, callee_info: FunctionInfo, root: str
+) -> tuple[str, ast.expr | None]:
+    """Map a callee parameter to the site expression bound to it.
+
+    Returns ("expr", e) when found, ("fresh", None) when the binding is
+    a freshly constructed receiver or an untouched default, and
+    ("unknown", None) when the mapping cannot be established (starred
+    arguments, ``**kwargs``, unresolvable receivers).
+    """
+    params = callee_info.params
+    if root not in params:
+        return ("unknown", None)
+    index = params.index(root)
+    node = site.node
+    is_init = callee_info.name == "__init__"
+    if callee_info.is_method and index == 0:
+        if is_init:
+            # Every resolved edge to __init__ comes from ``C(...)``:
+            # the receiver is the object being constructed — fresh.
+            return ("fresh", None)
+        if isinstance(node.func, ast.Attribute):
+            return ("expr", node.func.value)
+        return ("unknown", None)
+    for keyword in node.keywords:
+        if keyword.arg == root:
+            return ("expr", keyword.value)
+        if keyword.arg is None:
+            return ("unknown", None)  # ``**kwargs`` at the site
+    method_call = callee_info.is_method and (
+        is_init or isinstance(node.func, ast.Attribute)
+    )
+    positional = index - (1 if method_call else 0)
+    if any(isinstance(argument, ast.Starred) for argument in node.args):
+        return ("unknown", None)
+    if 0 <= positional < len(node.args):
+        return ("expr", node.args[positional])
+    if _param_has_default(callee_info, root):
+        return ("fresh", None)  # untouched default binding
+    return ("unknown", None)
+
+
+def _effects_visible_at_site(
+    analysis: EffectAnalysis, site: CallSite, callee_summary: EffectSummary
+) -> list[Effect]:
+    """The callee's effects as they appear to the caller at one site.
+
+    Non-param effects pass through unchanged (chain extended).
+    Param-rooted effects are *laundered* when the bound argument is
+    fresh, and *re-rooted* to the caller's own parameter otherwise.
+    """
+    results: list[Effect] = []
+    callee_info = analysis.program.functions.get(site.callee)
+    caller_facts = analysis.facts.get(site.caller)
+    for effect in list(callee_summary.iter_effects()):
+        chain = (callee_summary.qualname,) + effect.chain[: _MAX_CHAIN - 1]
+        if effect.source != "param":
+            results.append(replace(effect, chain=chain))
+            continue
+        if site.bound or callee_info is None or caller_facts is None:
+            results.append(replace(effect, chain=chain, root=None))
+            continue
+        if effect.root is None:
+            results.append(replace(effect, chain=chain))
+            continue
+        status, argument = _argument_for_root(site, callee_info, effect.root)
+        if status == "fresh":
+            continue
+        if status == "unknown" or argument is None:
+            results.append(replace(effect, chain=chain, root=None))
+            continue
+        source, root = _source_and_root(caller_facts, argument, analysis)
+        if source == "fresh":
+            continue
+        results.append(replace(effect, chain=chain, source=source, root=root))
+    return results
+
+
+def _propagate_site(
+    analysis: EffectAnalysis,
+    site: CallSite,
+    callee_summary: EffectSummary,
+    caller_summary: EffectSummary,
+) -> bool:
+    changed = False
+    for effect in _effects_visible_at_site(analysis, site, callee_summary):
+        if caller_summary.add(effect):
+            changed = True
+    return changed
+
+
+def _propagate_alias(
+    analysis: EffectAnalysis,
+    site: CallSite,
+    callee_summary: EffectSummary,
+    caller_summary: EffectSummary,
+) -> bool:
+    """``return g(...)`` where ``g`` returns an alias."""
+    if callee_summary.returns_alias is None or caller_summary.returns_alias is not None:
+        return False
+    facts = analysis.facts.get(site.caller)
+    if facts is None:
+        return False
+    for expr in facts.return_exprs:
+        returned: ast.expr | None = expr
+        if isinstance(returned, ast.Name):
+            values = facts.assignments.get(returned.id, [])
+            returned = values[0] if len(values) == 1 else returned
+        if returned is site.node:
+            alias = callee_summary.returns_alias
+            caller_summary.returns_alias = replace(
+                alias,
+                chain=(callee_summary.qualname,) + alias.chain[: _MAX_CHAIN - 1],
+            )
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Artifact export
+# ---------------------------------------------------------------------------
+
+
+def export_effects(analysis: EffectAnalysis) -> dict[str, object]:
+    """Deterministic JSON document of the program's effect summaries.
+
+    Only ``repro.*`` functions are exported (test modules would churn
+    the artifact), keys are sorted, and no timestamps are embedded, so
+    CI can diff the committed copy byte-for-byte.
+    """
+    functions: dict[str, object] = {}
+    for qualname in sorted(analysis.summaries):
+        info = analysis.program.functions.get(qualname)
+        if info is None or not info.module.startswith("repro"):
+            continue
+        summary = analysis.summaries[qualname]
+        effects = sorted(
+            {
+                (e.category, e.source, e.module)
+                for e in summary.iter_effects()
+            }
+        )
+        fresh = summary.returns_fresh
+        record: dict[str, object] = {
+            "module": info.module,
+            "effects": [
+                {"category": c, "source": s, "witness_module": m}
+                for c, s, m in effects
+            ],
+            "calls": len(analysis.program.sites_from(qualname)),
+            "callers": len(analysis.program.sites_to(qualname)),
+            "returns_fresh": list(fresh) if isinstance(fresh, tuple) else fresh,
+            "returns_alias": summary.returns_alias is not None,
+        }
+        functions[qualname] = record
+    return {
+        "version": 1,
+        "generator": "repro.analysis.flow",
+        "functions": functions,
+    }

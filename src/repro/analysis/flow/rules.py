@@ -1,0 +1,477 @@
+"""The interprocedural rule pack: DK109–DK112.
+
+These rules consume the whole-program :class:`EffectAnalysis` rather
+than a single :class:`ModuleContext`, which is what lets them see
+through call chains the per-file pass (DK101–DK108) cannot: a fork
+worker that *calls* a mutator, an extent mutation reached outside any
+transaction, an alias that escapes through two layers of returns, a
+persistence path that truncates a file three modules away.
+
+``docs/static-analysis.md`` documents each rule with its fix pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterable, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.effects import (
+    AMBIENT_CATEGORIES,
+    SHARED_WRITE_CATEGORIES,
+    STATE_CATEGORIES,
+    Effect,
+    EffectAnalysis,
+)
+from repro.analysis.rules.atomic_persistence import (
+    OWNER_MODULE,
+    PERSISTENCE_MODULES,
+)
+from repro.exceptions import ReproError
+
+#: Maintenance modules exempt from DK110: they *implement* the
+#: transactional machinery (or are its sanctioned adversary) and mutate
+#: state as the mechanism, not as an update path.
+TRANSACTION_EXEMPT_MODULES = frozenset(
+    {
+        "repro.maintenance.transaction",
+        "repro.maintenance.faults",
+        "repro.maintenance.repair",
+        "repro.maintenance.journal",
+    }
+)
+
+#: The package whose mutations must be transaction-covered.
+MAINTENANCE_PACKAGE = "repro.maintenance"
+
+#: Query/serving modules that must hand out copies, never aliases of
+#: internal extent state (DK111).
+SERVING_MODULE_PREFIXES = (
+    "repro.paths",
+    "repro.engine",
+    "repro.core.dindex",
+    "repro.indexes.evaluation",
+    "repro.indexes.diagnostics",
+    "repro.indexes.explain",
+    "repro.indexes.metrics",
+    "repro.indexes.validation",
+    "repro.workload",
+)
+
+
+def _module_in(module: str, prefixes: Iterable[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in prefixes
+    )
+
+
+class DeepRule:
+    """Base class of interprocedural rules.
+
+    Mirrors :class:`repro.analysis.engine.Rule`'s metadata so findings,
+    suppressions and baselines compose identically, but ``check``
+    receives the whole-program analysis.
+    """
+
+    rule_id: ClassVar[str] = "DK999"
+    name: ClassVar[str] = "unnamed-deep-rule"
+    description: ClassVar[str] = ""
+
+    def check(self, analysis: EffectAnalysis) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        analysis: EffectAnalysis,
+        qualname: str,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` inside ``qualname``."""
+        info = analysis.program.functions[qualname]
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            path=info.context.path,
+            line=line,
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            rule_name=self.name,
+            message=message,
+            snippet=info.context.source_line(line),
+        )
+
+
+def _effect_digest(effects: Iterable[Effect], limit: int = 3) -> str:
+    parts = [effect.describe() for effect in effects]
+    shown = parts[:limit]
+    if len(parts) > limit:
+        shown.append(f"and {len(parts) - limit} more")
+    return "; ".join(shown)
+
+
+class ForkSafetyRule(DeepRule):
+    """DK109: callables shipped to fork workers must be pure.
+
+    A function dispatched through ``Pool.map``/``Process(target=...)``
+    runs in a forked child: any write to index/graph state, module
+    globals or ambient resources (files, fsync, the ``random``
+    singleton, nested spawns) silently diverges from the parent — the
+    child's copy changes, the parent's does not, and the partition
+    invariants drift apart per worker.  Workers must only *read* shared
+    state and return their results.
+    """
+
+    rule_id: ClassVar[str] = "DK109"
+    name: ClassVar[str] = "fork-unsafe-worker"
+    description: ClassVar[str] = (
+        "callables dispatched to a fork pool / Process must have a "
+        "pure, shared-state-free effect summary"
+    )
+
+    def check(self, analysis: EffectAnalysis) -> Iterator[Finding]:
+        for site in analysis.program.dispatch_sites:
+            summary = analysis.summaries.get(site.worker)
+            if summary is None:
+                continue
+            offending = [
+                effect
+                for effect in summary.iter_effects()
+                if effect.category in STATE_CATEGORIES
+                or effect.category in SHARED_WRITE_CATEGORIES
+                or effect.category in AMBIENT_CATEGORIES
+            ]
+            if not offending:
+                continue
+            worker_info = analysis.program.functions.get(site.worker)
+            worker_name = (
+                worker_info.name if worker_info is not None else site.worker
+            )
+            yield self.finding(
+                analysis,
+                site.caller,
+                site.node,
+                f"`{worker_name}` is dispatched to a {site.kind} worker "
+                f"but is not pure: {_effect_digest(offending)}; fork "
+                "workers must read shared state and return results only",
+            )
+
+
+class TransactionCoverageRule(DeepRule):
+    """DK110: maintenance-layer index mutations need transaction cover.
+
+    Within ``repro.maintenance``, every path that mutates index/graph
+    state on a *shared* object (not a freshly built one) must be
+    lexically under ``with UpdateTransaction(...)`` or only reachable
+    from callers that are.  The rule computes the greatest set of
+    *protected* functions (every in-package invocation covered, exempt,
+    or from a protected caller) and reports uncovered mutation sites —
+    both direct writes and calls into out-of-package mutators — in the
+    unprotected remainder.
+    """
+
+    rule_id: ClassVar[str] = "DK110"
+    name: ClassVar[str] = "unjournaled-mutation"
+    description: ClassVar[str] = (
+        "index mutations in repro.maintenance must be reachable only "
+        "under an UpdateTransaction context"
+    )
+
+    def check(self, analysis: EffectAnalysis) -> Iterator[Finding]:
+        program = analysis.program
+        protected = self._protected_functions(analysis)
+        for qualname, info in program.functions.items():
+            if not _module_in(info.module, (MAINTENANCE_PACKAGE,)):
+                continue
+            if info.module in TRANSACTION_EXEMPT_MODULES:
+                continue
+            if qualname in protected:
+                continue
+            yield from self._direct_violations(analysis, qualname)
+            yield from self._call_violations(analysis, qualname, protected)
+
+    @staticmethod
+    def _protected_functions(analysis: EffectAnalysis) -> set[str]:
+        """Greatest fixpoint of 'every in-package invocation is covered'."""
+        program = analysis.program
+        candidates = {
+            qualname
+            for qualname, info in program.functions.items()
+            if _module_in(info.module, (MAINTENANCE_PACKAGE,))
+        }
+        protected = {
+            qualname
+            for qualname in candidates
+            if any(
+                _module_in(
+                    program.functions[site.caller].module,
+                    (MAINTENANCE_PACKAGE,),
+                )
+                for site in program.sites_to(qualname)
+                if site.caller in program.functions
+            )
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in list(protected):
+                sites = [
+                    site
+                    for site in program.sites_to(qualname)
+                    if site.caller in program.functions
+                    and _module_in(
+                        program.functions[site.caller].module,
+                        (MAINTENANCE_PACKAGE,),
+                    )
+                ]
+                ok = bool(sites) and all(
+                    site.covered
+                    or program.functions[site.caller].module
+                    in TRANSACTION_EXEMPT_MODULES
+                    or site.caller in protected
+                    for site in sites
+                )
+                if not ok:
+                    protected.discard(qualname)
+                    changed = True
+        return protected
+
+    def _direct_violations(
+        self, analysis: EffectAnalysis, qualname: str
+    ) -> Iterator[Finding]:
+        facts = analysis.facts.get(qualname)
+        if facts is None:
+            return
+        receiver = (
+            facts.info.params[0]
+            if facts.info.is_method and facts.info.params
+            else None
+        )
+        for local in facts.local_effects:
+            effect = local.effect
+            if effect.category not in STATE_CATEGORIES:
+                continue
+            if local.covered:
+                continue
+            if facts.info.name == "__init__" and effect.root == receiver:
+                # A constructor initialising its own receiver mutates an
+                # object no other frame can observe yet; the transaction
+                # obligation belongs to whoever publishes it.
+                continue
+            yield self.finding(
+                analysis,
+                qualname,
+                local.node,
+                f"uncovered index mutation in `{facts.info.name}`: "
+                f"{effect.detail} runs outside any UpdateTransaction — "
+                "wrap the mutation in `with UpdateTransaction(graph, "
+                "index, scope):` or route it through UpdatePipeline",
+            )
+
+    def _call_violations(
+        self,
+        analysis: EffectAnalysis,
+        qualname: str,
+        protected: set[str],
+    ) -> Iterator[Finding]:
+        program = analysis.program
+        facts = analysis.facts.get(qualname)
+        if facts is None:
+            return
+        for site in program.sites_from(qualname):
+            if site.covered:
+                continue
+            callee_info = program.functions.get(site.callee)
+            if callee_info is None:
+                continue
+            if _module_in(callee_info.module, (MAINTENANCE_PACKAGE,)):
+                continue  # in-package callees are judged by their own cover
+            shared_writes = [
+                effect
+                for effect in analysis.visible_effects(site)
+                if effect.category in STATE_CATEGORIES
+            ]
+            if not shared_writes:
+                continue
+            yield self.finding(
+                analysis,
+                qualname,
+                site.node,
+                f"call to `{callee_info.name}` mutates index state "
+                f"({_effect_digest(shared_writes)}) outside any "
+                "UpdateTransaction in `"
+                f"{facts.info.name}` — wrap the call in a transaction "
+                "or route it through UpdatePipeline",
+            )
+
+
+class AliasEscapeRule(DeepRule):
+    """DK111: serving paths must not return live extent references.
+
+    A query/diagnostics function that returns ``index.extents[b]`` (or
+    anything transitively aliasing it) hands the caller a handle that
+    the next journaled update mutates underneath them — and that the
+    caller can mutate to corrupt the partition without any DK101 write
+    appearing in their module.  Serving layers return copies
+    (``set(...)``, ``list(...)``, ``sorted(...)``).
+    """
+
+    rule_id: ClassVar[str] = "DK111"
+    name: ClassVar[str] = "extent-alias-escape"
+    description: ClassVar[str] = (
+        "query/serving paths must return copies of extent state, not "
+        "references to the index's internal mutable containers"
+    )
+
+    def check(self, analysis: EffectAnalysis) -> Iterator[Finding]:
+        for qualname, summary in analysis.summaries.items():
+            alias = summary.returns_alias
+            if alias is None or alias.source == "fresh":
+                continue
+            info = analysis.program.functions.get(qualname)
+            if info is None or not _module_in(
+                info.module, SERVING_MODULE_PREFIXES
+            ):
+                continue
+            anchor = self._anchor_node(analysis, qualname, alias)
+            via = f" via {' -> '.join(alias.chain)}" if alias.chain else ""
+            yield self.finding(
+                analysis,
+                qualname,
+                anchor,
+                f"`{info.name}` {alias.detail}{via}; a serving path must "
+                "return a copy (`set(...)` / `list(...)` / `sorted(...)`) "
+                "so journaled updates cannot mutate the caller's view",
+            )
+
+    @staticmethod
+    def _anchor_node(
+        analysis: EffectAnalysis, qualname: str, alias: Effect
+    ) -> ast.AST:
+        info = analysis.program.functions[qualname]
+        facts = analysis.facts.get(qualname)
+        if facts is not None and alias.chain:
+            # Propagated alias: anchor at the return statement whose
+            # value is the aliasing call, if we can find it.
+            for expr in facts.return_exprs:
+                if expr is not None and getattr(expr, "lineno", 0) > 0:
+                    return expr
+        if facts is not None:
+            for expr in facts.return_exprs:
+                if expr is not None and getattr(expr, "lineno", 0) == alias.line:
+                    return expr
+        return info.node
+
+
+class DurabilityDisciplineRule(DeepRule):
+    """DK112: persistence writes route through the atomic writer —
+    interprocedurally.
+
+    DK108 already flags a literal ``open(path, "w")`` inside the
+    persistence modules; this rule closes the loophole DK108 cannot
+    see: a persistence function calling a helper *in another module*
+    that truncates the destination.  Any call chain from a persistence
+    module that reaches a truncating ``open`` outside
+    ``repro.maintenance.store`` is a crash-window — the previous good
+    file is destroyed before the new bytes are durable.
+    """
+
+    rule_id: ClassVar[str] = "DK112"
+    name: ClassVar[str] = "non-atomic-write-path"
+    description: ClassVar[str] = (
+        "persistence call chains must reach truncating writes only "
+        "inside repro.maintenance.store's atomic write sequence"
+    )
+
+    def check(self, analysis: EffectAnalysis) -> Iterator[Finding]:
+        program = analysis.program
+        for qualname, info in program.functions.items():
+            if not _module_in(info.module, PERSISTENCE_MODULES):
+                continue
+            if info.module == OWNER_MODULE:
+                continue
+            for site in program.sites_from(qualname):
+                callee_info = program.functions.get(site.callee)
+                summary = analysis.summaries.get(site.callee)
+                if callee_info is None or summary is None:
+                    continue
+                offending = [
+                    effect
+                    for effect in summary.iter_effects()
+                    if effect.category == "open-truncate"
+                    and effect.module != OWNER_MODULE
+                    and not _module_in(effect.module, PERSISTENCE_MODULES)
+                ]
+                if not offending:
+                    continue
+                yield self.finding(
+                    analysis,
+                    qualname,
+                    site.node,
+                    f"persistence path calls `{callee_info.name}` which "
+                    f"truncates a file outside the atomic writer: "
+                    f"{_effect_digest(offending)}; route the write "
+                    "through repro.maintenance.store.atomic_write_text "
+                    "/ atomic_write_document",
+                )
+
+
+#: The shipped deep-rule pack, in rule-id order.
+DEEP_RULE_CLASSES: tuple[type[DeepRule], ...] = (
+    ForkSafetyRule,
+    TransactionCoverageRule,
+    AliasEscapeRule,
+    DurabilityDisciplineRule,
+)
+
+
+def all_deep_rules() -> list[DeepRule]:
+    """One instance of every shipped deep rule."""
+    return [rule_class() for rule_class in DEEP_RULE_CLASSES]
+
+
+def deep_rule_tokens() -> set[str]:
+    """Every id and name the deep pack answers to (for ``--select``)."""
+    tokens: set[str] = set()
+    for rule_class in DEEP_RULE_CLASSES:
+        tokens.add(rule_class.rule_id)
+        tokens.add(rule_class.name)
+    return tokens
+
+
+def get_deep_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    extra_known: Iterable[str] | None = None,
+) -> list[DeepRule]:
+    """The deep pack filtered by id or name.
+
+    ``extra_known`` lists tokens (typically the per-file pack's) that
+    are accepted without matching a deep rule, so a mixed
+    ``--select DK101 DK110`` splits cleanly across both passes.
+    Unknown tokens raise :class:`ReproError` (same contract as
+    :func:`repro.analysis.rules.get_rules`).
+    """
+    rules = all_deep_rules()
+    known = deep_rule_tokens() | set(extra_known or ())
+
+    def normalise(tokens: Iterable[str] | None) -> set[str]:
+        requested = {token.strip() for token in tokens or () if token.strip()}
+        unknown = requested - known
+        if unknown:
+            raise ReproError(
+                f"unknown deep rule selector(s): {', '.join(sorted(unknown))}"
+            )
+        return requested
+
+    selected = normalise(select)
+    ignored = normalise(ignore)
+    result = []
+    for rule in rules:
+        tokens = {rule.rule_id, rule.name}
+        if selected and not (tokens & selected):
+            continue
+        if tokens & ignored:
+            continue
+        result.append(rule)
+    return result

@@ -1,0 +1,130 @@
+"""Entry points that tie call graph + effects + deep rules together.
+
+This is what ``dkindex lint --deep`` (and the unit tests) call: build
+the program, run the effect fixpoint, apply the deep pack, honour the
+same ``# lint: disable=`` / ``# dk: ignore[...]`` suppressions the
+per-file engine does, and report wall-clock stats so the CI bench
+guard can keep the gate honest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.flow.callgraph import (
+    Program,
+    build_program,
+    build_program_from_sources,
+)
+from repro.analysis.flow.effects import (
+    EffectAnalysis,
+    analyze_program,
+    export_effects,
+)
+from repro.analysis.flow.rules import DeepRule, all_deep_rules
+
+
+@dataclass
+class DeepStats:
+    """Size/cost counters of one deep-analysis run."""
+
+    files: int = 0
+    functions: int = 0
+    call_edges: int = 0
+    duration_seconds: float = 0.0
+
+    def format_line(self) -> str:
+        return (
+            f"deep analysis: {self.files} file(s), "
+            f"{self.functions} function(s), {self.call_edges} call "
+            f"edge(s) in {self.duration_seconds:.2f}s"
+        )
+
+
+@dataclass
+class DeepReport:
+    """Findings + stats of one ``lint --deep`` pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    stats: DeepStats = field(default_factory=DeepStats)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def analyze_paths(paths: Sequence[str | Path]) -> EffectAnalysis:
+    """Build and effect-analyze the program under ``paths``."""
+    return analyze_program(build_program(paths))
+
+
+def analyze_sources(sources: Mapping[str, str]) -> EffectAnalysis:
+    """In-memory variant of :func:`analyze_paths` (unit tests)."""
+    return analyze_program(build_program_from_sources(sources))
+
+
+def run_deep_rules(
+    analysis: EffectAnalysis,
+    rules: Sequence[DeepRule] | None = None,
+    duration_seconds: float = 0.0,
+) -> DeepReport:
+    """Apply the deep pack to a finished analysis.
+
+    Suppression comments are honoured exactly as in the per-file
+    engine: a finding whose anchor line (or whole file) carries a
+    matching directive in its module is dropped and counted.
+    """
+    active = list(rules) if rules is not None else all_deep_rules()
+    report = DeepReport()
+    report.stats = DeepStats(
+        files=len(analysis.program.contexts),
+        functions=len(analysis.program.functions),
+        call_edges=analysis.program.call_edge_count,
+        duration_seconds=duration_seconds,
+    )
+    contexts_by_path = {
+        context.path: context for context in analysis.program.contexts.values()
+    }
+    kept: list[Finding] = []
+    for rule in active:
+        for finding in rule.check(analysis):
+            context = contexts_by_path.get(finding.path)
+            if context is not None and context.suppressions.is_suppressed(
+                finding.rule_id, finding.rule_name, finding.line
+            ):
+                report.suppressed += 1
+            else:
+                kept.append(finding)
+    report.findings = sorted(kept)
+    return report
+
+
+def write_effects(path: str | Path, analysis: EffectAnalysis) -> None:
+    """Write the deterministic effect-summary artifact to ``path``."""
+    document = export_effects(analysis)
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def run_deep(
+    paths: Sequence[str | Path],
+    rules: Sequence[DeepRule] | None = None,
+) -> tuple[DeepReport, EffectAnalysis]:
+    """One-call deep pass over files/directories, timed end to end."""
+    started = time.perf_counter()
+    analysis = analyze_paths(paths)
+    report = run_deep_rules(
+        analysis,
+        rules,
+        duration_seconds=time.perf_counter() - started,
+    )
+    report.stats.duration_seconds = time.perf_counter() - started
+    return report, analysis

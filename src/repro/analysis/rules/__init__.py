@@ -40,18 +40,23 @@ def all_rules() -> list[Rule]:
 def get_rules(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    extra_known: Iterable[str] | None = None,
 ) -> list[Rule]:
     """The rule pack filtered by id or name.
 
     Args:
         select: if given, keep only these rules (ids or names).
         ignore: drop these rules (applied after ``select``).
+        extra_known: additional tokens accepted without matching a
+            per-file rule — the CLI passes the deep pack's ids/names
+            here so ``--select DK110 --deep`` validates.
 
     Raises:
         ReproError: if a selector matches no rule.
     """
     rules = all_rules()
     known = {token for rule in rules for token in (rule.rule_id, rule.name)}
+    known.update(extra_known or ())
 
     def normalise(tokens: Iterable[str] | None) -> set[str]:
         requested = {token.strip() for token in tokens or () if token.strip()}

@@ -1,12 +1,16 @@
 """Suppression comments for the lint engine.
 
-Two forms are recognised, matching the usual ``noqa`` ergonomics but
+Three forms are recognised, matching the usual ``noqa`` ergonomics but
 namespaced so they cannot collide with other tools:
 
 - ``# lint: disable=DK101,quadratic-membership`` — suppress the listed
   rules (by id or name, ``all`` for everything) *on that line*;
 - ``# lint: disable-file=DK104`` — anywhere in the file, suppress the
-  listed rules for the whole file.
+  listed rules for the whole file;
+- ``# dk: ignore[DK110]`` — same per-line semantics as ``disable``;
+  when placed on a decorated function's ``def`` line it additionally
+  covers findings anchored anywhere in the decorator list (the engine
+  registers the decorator lines as aliases of the ``def`` line).
 
 Suppressions are an escape hatch for intentional violations (e.g. a test
 that corrupts an index on purpose); fixable violations should be fixed.
@@ -23,6 +27,11 @@ _DIRECTIVE_RE = re.compile(
     r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
 )
 
+_DK_IGNORE_RE = re.compile(
+    r"#\s*dk:\s*ignore\[\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)\s*\]"
+)
+
 #: Wildcard accepted in place of a rule id/name.
 ALL_RULES_TOKEN = "all"
 
@@ -34,27 +43,44 @@ class SuppressionIndex:
     Attributes:
         line_rules: ``{line number: set of rule tokens}``.
         file_rules: rule tokens suppressed for the whole file.
+        line_aliases: ``{anchor line: directive line}`` — a finding at
+            the anchor also honours directives on the aliased line
+            (decorator lines alias their ``def`` line).
     """
 
     line_rules: dict[int, set[str]] = field(default_factory=dict)
     file_rules: set[str] = field(default_factory=set)
+    line_aliases: dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
-        """Scan source text for ``# lint:`` directives."""
+        """Scan source text for ``# lint:`` / ``# dk:`` directives."""
         index = cls()
         for lineno, text in enumerate(source.splitlines(), start=1):
             for match in _DIRECTIVE_RE.finditer(text):
-                tokens = {
-                    token.strip().lower()
-                    for token in match.group("rules").split(",")
-                    if token.strip()
-                }
+                tokens = cls._tokens(match.group("rules"))
                 if match.group("kind") == "disable-file":
                     index.file_rules |= tokens
                 else:
                     index.line_rules.setdefault(lineno, set()).update(tokens)
+            for match in _DK_IGNORE_RE.finditer(text):
+                index.line_rules.setdefault(lineno, set()).update(
+                    cls._tokens(match.group("rules"))
+                )
         return index
+
+    @staticmethod
+    def _tokens(raw: str) -> set[str]:
+        return {
+            token.strip().lower()
+            for token in raw.split(",")
+            if token.strip()
+        }
+
+    def add_line_alias(self, anchor: int, directive_line: int) -> None:
+        """Make findings at ``anchor`` honour ``directive_line``'s rules."""
+        if anchor != directive_line:
+            self.line_aliases[anchor] = directive_line
 
     @staticmethod
     def _matches(tokens: Iterable[str], rule_id: str, rule_name: str) -> bool:
@@ -66,4 +92,12 @@ class SuppressionIndex:
         if self._matches(self.file_rules, rule_id, rule_name):
             return True
         tokens = self.line_rules.get(line)
-        return tokens is not None and self._matches(tokens, rule_id, rule_name)
+        if tokens is not None and self._matches(tokens, rule_id, rule_name):
+            return True
+        aliased = self.line_aliases.get(line)
+        if aliased is not None:
+            tokens = self.line_rules.get(aliased)
+            return tokens is not None and self._matches(
+                tokens, rule_id, rule_name
+            )
+        return False

@@ -290,16 +290,57 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.analysis import LintEngine, get_rules, load_baseline, write_baseline
 
-    rules = get_rules(select=args.select, ignore=args.ignore)
+    if args.effects_out is not None and not args.deep:
+        raise ReproError("--effects-out requires --deep")
+
+    deep_tokens: set[str] = set()
+    if args.deep:
+        from repro.analysis.flow import deep_rule_tokens
+
+        deep_tokens = deep_rule_tokens()
+
+    rules = get_rules(
+        select=args.select, ignore=args.ignore, extra_known=deep_tokens
+    )
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.name:24} {rule.description}")
+        if args.deep:
+            from repro.analysis.flow import get_deep_rules
+
+            shallow = _shallow_rule_tokens()
+            for deep_rule in get_deep_rules(
+                select=args.select, ignore=args.ignore, extra_known=shallow
+            ):
+                print(
+                    f"{deep_rule.rule_id}  {deep_rule.name:24} "
+                    f"{deep_rule.description}"
+                )
         return 0
 
     engine = LintEngine(rules)
     report = engine.run(args.paths)
+
+    deep_stats_line: str | None = None
+    if args.deep:
+        from repro.analysis.flow import get_deep_rules, run_deep, write_effects
+
+        deep_rules = get_deep_rules(
+            select=args.select,
+            ignore=args.ignore,
+            extra_known=_shallow_rule_tokens(),
+        )
+        deep_report, analysis = run_deep(args.paths, deep_rules)
+        report.findings = sorted(report.findings + deep_report.findings)
+        report.suppressed += deep_report.suppressed
+        deep_stats_line = deep_report.stats.format_line()
+        if args.effects_out is not None:
+            write_effects(args.effects_out, analysis)
+            print(f"wrote effect summaries to {args.effects_out}")
 
     if args.write_baseline:
         baseline = write_baseline(args.baseline, report.findings)
@@ -310,9 +351,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
 
     baseline = load_baseline(args.baseline)
-    report.findings, report.baseline_matched = baseline.filter(report.findings)
-    print(report.to_json() if args.format == "json" else report.format_text())
+    raw_findings = list(report.findings)
+    stale = baseline.stale_entries(raw_findings)
+    if args.prune_baseline and stale:
+        baseline = baseline.pruned(raw_findings)
+        Path(args.baseline).write_text(baseline.to_json(), encoding="utf-8")
+        dropped = sum(excess for _, _, _, excess in stale)
+        print(f"pruned {dropped} stale entr{'y' if dropped == 1 else 'ies'} from {args.baseline}")
+        stale = []
+    report.findings, report.baseline_matched = baseline.filter(raw_findings)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_text())
+        if stale:
+            count = sum(excess for _, _, _, excess in stale)
+            print(
+                f"baseline: {count} stale entr{'y' if count == 1 else 'ies'} "
+                "no longer matched by any finding "
+                "(run with --prune-baseline to drop them)"
+            )
+        if deep_stats_line is not None:
+            print(deep_stats_line)
     return 0 if report.ok else 1
+
+
+def _shallow_rule_tokens() -> set[str]:
+    from repro.analysis.rules import all_rules
+
+    return {
+        token
+        for rule in all_rules()
+        for token in (rule.rule_id, rule.name)
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -458,6 +529,15 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="RULE", help="skip these rules (id or name)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the (selected) rule catalogue and exit")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the interprocedural pass "
+                      "(call graph + effect summaries, DK109–DK112)")
+    lint.add_argument("--effects-out", default=None, metavar="FILE",
+                      help="write the effect-summary artifact "
+                      "(analysis-effects.json) here; requires --deep")
+    lint.add_argument("--prune-baseline", action="store_true",
+                      help="rewrite the baseline file without entries "
+                      "no current finding justifies")
     lint.set_defaults(func=_cmd_lint)
     return parser
 

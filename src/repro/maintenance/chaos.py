@@ -43,7 +43,7 @@ from repro.indexes.evaluation import evaluate_on_index
 from repro.maintenance.faults import FAULT_MODES, FaultInjector
 from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
 from repro.maintenance.store import CheckpointStore
-from repro.maintenance.transaction import state_fingerprint
+from repro.maintenance.transaction import UpdateTransaction, state_fingerprint
 from repro.paths.evaluator import evaluate_on_data_graph
 from repro.paths.query import make_query
 
@@ -236,7 +236,8 @@ def _build_action(
     if op == "promote":
         # Erode similarities first so the promotion has splits to do
         # (otherwise promote.split is unreachable by construction).
-        dk_add_edge(dk.graph, dk.index, 9, 6)
+        with UpdateTransaction(dk.graph, dk.index, scope="add-edge", edge=(9, 6)):
+            dk_add_edge(dk.graph, dk.index, 9, 6)
         return lambda: pipeline.promote(None)
     if op == "demote":
         return lambda: pipeline.demote({"t": 1})

@@ -6,6 +6,7 @@ plus engine-level tests: module-name derivation, suppression comments,
 parse-error reporting, rule selection and baseline round-trips.
 """
 
+import ast
 from pathlib import Path
 from textwrap import dedent
 
@@ -21,7 +22,7 @@ from repro.analysis import (
     module_name_for,
     write_baseline,
 )
-from repro.analysis.engine import PARSE_ERROR_RULE_ID
+from repro.analysis.engine import PARSE_ERROR_RULE_ID, Rule
 from repro.analysis.rules import (
     AtomicPersistenceRule,
     CostAccountingRule,
@@ -601,3 +602,125 @@ def test_truncating_open_fine_outside_persistence_modules():
             handle.write(text)
     """
     assert lint(AtomicPersistenceRule, source, "repro.bench.reporting") == []
+
+
+# ------------------------- baseline staleness ---------------------------
+
+
+def test_stale_entries_reported_and_pruned(tmp_path):
+    findings = dirty_findings(tmp_path)
+    baseline = Baseline.from_findings(findings + findings)  # count of 2
+    stale = baseline.stale_entries(findings)
+    assert len(stale) == 1
+    rule, _path, _snippet, excess = stale[0]
+    assert rule == "DK103" and excess == 1
+
+    capped = baseline.pruned(findings)
+    assert capped.stale_entries(findings) == []
+    new, matched = capped.filter(findings)
+    assert new == [] and matched == len(findings)
+
+    # Fully fixed: every entry is stale, the pruned copy is empty.
+    emptied = baseline.pruned([])
+    assert len(emptied) == 0
+
+
+def test_cli_reports_and_prunes_stale_baseline(tmp_path, capsys):
+    from repro.cli import main
+
+    dirty = tmp_path / "src" / "repro" / "dirty.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        "def mutate(finding: object) -> None:\n"
+        '    object.__setattr__(finding, "line", 0)\n',
+        encoding="utf-8",
+    )
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(dirty), "--baseline", str(baseline),
+                 "--write-baseline"]) == 0
+    capsys.readouterr()
+
+    # Fix the violation; the baselined entry is now stale.
+    dirty.write_text("def mutate() -> None:\n    return None\n",
+                     encoding="utf-8")
+    assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+    output = capsys.readouterr().out
+    assert "1 stale entry" in output
+    assert "--prune-baseline" in output
+
+    assert main(["lint", str(dirty), "--baseline", str(baseline),
+                 "--prune-baseline"]) == 0
+    output = capsys.readouterr().out
+    assert "pruned 1 stale entry" in output
+    assert len(load_baseline(baseline)) == 0
+
+    # Once pruned, the note disappears.
+    assert main(["lint", str(dirty), "--baseline", str(baseline)]) == 0
+    assert "stale" not in capsys.readouterr().out
+
+
+# ------------------------- dk: ignore directives ------------------------
+
+
+def test_dk_ignore_is_line_scoped():
+    source = dedent("""
+    def mutate(finding):
+        object.__setattr__(finding, "line", 0)  # dk: ignore[DK103]
+        object.__setattr__(finding, "col", 1)
+    """)
+    engine = LintEngine([FrozenSetattrRule()])
+    findings = engine.check_source(source, module="repro.x")
+    assert [f.line for f in findings] == [4]
+
+
+class _DecoratorAnchoredRule(Rule):
+    """Toy rule anchoring its finding at a decorator expression."""
+
+    rule_id = "DK903"
+    name = "decorated-def"
+    description = "flags every decorator (test helper)"
+
+    def check(self, context):
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for decorator in node.decorator_list:
+                    yield self.finding(context, decorator, "decorated")
+
+
+def test_dk_ignore_on_def_line_covers_decorator_findings():
+    engine = LintEngine([_DecoratorAnchoredRule()])
+    bare = dedent("""
+    @property
+    def width(self):
+        return 3
+    """)
+    assert len(engine.check_source(bare, module="repro.x")) == 1
+
+    covered = dedent("""
+    @property
+    def width(self):  # dk: ignore[DK903]
+        return 3
+    """)
+    assert engine.check_source(covered, module="repro.x") == []
+
+    # A multi-line decorator call is covered end to end.
+    spanning = dedent("""
+    @some.registry(
+        name="width",
+    )
+    def width(self):  # dk: ignore[decorated-def]
+        return 3
+    """)
+    assert engine.check_source(spanning, module="repro.x") == []
+
+    # The alias only spans that def's decorators, not its body.
+    unrelated = dedent("""
+    @property
+    def width(self):  # dk: ignore[DK903]
+        @property
+        def inner(self):
+            return 3
+        return inner
+    """)
+    findings = engine.check_source(unrelated, module="repro.x")
+    assert len(findings) == 1  # the inner decorator still fires

@@ -1,0 +1,215 @@
+"""Tests for repro.analysis.astutil scope/qualname resolution.
+
+The call-graph builder keys everything on these helpers; the edge cases
+here (nested classes, lambdas, comprehension scopes, full parameter
+grids) are exactly the shapes that silently mis-resolve if the
+qualname scheme drifts.
+"""
+
+import ast
+from textwrap import dedent
+
+from repro.analysis.astutil import (
+    build_qualnames,
+    chain_attribute,
+    dotted_name,
+    lambda_slug,
+    parameter_names,
+    walk_scope,
+)
+
+
+def qualnames_of(source, module="m"):
+    tree = ast.parse(dedent(source))
+    names = build_qualnames(tree, module)
+    by_name = {}
+    for node in ast.walk(tree):
+        if id(node) in names:
+            by_name.setdefault(names[id(node)], node)
+    return names, by_name
+
+
+# ------------------------- build_qualnames ------------------------------
+
+
+def test_module_level_function_and_class():
+    _, by_name = qualnames_of(
+        """
+        def f(): pass
+        class C: pass
+        """
+    )
+    assert "m.f" in by_name
+    assert "m.C" in by_name
+
+
+def test_nested_classes_and_methods():
+    _, by_name = qualnames_of(
+        """
+        class Outer:
+            class Inner:
+                def method(self): pass
+            def top(self): pass
+        """
+    )
+    assert "m.Outer" in by_name
+    assert "m.Outer.Inner" in by_name
+    assert "m.Outer.Inner.method" in by_name
+    assert "m.Outer.top" in by_name
+
+
+def test_function_nested_in_function_gets_locals_segment():
+    _, by_name = qualnames_of(
+        """
+        def outer():
+            def inner(): pass
+            class Local:
+                def m(self): pass
+        """
+    )
+    assert "m.outer.<locals>.inner" in by_name
+    assert "m.outer.<locals>.Local" in by_name
+    assert "m.outer.<locals>.Local.m" in by_name
+
+
+def test_class_in_method_in_nested_class():
+    _, by_name = qualnames_of(
+        """
+        class A:
+            class B:
+                def m(self):
+                    def helper(): pass
+        """
+    )
+    assert "m.A.B.m.<locals>.helper" in by_name
+
+
+def test_lambda_names_are_positional_and_unique():
+    _, by_name = qualnames_of(
+        """
+        f = lambda x: x
+        g = lambda x: x
+        """
+    )
+    lambdas = [name for name in by_name if "<lambda@" in name]
+    assert len(lambdas) == 2
+    assert len(set(lambdas)) == 2  # two lambdas never collide
+    for name in lambdas:
+        node = by_name[name]
+        assert isinstance(node, ast.Lambda)
+        assert name == f"m.{lambda_slug(node)}"
+
+
+def test_lambda_inside_function_carries_locals_prefix():
+    _, by_name = qualnames_of(
+        """
+        def factory():
+            return lambda y: y
+        """
+    )
+    inner = [n for n in by_name if "<lambda@" in n]
+    assert len(inner) == 1
+    assert inner[0].startswith("m.factory.<locals>.<lambda@")
+
+
+def test_comprehension_scopes_are_transparent():
+    # A lambda inside a comprehension inside a method is named as if
+    # the comprehension scope did not exist (documented deviation from
+    # PEP 3155 — no ``<listcomp>`` segment).
+    _, by_name = qualnames_of(
+        """
+        class C:
+            def f(self):
+                return [lambda: x for x in range(3)]
+        """
+    )
+    inner = [n for n in by_name if "<lambda@" in n]
+    assert len(inner) == 1
+    assert inner[0].startswith("m.C.f.<locals>.<lambda@")
+    assert "<listcomp>" not in inner[0]
+
+
+def test_nested_lambdas():
+    _, by_name = qualnames_of("f = lambda x: (lambda y: x + y)")
+    lambdas = sorted(n for n in by_name if "<lambda@" in n)
+    assert len(lambdas) == 2
+    outer = min(lambdas, key=len)
+    inner = max(lambdas, key=len)
+    assert inner.startswith(outer + ".<locals>.<lambda@")
+
+
+def test_qualname_keys_are_node_identity():
+    tree = ast.parse("def f(): pass\ndef g(): pass")
+    names = build_qualnames(tree, "mod")
+    f_node, g_node = tree.body
+    assert names[id(f_node)] == "mod.f"
+    assert names[id(g_node)] == "mod.g"
+
+
+# ------------------------- parameter_names ------------------------------
+
+
+def test_parameter_names_full_grid():
+    tree = ast.parse(
+        "def f(a, b, /, c, d=1, *args, e, f=2, **kwargs): pass"
+    )
+    node = tree.body[0]
+    assert parameter_names(node) == [
+        "a", "b", "c", "d", "args", "e", "f", "kwargs",
+    ]
+
+
+def test_parameter_names_lambda():
+    tree = ast.parse("g = lambda x, *rest, **kw: x")
+    node = tree.body[0].value
+    assert parameter_names(node) == ["x", "rest", "kw"]
+
+
+def test_parameter_names_empty():
+    tree = ast.parse("def f(): pass")
+    assert parameter_names(tree.body[0]) == []
+
+
+# ------------------------- walk_scope -----------------------------------
+
+
+def test_walk_scope_does_not_enter_nested_functions():
+    tree = ast.parse(
+        dedent(
+            """
+            def outer():
+                a = 1
+                def inner():
+                    b = 2
+                c = 3
+            """
+        )
+    )
+    outer = tree.body[0]
+    assigned = {
+        node.targets[0].id
+        for node in walk_scope(outer)
+        if isinstance(node, ast.Assign)
+    }
+    assert assigned == {"a", "c"}  # inner's body is its own scope
+
+
+def test_walk_scope_enters_comprehensions():
+    tree = ast.parse("def f(xs):\n    return [x + 1 for x in xs]")
+    nodes = list(walk_scope(tree.body[0]))
+    assert any(isinstance(node, ast.ListComp) for node in nodes)
+    assert any(isinstance(node, ast.BinOp) for node in nodes)
+
+
+# ------------------------- misc helpers ---------------------------------
+
+
+def test_dotted_name_and_chain_attribute():
+    expr = ast.parse("a.b.extents[0].c", mode="eval").body
+    found = chain_attribute(expr, {"extents"})
+    assert found is not None and found.attr == "extents"
+    assert dotted_name(found.value) == "a.b"
+    call = ast.parse("f().extents", mode="eval").body
+    assert chain_attribute(call, {"extents"}).attr == "extents"
+    crossed = ast.parse("x.extents_of()", mode="eval").body
+    assert chain_attribute(crossed, {"extents"}) is None

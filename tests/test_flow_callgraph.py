@@ -1,0 +1,303 @@
+"""Tests for the whole-program call graph builder."""
+
+from textwrap import dedent
+
+from repro.analysis.flow import build_program_from_sources
+
+
+def program_of(**modules):
+    return build_program_from_sources(
+        {name.replace("__", "."): dedent(source) for name, source in modules.items()}
+    )
+
+
+def edges(program):
+    return {
+        (site.caller, site.callee)
+        for sites in program.calls.values()
+        for site in sites
+    }
+
+
+# ------------------------- direct calls ---------------------------------
+
+
+def test_module_local_call_resolves():
+    program = program_of(
+        m="""
+        def helper() -> int:
+            return 1
+
+        def top() -> int:
+            return helper()
+        """
+    )
+    assert ("m.top", "m.helper") in edges(program)
+
+
+def test_from_import_resolves_across_modules():
+    program = program_of(
+        a="""
+        def f() -> int:
+            return 1
+        """,
+        b="""
+        from a import f
+
+        def g() -> int:
+            return f()
+        """,
+    )
+    assert ("b.g", "a.f") in edges(program)
+
+
+def test_reexport_followed_transitively():
+    program = program_of(
+        base="""
+        def real() -> int:
+            return 1
+        """,
+        pkg="""
+        from base import real
+        """,
+        user="""
+        from pkg import real
+
+        def g() -> int:
+            return real()
+        """,
+    )
+    assert ("user.g", "base.real") in edges(program)
+
+
+def test_import_module_attribute_call():
+    program = program_of(
+        util="""
+        def f() -> int:
+            return 1
+        """,
+        user="""
+        import util
+
+        def g() -> int:
+            return util.f()
+        """,
+    )
+    assert ("user.g", "util.f") in edges(program)
+
+
+# ------------------------- method dispatch ------------------------------
+
+
+def test_self_method_dispatch():
+    program = program_of(
+        m="""
+        class C:
+            def a(self) -> int:
+                return self.b()
+
+            def b(self) -> int:
+                return 1
+        """
+    )
+    assert ("m.C.a", "m.C.b") in edges(program)
+
+
+def test_inherited_method_dispatch():
+    program = program_of(
+        m="""
+        class Base:
+            def shared(self) -> int:
+                return 1
+
+        class Child(Base):
+            def go(self) -> int:
+                return self.shared()
+        """
+    )
+    assert ("m.Child.go", "m.Base.shared") in edges(program)
+
+
+def test_annotated_parameter_receiver():
+    program = program_of(
+        m="""
+        class Store:
+            def save(self) -> None:
+                pass
+
+        def run(store: Store) -> None:
+            store.save()
+        """
+    )
+    assert ("m.run", "m.Store.save") in edges(program)
+
+
+def test_constructor_assignment_types_local():
+    program = program_of(
+        m="""
+        class Store:
+            def save(self) -> None:
+                pass
+
+        def run() -> None:
+            store = Store()
+            store.save()
+        """
+    )
+    assert ("m.run", "m.Store.__init__") not in edges(program)  # no __init__
+    assert ("m.run", "m.Store.save") in edges(program)
+
+
+def test_instance_attribute_receiver():
+    program = program_of(
+        m="""
+        class Journal:
+            def append(self) -> None:
+                pass
+
+        class Pipeline:
+            def __init__(self) -> None:
+                self.journal = Journal()
+
+            def run(self) -> None:
+                self.journal.append()
+        """
+    )
+    assert ("m.Pipeline.run", "m.Journal.append") in edges(program)
+
+
+def test_constructor_call_edge_to_init():
+    program = program_of(
+        m="""
+        class C:
+            def __init__(self) -> None:
+                self.x = 1
+
+        def make() -> C:
+            return C()
+        """
+    )
+    assert ("m.make", "m.C.__init__") in edges(program)
+
+
+# ------------------------- coverage bit ---------------------------------
+
+
+def test_call_under_transaction_is_covered():
+    program = program_of(
+        m="""
+        def mutate() -> None:
+            pass
+
+        def guarded(graph: object, index: object) -> None:
+            with UpdateTransaction(graph, index):
+                mutate()
+
+        def bare() -> None:
+            mutate()
+        """
+    )
+    sites = {site.caller: site for site in program.sites_to("m.mutate")}
+    assert sites["m.guarded"].covered
+    assert not sites["m.bare"].covered
+
+
+# ------------------------- higher-order binding -------------------------
+
+
+def test_lambda_argument_binds_through_parameter_call():
+    program = program_of(
+        m="""
+        def runner(action) -> object:
+            return action()
+
+        def mutate() -> None:
+            pass
+
+        def top() -> object:
+            return runner(lambda: mutate())
+        """
+    )
+    lambda_callees = {
+        site.callee for site in program.sites_from("m.runner")
+    }
+    assert any("<lambda@" in callee for callee in lambda_callees)
+    bound = [s for s in program.sites_from("m.runner") if s.bound]
+    assert bound, "parameter invocation should bind the passed lambda"
+
+
+def test_keyword_bound_callable_parameter():
+    program = program_of(
+        m="""
+        def runner(tag: str, action=None) -> object:
+            return action()
+
+        def work() -> None:
+            pass
+
+        def top() -> object:
+            return runner(tag="x", action=work)
+        """
+    )
+    assert ("m.runner", "m.work") in edges(program)
+
+
+# ------------------------- dispatch sites -------------------------------
+
+
+def test_pool_map_dispatch_site():
+    program = program_of(
+        m="""
+        from multiprocessing import Pool
+
+        def worker(chunk: list) -> list:
+            return chunk
+
+        def run(chunks: list) -> list:
+            with Pool(2) as pool:
+                return pool.map(worker, chunks)
+        """
+    )
+    assert len(program.dispatch_sites) == 1
+    site = program.dispatch_sites[0]
+    assert site.kind == "pool"
+    assert site.worker == "m.worker"
+    assert site.caller == "m.run"
+
+
+def test_process_target_dispatch_site():
+    program = program_of(
+        m="""
+        from multiprocessing import Process
+
+        def worker() -> None:
+            pass
+
+        def run() -> None:
+            Process(target=worker).start()
+        """
+    )
+    kinds = {site.kind for site in program.dispatch_sites}
+    assert kinds == {"process"}
+
+
+# ------------------------- robustness -----------------------------------
+
+
+def test_unresolved_calls_counted_not_fatal():
+    program = program_of(
+        m="""
+        import os
+
+        def g() -> str:
+            return os.environ.get("HOME", "")
+        """
+    )
+    assert program.unresolved_calls >= 1
+    assert program.functions["m.g"].module == "m"
+
+
+def test_syntax_error_module_skipped():
+    program = build_program_from_sources({"ok": "def f() -> int:\n    return 1\n", "bad": "def ("})
+    assert program.skipped_files == 1
+    assert "ok.f" in program.functions

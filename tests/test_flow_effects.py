@@ -1,0 +1,290 @@
+"""Tests for the per-function effect summaries and their fixpoint."""
+
+import json
+from textwrap import dedent
+
+from repro.analysis.flow import analyze_sources
+from repro.analysis.flow.effects import export_effects
+
+
+def analysis_of(**modules):
+    return analyze_sources(
+        {
+            name.replace("__", "."): dedent(source)
+            for name, source in modules.items()
+        }
+    )
+
+
+def categories(analysis, qualname):
+    summary = analysis.summaries[qualname]
+    return {effect.category for effect in summary.iter_effects()}
+
+
+def state_sources(analysis, qualname):
+    summary = analysis.summaries[qualname]
+    return {
+        (effect.category, effect.source)
+        for effect in summary.state_effects()
+    }
+
+
+# ------------------------- local effects --------------------------------
+
+
+def test_param_state_write_detected():
+    analysis = analysis_of(
+        m="""
+        def erode(index, node: int) -> None:
+            index.k[node] -= 1
+        """
+    )
+    assert ("similarity", "param") in state_sources(analysis, "m.erode")
+
+
+def test_mutating_method_on_state_attr_detected():
+    analysis = analysis_of(
+        m="""
+        def grow(index, node: int) -> None:
+            index.extents[0].append(node)
+        """
+    )
+    assert ("extents", "param") in state_sources(analysis, "m.grow")
+
+
+def test_fresh_local_writes_are_not_effects():
+    analysis = analysis_of(
+        m="""
+        class IndexGraph:
+            def __init__(self) -> None:
+                self.extents = []
+                self.k = {}
+
+        def build() -> IndexGraph:
+            index = IndexGraph()
+            index.extents.append([1])
+            index.k[0] = 2
+            return index
+        """
+    )
+    assert state_sources(analysis, "m.build") == set()
+
+
+def test_global_and_ambient_effects():
+    analysis = analysis_of(
+        m="""
+        COUNT = 0
+
+        def bump() -> None:
+            global COUNT
+            COUNT += 1
+
+        def dump(path: str) -> None:
+            with open(path, "w") as handle:
+                handle.write("x")
+
+        def log(path: str) -> None:
+            with open(path, "a") as handle:
+                handle.write("x")
+        """
+    )
+    assert "global-write" in categories(analysis, "m.bump")
+    assert "open-truncate" in categories(analysis, "m.dump")
+    assert "open-append" in categories(analysis, "m.log")
+    assert "open-truncate" not in categories(analysis, "m.log")
+
+
+def test_shared_container_mutation_in_closure():
+    analysis = analysis_of(
+        m="""
+        def collect() -> list:
+            seen = []
+            worker = lambda item: seen.append(item)
+            return seen
+        """
+    )
+    lambda_name = next(q for q in analysis.summaries if "<lambda@" in q)
+    assert "container-write" in categories(analysis, lambda_name)
+
+
+# ------------------------- propagation ----------------------------------
+
+
+def test_effects_propagate_to_callers_with_chain():
+    analysis = analysis_of(
+        m="""
+        def write(index) -> None:
+            index.k[0] = 1
+
+        def outer(index) -> None:
+            write(index)
+        """
+    )
+    assert ("similarity", "param") in state_sources(analysis, "m.outer")
+    effect = next(iter(analysis.summaries["m.outer"].state_effects()))
+    assert effect.chain == ("m.write",)
+
+
+def test_fresh_arguments_launder_param_effects():
+    analysis = analysis_of(
+        m="""
+        class IndexGraph:
+            def __init__(self) -> None:
+                self.k = {}
+
+        def write(index) -> None:
+            index.k[0] = 1
+
+        def build() -> IndexGraph:
+            index = IndexGraph()
+            write(index)
+            return index
+
+        def passthrough(index) -> None:
+            write(index)
+        """
+    )
+    assert state_sources(analysis, "m.build") == set()
+    assert ("similarity", "param") in state_sources(analysis, "m.passthrough")
+
+
+def test_constructor_self_writes_never_escape():
+    analysis = analysis_of(
+        m="""
+        class IndexGraph:
+            def __init__(self, graph) -> None:
+                self.k = {}
+                self.k[0] = 1
+
+        def build(graph) -> IndexGraph:
+            return IndexGraph(graph)
+        """
+    )
+    # __init__ writes self.k (param-rooted), but every resolved edge to
+    # __init__ constructs a fresh receiver — the caller sees nothing.
+    assert state_sources(analysis, "m.build") == set()
+
+
+def test_rerooting_across_two_levels():
+    analysis = analysis_of(
+        m="""
+        def inner(target) -> None:
+            target.extents[0].append(1)
+
+        def middle(index) -> None:
+            inner(index)
+
+        def outer(index) -> None:
+            middle(index)
+        """
+    )
+    effect = next(iter(analysis.summaries["m.outer"].state_effects()))
+    assert effect.source == "param"
+    assert effect.root == "index"
+    assert effect.chain == ("m.middle", "m.inner")
+
+
+def test_returns_fresh_fixpoint_through_wrappers():
+    analysis = analysis_of(
+        m="""
+        class C:
+            def __init__(self) -> None:
+                self.k = {}
+
+        def make() -> C:
+            return C()
+
+        def wrap() -> C:
+            return make()
+
+        def mutate_wrapped() -> None:
+            obj = wrap()
+            obj.k[0] = 1
+        """
+    )
+    assert analysis.summaries["m.make"].returns_fresh is True
+    assert analysis.summaries["m.wrap"].returns_fresh is True
+    assert state_sources(analysis, "m.mutate_wrapped") == set()
+
+
+# ------------------------- alias returns --------------------------------
+
+
+def test_returns_alias_detected_and_propagated():
+    analysis = analysis_of(
+        m="""
+        def lookup(index, label: str) -> set:
+            return index.extents[0]
+
+        def serve(index, label: str) -> set:
+            return lookup(index, label)
+
+        def safe(index, label: str) -> set:
+            return set(index.extents[0])
+        """
+    )
+    assert analysis.summaries["m.lookup"].returns_alias is not None
+    propagated = analysis.summaries["m.serve"].returns_alias
+    assert propagated is not None
+    assert propagated.chain == ("m.lookup",)
+    assert analysis.summaries["m.safe"].returns_alias is None
+
+
+def test_alias_through_named_local():
+    analysis = analysis_of(
+        m="""
+        def peek(index) -> list:
+            block = index.extents[2]
+            return block
+        """
+    )
+    assert analysis.summaries["m.peek"].returns_alias is not None
+
+
+def test_fresh_alias_is_no_alias():
+    analysis = analysis_of(
+        m="""
+        class IndexGraph:
+            def __init__(self) -> None:
+                self.extents = []
+
+        def build() -> list:
+            index = IndexGraph()
+            return index.extents
+        """
+    )
+    assert analysis.summaries["m.build"].returns_alias is None
+
+
+# ------------------------- artifact -------------------------------------
+
+
+def test_export_effects_is_deterministic_and_scoped():
+    modules = {
+        "repro.fake.mod": dedent(
+            """
+            def write(index) -> None:
+                index.k[0] = 1
+            """
+        ),
+        "tests.helper": dedent(
+            """
+            def t(index) -> None:
+                index.k[0] = 1
+            """
+        ),
+    }
+    analysis = analyze_sources(modules)
+    document = export_effects(analysis)
+    assert document["version"] == 1
+    assert "repro.fake.mod.write" in document["functions"]
+    # non-repro modules are excluded so the artifact doesn't churn
+    assert not any(q.startswith("tests.") for q in document["functions"])
+    again = export_effects(analyze_sources(modules))
+    assert json.dumps(document, sort_keys=True) == json.dumps(
+        again, sort_keys=True
+    )
+    record = document["functions"]["repro.fake.mod.write"]
+    assert record["effects"] == [
+        {"category": "similarity", "source": "param", "witness_module": "repro.fake.mod"}
+    ]
