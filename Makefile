@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help install test lint lint-deep typecheck bench bench-full chaos results examples clean
+.PHONY: help install test lint lint-deep typecheck bench bench-full bench-scale chaos results examples clean
 
 help:
 	@echo "Targets:"
@@ -15,6 +15,8 @@ help:
 	@echo "  typecheck  run mypy (strict on repro.core/indexes/partition/analysis)"
 	@echo "  bench      quick benchmark pass (PYTHONPATH=src)"
 	@echo "  bench-full full-scale benchmark pass"
+	@echo "  bench-scale refinement engines over the small,medium scale"
+	@echo "             axis; refreshes the committed BENCH_refinement.json"
 	@echo "  chaos      run both chaos suites: update faults + the"
 	@echo "             checkpoint-store durability crash matrix (seed 0)"
 	@echo "  results    regenerate docs/results-scale-1.0.txt"
@@ -41,6 +43,10 @@ bench:
 
 bench-full:
 	REPRO_BENCH_SCALE=1.0 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-scale:
+	$(PYTHON) -m repro bench refine --scale small,medium --repeats 3 \
+		--out BENCH_refinement.json
 
 chaos:
 	$(PYTHON) -m repro chaos --seed 0

@@ -11,13 +11,17 @@ this harness times the four construction workloads that exercise it —
   graph at lowered levels (Theorem 2 / ``reindex_index_graph``)
 
 — on the seeded XMark/NASA generators, once per engine (``legacy``
-full-rehash vs ``worklist``; plus the parallel worklist when ``jobs >
-1``), and writes the medians to ``BENCH_refinement.json``.  The
+full-rehash vs ``worklist`` vs the CSR-batch ``columnar``; plus the
+parallel worklist/columnar rows when ``jobs > 1``), across a *scale
+axis* (``--scale small,medium``), and writes the medians plus a
+``tracemalloc`` peak-memory column to ``BENCH_refinement.json``.  The
 committed baseline is this file's first entry; every future perf PR
 re-runs the harness so the repository carries a recorded performance
 trajectory instead of anecdotes.  Timings are wall-clock medians over
 ``repeats`` runs of freshly-seeded, deterministic inputs, so runs are
-comparable across commits on the same machine.
+comparable across commits on the same machine.  Peak memory is measured
+on one separate, untimed run per cell (tracemalloc's tracing overhead
+would distort the wall-clock numbers) which doubles as the warm-up.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import json
 import platform
 import statistics
 import time
+import tracemalloc
 from dataclasses import dataclass
 from typing import Callable
 
@@ -35,19 +40,26 @@ from repro.core.construction import build_dk_index, reindex_index_graph
 from repro.exceptions import DatasetError
 from repro.graph.datagraph import ROOT_LABEL, VALUE_LABEL, DataGraph
 from repro.indexes.base import IndexGraph
+from repro.partition.engine import resolve_jobs
 from repro.partition.refinement import bisim_partition, kbisim_partition
 
 #: Schema identifier written into (and expected from) the report JSON.
-SCHEMA = "dkindex-bench-refinement/1"
+#: Version 2 adds the scale axis (one row per scale), the ``peak_kb``
+#: tracemalloc column, the columnar engine rows, and records resolved
+#: worker counts in ``jobs`` (never the raw ``0`` CLI default).
+SCHEMA = "dkindex-bench-refinement/2"
 
 #: Named scales: dataset scale factors sized so "small" suits CI smoke
-#: runs and "large" stresses the worklist on ~10^5-edge graphs.
+#: runs and "large" stresses the engines on ~10^5-edge graphs.
 SCALE_NAMES: dict[str, float] = {"small": 0.2, "medium": 0.6, "large": 1.5}
 
-#: The engines every scenario is timed under (name, jobs-override).
+#: The engines every cell is timed under (name, jobs-override).  The
+#: parallel rows (``worklist-parallel``/``columnar-parallel``) are
+#: appended per run when ``--jobs`` resolves past 1.
 SERIAL_ENGINES: tuple[tuple[str, int], ...] = (
     ("legacy", 1),
     ("worklist", 1),
+    ("columnar", 1),
 )
 
 
@@ -56,13 +68,15 @@ class RefineBenchConfig:
     """Knobs of one harness run.
 
     Attributes:
-        scale: named scale (``small``/``medium``/``large``) or a float
-            literal like ``"0.4"``.
-        repeats: timed runs per (dataset, scenario, engine); the report
-            records the median.
+        scale: comma-separated scale axis — named scales
+            (``small``/``medium``/``large``) and/or float literals, e.g.
+            ``"small,medium"`` or ``"0.4"``.  One row per scale.
+        repeats: timed runs per (dataset, scenario, engine, scale); the
+            report records the median.
         seed: dataset generator seed.
-        jobs: worker processes for the additional parallel-worklist
-            rows; ``<= 1`` skips them (the serial engines always run).
+        jobs: worker processes for the additional parallel rows;
+            resolving to ``<= 1`` skips them (the serial engines always
+            run).
         datasets: generator names to measure (see
             :data:`repro.bench.harness.DATASET_BUILDERS`).
         ks: the A(k) sweep.
@@ -76,22 +90,30 @@ class RefineBenchConfig:
     ks: tuple[int, ...] = (0, 1, 2, 3, 4)
 
     @property
-    def scale_factor(self) -> float:
-        """The numeric dataset scale behind the (possibly named) scale.
+    def scale_axis(self) -> tuple[tuple[str, float], ...]:
+        """The ``(name, factor)`` pairs of the comma-separated axis.
 
         Raises:
-            DatasetError: if the scale is neither named nor numeric.
+            DatasetError: if any entry is neither named nor numeric.
         """
-        named = SCALE_NAMES.get(self.scale)
-        if named is not None:
-            return named
-        try:
-            return float(self.scale)
-        except ValueError:
-            raise DatasetError(
-                f"unknown bench scale {self.scale!r}; use one of "
-                f"{sorted(SCALE_NAMES)} or a number"
-            ) from None
+        axis: list[tuple[str, float]] = []
+        for entry in self.scale.split(","):
+            name = entry.strip()
+            if not name:
+                continue
+            factor = SCALE_NAMES.get(name)
+            if factor is None:
+                try:
+                    factor = float(name)
+                except ValueError:
+                    raise DatasetError(
+                        f"unknown bench scale {name!r}; use one of "
+                        f"{sorted(SCALE_NAMES)} or a number"
+                    ) from None
+            axis.append((name, factor))
+        if not axis:
+            raise DatasetError("empty bench scale axis")
+        return tuple(axis)
 
 
 def synthetic_requirements(graph: DataGraph) -> dict[str, int]:
@@ -119,6 +141,23 @@ def _time_repeats(action: Callable[[], object], repeats: int) -> list[float]:
         action()
         times.append(time.perf_counter() - start)
     return times
+
+
+def _peak_kb(action: Callable[[], object]) -> float:
+    """Peak traced allocation of one run of ``action``, in KiB.
+
+    Runs under :mod:`tracemalloc` and therefore *not* while timing —
+    tracing costs a multiple of the untraced wall-clock.  numpy routes
+    its allocations through the traced allocator, so the columnar
+    engine's optional vectorised path is accounted for too.
+    """
+    tracemalloc.start()
+    try:
+        action()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak / 1024.0
 
 
 def _scenarios(
@@ -155,53 +194,60 @@ def _scenarios(
 
 
 def run_refine_bench(config: RefineBenchConfig) -> dict[str, object]:
-    """Run every (dataset, scenario, engine) cell; return the report.
+    """Run every (scale, dataset, scenario, engine) cell; return the report.
 
     Raises:
         DatasetError: for unknown dataset names or scales.
     """
-    scale_factor = config.scale_factor
+    scale_axis = config.scale_axis
+    # Normalise the raw CLI default (0) to the resolved worker count so
+    # every recorded row is self-describing.
+    parallel_jobs = resolve_jobs(config.jobs)
     engines = list(SERIAL_ENGINES)
-    if config.jobs > 1:
-        engines.append(("worklist-parallel", config.jobs))
+    if parallel_jobs > 1:
+        engines.append(("worklist-parallel", parallel_jobs))
+        engines.append(("columnar-parallel", parallel_jobs))
 
     dataset_stats: dict[str, dict[str, int]] = {}
     results: list[dict[str, object]] = []
-    for name in config.datasets:
-        builder = DATASET_BUILDERS.get(name)
-        if builder is None:
-            raise DatasetError(
-                f"unknown dataset {name!r}; available: "
-                f"{sorted(DATASET_BUILDERS)}"
+    for scale_name, scale_factor in scale_axis:
+        for name in config.datasets:
+            builder = DATASET_BUILDERS.get(name)
+            if builder is None:
+                raise DatasetError(
+                    f"unknown dataset {name!r}; available: "
+                    f"{sorted(DATASET_BUILDERS)}"
+                )
+            graph = builder(scale_factor, config.seed).graph
+            dataset_stats[f"{name}@{scale_name}"] = {
+                "nodes": graph.num_nodes,
+                "edges": graph.num_edges,
+                "labels": graph.num_labels,
+            }
+            requirements = synthetic_requirements(graph)
+            reindex_base, levels = build_dk_index(graph, requirements)
+            lowered_levels = [max(level - 1, 0) for level in levels]
+            scenarios = _scenarios(
+                graph, requirements, reindex_base, lowered_levels, config.ks
             )
-        graph = builder(scale_factor, config.seed).graph
-        dataset_stats[name] = {
-            "nodes": graph.num_nodes,
-            "edges": graph.num_edges,
-            "labels": graph.num_labels,
-        }
-        requirements = synthetic_requirements(graph)
-        reindex_base, levels = build_dk_index(graph, requirements)
-        lowered_levels = [max(level - 1, 0) for level in levels]
-        scenarios = _scenarios(
-            graph, requirements, reindex_base, lowered_levels, config.ks
-        )
-        for scenario, action in scenarios.items():
-            for engine, jobs in engines:
-                engine_name = "worklist" if engine.startswith("worklist") else engine
-                times = _time_repeats(
-                    lambda: action(engine_name, jobs), config.repeats
-                )
-                results.append(
-                    {
-                        "dataset": name,
-                        "scenario": scenario,
-                        "engine": engine,
-                        "jobs": jobs,
-                        "median_s": statistics.median(times),
-                        "times_s": times,
-                    }
-                )
+            for scenario, action in scenarios.items():
+                for engine, jobs in engines:
+                    engine_name = engine.removesuffix("-parallel")
+                    run = lambda: action(engine_name, jobs)  # noqa: E731
+                    peak_kb = _peak_kb(run)  # untimed; doubles as warm-up
+                    times = _time_repeats(run, config.repeats)
+                    results.append(
+                        {
+                            "dataset": name,
+                            "scenario": scenario,
+                            "scale": scale_name,
+                            "engine": engine,
+                            "jobs": jobs,
+                            "median_s": statistics.median(times),
+                            "times_s": times,
+                            "peak_kb": round(peak_kb, 1),
+                        }
+                    )
 
     return {
         "schema": SCHEMA,
@@ -210,10 +256,10 @@ def run_refine_bench(config: RefineBenchConfig) -> dict[str, object]:
         "platform": platform.platform(),
         "config": {
             "scale": config.scale,
-            "scale_factor": scale_factor,
+            "scale_axis": {name: factor for name, factor in scale_axis},
             "repeats": config.repeats,
             "seed": config.seed,
-            "jobs": config.jobs,
+            "jobs": parallel_jobs,
             "datasets": list(config.datasets),
             "ks": list(config.ks),
         },
@@ -223,25 +269,42 @@ def run_refine_bench(config: RefineBenchConfig) -> dict[str, object]:
     }
 
 
-def _speedups(results: list[dict[str, object]]) -> dict[str, dict[str, float]]:
-    """Per (dataset, scenario): legacy vs worklist medians and the ratio."""
-    medians: dict[tuple[str, str, str], float] = {}
+def _speedups(
+    results: list[dict[str, object]],
+) -> dict[str, dict[str, float]]:
+    """Per (dataset, scenario, scale): serial engine medians and ratios.
+
+    ``speedup`` keeps its schema-v1 meaning (legacy over worklist);
+    ``columnar_vs_worklist`` is the headline ratio of this harness
+    version (> 1 means the columnar engine is faster).
+    """
+    medians: dict[tuple[str, str, str, str], float] = {}
     for row in results:
-        key = (str(row["dataset"]), str(row["scenario"]), str(row["engine"]))
+        key = (
+            str(row["dataset"]),
+            str(row["scenario"]),
+            str(row["scale"]),
+            str(row["engine"]),
+        )
         median = row["median_s"]
         assert isinstance(median, float)
         medians[key] = median
     speedups: dict[str, dict[str, float]] = {}
-    for (dataset, scenario, engine), median in sorted(medians.items()):
+    for (dataset, scenario, scale, engine), median in sorted(medians.items()):
         if engine != "legacy":
             continue
-        worklist = medians.get((dataset, scenario, "worklist"))
-        if worklist is None:
+        worklist = medians.get((dataset, scenario, scale, "worklist"))
+        columnar = medians.get((dataset, scenario, scale, "columnar"))
+        if worklist is None or columnar is None:
             continue
-        speedups[f"{dataset}/{scenario}"] = {
+        speedups[f"{dataset}/{scenario}@{scale}"] = {
             "legacy_s": median,
             "worklist_s": worklist,
+            "columnar_s": columnar,
             "speedup": median / worklist if worklist > 0 else float("inf"),
+            "columnar_vs_worklist": (
+                worklist / columnar if columnar > 0 else float("inf")
+            ),
         }
     return speedups
 
@@ -262,19 +325,25 @@ def format_report(report: dict[str, object]) -> str:
             key,
             f"{entry['legacy_s'] * 1000:.1f}",
             f"{entry['worklist_s'] * 1000:.1f}",
-            f"{entry['speedup']:.2f}x",
+            f"{entry['columnar_s'] * 1000:.1f}",
+            f"{entry['columnar_vs_worklist']:.2f}x",
         ]
         for key, entry in speedups.items()
     ]
     config = report["config"]
     assert isinstance(config, dict)
     title = (
-        f"[REFINE] engine comparison, scale {config['scale']} "
-        f"(factor {config['scale_factor']}), "
+        f"[REFINE] engine comparison, scales {config['scale']}, "
         f"median of {config['repeats']} run(s)"
     )
     return render_table(
-        ["dataset/scenario", "legacy (ms)", "worklist (ms)", "speedup"],
+        [
+            "dataset/scenario@scale",
+            "legacy (ms)",
+            "worklist (ms)",
+            "columnar (ms)",
+            "col/wl",
+        ],
         rows,
         title=title,
     )

@@ -5,9 +5,10 @@ Commands:
 - ``dkindex bench <experiment|all> [--scale S]`` — regenerate the
   paper's tables/figures as text (fig4, fig5, table1, fig6, fig7,
   promote, demote, subgraph, construct).
-- ``dkindex bench refine [--scale small|medium|large] [--repeats N]
-  [--jobs J] [--out FILE]`` — time the legacy vs worklist refinement
-  engines on every construction workload and write the
+- ``dkindex bench refine [--scale small,medium,...] [--repeats N]
+  [--jobs J] [--out FILE]`` — time the legacy vs worklist vs columnar
+  refinement engines on every construction workload across the scale
+  axis (with tracemalloc peak memory per cell) and write the
   ``BENCH_refinement.json`` perf trajectory (see docs/performance.md).
 - ``dkindex bench update [--scale S] [--edges N] [--out FILE]`` — time
   the Table-1 edge-addition stream through the transactional pipeline
@@ -399,7 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 "recovery", "all"])
     bench.add_argument("--scale", default="1.0",
                        help="dataset scale factor; the refine/update/"
-                       "recovery experiments also accept small/medium/large")
+                       "recovery experiments also accept small/medium/"
+                       "large, and refine takes a comma-separated axis "
+                       "like small,medium")
     bench.add_argument("--csv", action="store_true",
                        help="emit CSV series instead of text tables")
     bench.add_argument("--repeats", type=int, default=3,
@@ -409,7 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(refine/update/recovery) dataset generator seed")
     bench.add_argument("--jobs", type=int, default=0,
                        help="(refine) also time the parallel worklist "
-                       "engine with this many worker processes")
+                       "and columnar engines with this many worker "
+                       "processes")
     bench.add_argument("--edges", type=int, default=100,
                        help="(update) edge additions per timed run; "
                        "(recovery) journaled operations to replay")

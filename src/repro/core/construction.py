@@ -62,8 +62,9 @@ def build_dk_index(
         graph: the data graph.
         requirements: ``{label name: local similarity requirement}``
             mined from the query load; unmentioned labels default to 0.
-        engine: refinement engine (``"worklist"``/``"legacy"``; the
-            default ``"auto"`` resolves to the worklist engine).
+        engine: refinement engine (``"worklist"``/``"columnar"``/
+            ``"legacy"``; the default ``"auto"`` resolves to worklist
+            unless ``DKINDEX_ENGINE`` says otherwise).
         jobs: worker processes for parallel signature hashing.
 
     Returns:

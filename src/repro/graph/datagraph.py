@@ -17,9 +17,17 @@ structures in this library assume stable node ids.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.exceptions import GraphError, UnknownLabelError, UnknownNodeError
+from repro.exceptions import (
+    FrozenGraphError,
+    GraphError,
+    UnknownLabelError,
+    UnknownNodeError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.graph.columnar import CSRGraph
 
 #: Distinguished label of the unique root node (Section 3 of the paper).
 ROOT_LABEL = "ROOT"
@@ -58,6 +66,9 @@ class DataGraph:
         "parents",
         "_child_sets",
         "_num_edges",
+        "_version",
+        "_frozen",
+        "_sealed",
     )
 
     def __init__(self) -> None:
@@ -72,6 +83,11 @@ class DataGraph:
         # Per-node child sets for O(1) duplicate-edge detection.
         self._child_sets: list[set[int]] = []
         self._num_edges = 0
+        # Frozen-view bookkeeping: the mutation version stamps every
+        # columnar snapshot; mutating drops (or, sealed, refuses) it.
+        self._version = 0
+        self._frozen: "CSRGraph | None" = None
+        self._sealed = False
         self.add_node(ROOT_LABEL)
 
     # ------------------------------------------------------------------
@@ -157,6 +173,7 @@ class DataGraph:
 
     def add_node(self, label: str) -> int:
         """Add a node with the given label name; return its id."""
+        self._mutated()
         label_id = self.intern_label(label)
         node = len(self.label_ids)
         self.label_ids.append(label_id)
@@ -180,6 +197,7 @@ class DataGraph:
         self._check_node(dst)
         if dst in self._child_sets[src]:
             raise GraphError(f"duplicate edge {src} -> {dst}")
+        self._mutated()
         self._child_sets[src].add(dst)
         self.children[src].append(dst)
         self.parents[dst].append(src)
@@ -195,6 +213,7 @@ class DataGraph:
         self._check_node(dst)
         if dst in self._child_sets[src]:
             return False
+        self._mutated()
         self._child_sets[src].add(dst)
         self.children[src].append(dst)
         self.parents[dst].append(src)
@@ -216,6 +235,7 @@ class DataGraph:
         self._check_node(dst)
         if dst not in self._child_sets[src]:
             raise GraphError(f"no such edge {src} -> {dst}")
+        self._mutated()
         self._child_sets[src].discard(dst)
         self.children[src].remove(dst)
         self.parents[dst].remove(src)
@@ -268,11 +288,107 @@ class DataGraph:
         return len(self.parents[node])
 
     # ------------------------------------------------------------------
+    # Frozen columnar view
+    # ------------------------------------------------------------------
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        Columnar snapshots record the version they were taken at; a
+        snapshot is *stale* exactly when its ``source_version`` differs
+        from the owner's current ``mutation_version``.
+        """
+        return self._version
+
+    @property
+    def sealed(self) -> bool:
+        """True while mutations are forbidden (``freeze(mode="seal")``)."""
+        return self._sealed
+
+    def freeze(self, mode: str = "refresh") -> "CSRGraph":
+        """Return the columnar CSR snapshot of this graph.
+
+        The snapshot is cached: repeated calls without intervening
+        mutation return the same object.  The *invalidation contract*
+        against the additive-update model is chosen by ``mode``:
+
+        - ``"refresh"`` (default) — a later mutation silently drops the
+          cached snapshot; the next ``freeze()`` rebuilds it.  Existing
+          snapshot references stay readable but describe the pre-update
+          graph (check ``snapshot.source_version`` against
+          :attr:`mutation_version` to detect this).
+        - ``"seal"`` — additionally forbid mutation: ``add_node`` /
+          ``add_edge`` / ``remove_edge`` raise
+          :class:`~repro.exceptions.FrozenGraphError` until
+          :meth:`thaw` is called.
+
+        Raises:
+            GraphError: for an unknown mode.
+        """
+        from repro.graph.columnar import FREEZE_MODES, csr_from_lists
+
+        if mode not in FREEZE_MODES:
+            raise GraphError(
+                f"unknown freeze mode {mode!r}; choose from {FREEZE_MODES}"
+            )
+        if self._frozen is None:
+            self._frozen = csr_from_lists(
+                self.label_ids,
+                self.children,
+                self.parents,
+                num_labels=self.num_labels,
+                source_version=self._version,
+            )
+        if mode == "seal":
+            self._sealed = True
+        return self._frozen
+
+    def thaw(self) -> None:
+        """Allow mutation again after ``freeze(mode="seal")``."""
+        self._sealed = False
+
+    def adopt_frozen_view(self, view: "CSRGraph") -> None:
+        """Install ``view`` as this graph's cached frozen snapshot.
+
+        Used by the frozen persistence loader, which materialises the
+        adjacency lists *from* a deserialized snapshot — the snapshot is
+        current by construction, so rebuilding the offsets on the next
+        ``freeze()`` would be pure waste.
+
+        Raises:
+            GraphError: if the view's shape does not match this graph.
+        """
+        if (
+            view.num_nodes != self.num_nodes
+            or view.num_edges != self.num_edges
+        ):
+            raise GraphError(
+                "frozen view does not match this graph's node/edge counts"
+            )
+        view.source_version = self._version
+        self._frozen = view
+
+    def _mutated(self) -> None:
+        """Record a structural mutation (or refuse it while sealed)."""
+        if self._sealed:
+            raise FrozenGraphError(
+                "graph is sealed by freeze(mode='seal'); call thaw() "
+                "before mutating"
+            )
+        self._version += 1
+        self._frozen = None
+
+    # ------------------------------------------------------------------
     # Copying
     # ------------------------------------------------------------------
 
     def copy(self) -> "DataGraph":
-        """Return a deep, independent copy of this graph."""
+        """Return a deep, independent copy of this graph.
+
+        The copy is mutable (never sealed) and does not share the
+        original's cached frozen view.
+        """
         clone = DataGraph.__new__(DataGraph)
         clone._label_names = list(self._label_names)
         clone._label_table = dict(self._label_table)
@@ -281,6 +397,9 @@ class DataGraph:
         clone.parents = [list(ins) for ins in self.parents]
         clone._child_sets = [set(s) for s in self._child_sets]
         clone._num_edges = self._num_edges
+        clone._version = self._version
+        clone._frozen = None
+        clone._sealed = False
         return clone
 
     def graft(self, other: "DataGraph") -> list[int]:

@@ -14,20 +14,45 @@ The format is deliberately simple and diff-friendly:
 
 Node 0 must be the ROOT node.  The loader validates structure so that a
 corrupted file fails loudly rather than producing a subtly broken graph.
+
+A second, columnar format (``repro-datagraph-frozen``) persists the CSR
+buffers of a frozen graph (see :mod:`repro.graph.columnar`) directly —
+base64-encoded native ``array('q')`` bytes plus the producer's byte
+order, so a loader on the other endianness byte-swaps on read.  Loading
+a frozen document rebuilds the mutable graph *and* re-adopts the stored
+snapshot as its cached frozen view: ``loaded.freeze()`` returns the
+deserialized buffers without re-flattening any adjacency.
 """
 
 from __future__ import annotations
 
+import base64
+import binascii
 import io
 import json
+import sys
+from array import array
 from pathlib import Path
 from typing import IO, Any
 
-from repro.exceptions import SerializationError
+from repro.exceptions import GraphError, SerializationError
+from repro.graph.columnar import BUFFER_TYPECODE, CSRGraph
 from repro.graph.datagraph import ROOT_LABEL, DataGraph
 
 FORMAT_NAME = "repro-datagraph"
 FORMAT_VERSION = 1
+
+FROZEN_FORMAT_NAME = "repro-datagraph-frozen"
+FROZEN_FORMAT_VERSION = 1
+
+#: The CSR buffers a frozen document must carry, in document order.
+_FROZEN_BUFFERS = (
+    "label_ids",
+    "child_offsets",
+    "child_targets",
+    "parent_offsets",
+    "parent_targets",
+)
 
 
 def graph_to_dict(graph: DataGraph) -> dict[str, Any]:
@@ -124,6 +149,150 @@ def load_graph(source: str | Path | IO[str]) -> DataGraph:
     else:
         data = json.load(source)
     return graph_from_dict(data)
+
+
+def _encode_buffer(buffer: "array[int]") -> str:
+    """Base64 of the buffer's raw native-endian bytes."""
+    return base64.b64encode(buffer.tobytes()).decode("ascii")
+
+
+def _decode_buffer(name: str, text: object, byteorder: str) -> "array[int]":
+    """Decode one stored buffer back into a native ``array('q')``.
+
+    Raises:
+        SerializationError: for malformed base64 or a byte count that is
+            not a whole number of 64-bit entries.
+    """
+    if not isinstance(text, str):
+        raise SerializationError(f"frozen buffer {name!r} must be a string")
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as error:
+        raise SerializationError(
+            f"frozen buffer {name!r} is not valid base64: {error}"
+        ) from error
+    buffer = array(BUFFER_TYPECODE)
+    try:
+        buffer.frombytes(raw)
+    except ValueError as error:
+        raise SerializationError(
+            f"frozen buffer {name!r} is not a whole number of 64-bit "
+            f"entries ({len(raw)} bytes)"
+        ) from error
+    if byteorder != sys.byteorder:
+        buffer.byteswap()
+    return buffer
+
+
+def frozen_to_dict(graph: DataGraph) -> dict[str, Any]:
+    """The columnar document for ``graph`` (freezes it if needed).
+
+    Buffer bytes are written in the producer's native byte order, which
+    is recorded in the document so a foreign-endian loader can swap.
+    """
+    view = graph.freeze()
+    return {
+        "format": FROZEN_FORMAT_NAME,
+        "version": FROZEN_FORMAT_VERSION,
+        "byteorder": sys.byteorder,
+        "labels": list(graph.label_names()),
+        "num_nodes": view.num_nodes,
+        "num_edges": view.num_edges,
+        "buffers": {
+            name: _encode_buffer(getattr(view, name))
+            for name in _FROZEN_BUFFERS
+        },
+    }
+
+
+def frozen_from_dict(data: dict[str, Any]) -> DataGraph:
+    """Rebuild a graph (plus its frozen view) from :func:`frozen_to_dict`.
+
+    The decoded buffers are invariant-checked (offset monotonicity,
+    target ranges, forward/backward agreement) before any graph is
+    built, then adopted as the result's cached frozen view — the
+    offsets are *not* re-derived from adjacency.
+
+    Raises:
+        SerializationError: on any structural or integrity problem.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError("frozen document must be a JSON object")
+    if data.get("format") != FROZEN_FORMAT_NAME:
+        raise SerializationError(
+            f"unexpected format marker: {data.get('format')!r}"
+        )
+    if data.get("version") != FROZEN_FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported frozen version: {data.get('version')!r}"
+        )
+    byteorder = data.get("byteorder")
+    if byteorder not in ("little", "big"):
+        raise SerializationError(f"invalid byteorder: {byteorder!r}")
+    labels = data.get("labels")
+    if not isinstance(labels, list) or not all(
+        isinstance(name, str) for name in labels
+    ):
+        raise SerializationError("'labels' must be a list of strings")
+    encoded = data.get("buffers")
+    if not isinstance(encoded, dict) or set(encoded) != set(_FROZEN_BUFFERS):
+        raise SerializationError(
+            f"'buffers' must carry exactly {sorted(_FROZEN_BUFFERS)}"
+        )
+    buffers = {
+        name: _decode_buffer(name, encoded[name], byteorder)
+        for name in _FROZEN_BUFFERS
+    }
+    try:
+        view = CSRGraph(
+            buffers["label_ids"],
+            buffers["child_offsets"],
+            buffers["child_targets"],
+            buffers["parent_offsets"],
+            buffers["parent_targets"],
+            num_labels=len(labels),
+        )
+        view.check_invariants()
+        if data.get("num_nodes") != view.num_nodes:
+            raise SerializationError("'num_nodes' disagrees with buffers")
+        if data.get("num_edges") != view.num_edges:
+            raise SerializationError("'num_edges' disagrees with buffers")
+        return view.to_datagraph(labels)
+    except GraphError as error:
+        raise SerializationError(f"corrupt frozen buffers: {error}") from error
+
+
+def save_frozen_graph(graph: DataGraph, target: str | Path | IO[str]) -> None:
+    """Serialize ``graph``'s frozen CSR view to a path or file object.
+
+    Paths go through the same atomic sealed writer as
+    :func:`save_graph` (crash-safe replace, checksummed footer).
+    """
+    from repro.maintenance.store import atomic_write_document
+
+    document = frozen_to_dict(graph)
+    if isinstance(target, (str, Path)):
+        atomic_write_document(target, document)
+    else:
+        json.dump(document, target)
+
+
+def load_frozen_graph(source: str | Path | IO[str]) -> DataGraph:
+    """Load a graph written by :func:`save_frozen_graph`.
+
+    The result's ``freeze()`` returns the deserialized snapshot without
+    rebuilding any CSR offsets.
+
+    Raises:
+        SerializationError: on integrity or structural problems.
+    """
+    from repro.maintenance.store import read_document
+
+    if isinstance(source, (str, Path)):
+        data: Any = read_document(source)
+    else:
+        data = json.load(source)
+    return frozen_from_dict(data)
 
 
 def dumps(graph: DataGraph) -> str:

@@ -35,8 +35,9 @@ def build_ak_index(
     Args:
         graph: the data graph.
         k: the uniform local-similarity bound (>= 0).
-        engine: refinement engine (``"worklist"``/``"legacy"``; the
-            default ``"auto"`` resolves to the worklist engine).
+        engine: refinement engine (``"worklist"``/``"columnar"``/
+            ``"legacy"``; the default ``"auto"`` resolves to worklist
+            unless ``DKINDEX_ENGINE`` says otherwise).
         jobs: worker processes for parallel signature hashing.
 
     Example:

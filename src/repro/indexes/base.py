@@ -18,11 +18,19 @@ the D(k)-index is adjusted in place rather than rebuilt.
 from __future__ import annotations
 
 import sys
-from typing import Iterable, Iterator, Sequence
+from array import array
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.exceptions import IndexInvariantError, UnknownNodeError
+from repro.exceptions import (
+    FrozenGraphError,
+    IndexInvariantError,
+    UnknownNodeError,
+)
 from repro.graph.datagraph import DataGraph
 from repro.partition.blocks import Partition
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.graph.columnar import CSRGraph
 
 #: Local similarity standing in for "bisimilar at every depth" (1-index).
 K_UNBOUNDED = sys.maxsize // 4
@@ -52,6 +60,9 @@ class IndexGraph:
         "parents",
         "k",
         "_label_index",
+        "_version",
+        "_frozen",
+        "_sealed",
     )
 
     def __init__(self, graph: DataGraph) -> None:
@@ -63,6 +74,10 @@ class IndexGraph:
         self.parents: list[set[int]] = []
         self.k: list[int] = []
         self._label_index: dict[int, set[int]] = {}
+        # Frozen-view bookkeeping (mirrors DataGraph.freeze).
+        self._version = 0
+        self._frozen: "CSRGraph | None" = None
+        self._sealed = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -111,6 +126,7 @@ class IndexGraph:
         return index
 
     def _append_node(self, label_id: int, extent: list[int], k: int) -> int:
+        self._mutated()
         node = len(self.label_ids)
         self.label_ids.append(label_id)
         self.extents.append(extent)
@@ -181,12 +197,14 @@ class IndexGraph:
         """Add an index edge; returns False if it already existed."""
         if dst in self.children[src]:
             return False
+        self._mutated()
         self.children[src].add(dst)
         self.parents[dst].add(src)
         return True
 
     def remove_index_edge(self, src: int, dst: int) -> None:
         """Remove an index edge (must exist)."""
+        self._mutated()
         self.children[src].discard(dst)
         self.parents[dst].discard(src)
 
@@ -213,6 +231,7 @@ class IndexGraph:
             raise IndexInvariantError("empty part in split")
         if len(parts) == 1:
             return [node]
+        self._mutated()
 
         # Detach old incident edges; they are recomputed below.
         for child in list(self.children[node]):
@@ -298,6 +317,91 @@ class IndexGraph:
         for node, label_id in enumerate(self.label_ids):
             if node not in self._label_index.get(label_id, set()):
                 raise IndexInvariantError("label index incomplete")
+
+    # ------------------------------------------------------------------
+    # Frozen columnar view (mirrors DataGraph.freeze)
+    # ------------------------------------------------------------------
+
+    @property
+    def mutation_version(self) -> int:
+        """Monotone counter bumped by every structural mutation.
+
+        Bumped by :meth:`add_index_edge`, :meth:`remove_index_edge`,
+        :meth:`split_node` and node creation.  Non-structural attribute
+        writes (adjusting ``k[node]`` during promote/demote) do *not*
+        bump it — the snapshot's ``k`` buffer is a copy taken at freeze
+        time.
+        """
+        return self._version
+
+    @property
+    def sealed(self) -> bool:
+        """True while mutations are forbidden (``freeze(mode="seal")``)."""
+        return self._sealed
+
+    def freeze(self, mode: str = "refresh") -> "CSRGraph":
+        """Return the columnar CSR snapshot of this index graph.
+
+        Same caching and invalidation contract as
+        :meth:`repro.graph.datagraph.DataGraph.freeze`; index snapshots
+        additionally carry flat extents (``extent_offsets`` /
+        ``extent_targets``) and the assigned-``k`` buffer.  Adjacency
+        sets are flattened in sorted order so the snapshot is
+        deterministic.
+
+        Raises:
+            GraphError: for an unknown mode, matching the data-graph
+                contract.
+        """
+        from repro.graph.columnar import (
+            BUFFER_TYPECODE,
+            FREEZE_MODES,
+            CSRGraph,
+            flatten_adjacency,
+        )
+        from repro.exceptions import GraphError
+
+        if mode not in FREEZE_MODES:
+            raise GraphError(
+                f"unknown freeze mode {mode!r}; choose from {FREEZE_MODES}"
+            )
+        if self._frozen is None:
+            child_offsets, child_targets = flatten_adjacency(
+                self.children, sort=True
+            )
+            parent_offsets, parent_targets = flatten_adjacency(
+                self.parents, sort=True
+            )
+            extent_offsets, extent_targets = flatten_adjacency(self.extents)
+            self._frozen = CSRGraph(
+                array(BUFFER_TYPECODE, self.label_ids),
+                child_offsets,
+                child_targets,
+                parent_offsets,
+                parent_targets,
+                num_labels=self.graph.num_labels,
+                source_version=self._version,
+                extent_offsets=extent_offsets,
+                extent_targets=extent_targets,
+                k=array(BUFFER_TYPECODE, self.k),
+            )
+        if mode == "seal":
+            self._sealed = True
+        return self._frozen
+
+    def thaw(self) -> None:
+        """Allow mutation again after ``freeze(mode="seal")``."""
+        self._sealed = False
+
+    def _mutated(self) -> None:
+        """Record a structural mutation (or refuse it while sealed)."""
+        if self._sealed:
+            raise FrozenGraphError(
+                "index graph is sealed by freeze(mode='seal'); call "
+                "thaw() before mutating"
+            )
+        self._version += 1
+        self._frozen = None
 
     def to_partition(self) -> Partition:
         """The data-node partition this index graph represents."""

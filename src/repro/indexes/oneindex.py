@@ -41,7 +41,8 @@ def build_1index(
             ``"paige-tarjan"`` (the O(m·log n) algorithm the paper
             cites).  Both produce the identical partition.
         engine: refinement engine for the fixpoint method
-            (``"worklist"``/``"legacy"``; ``"auto"`` picks worklist).
+            (``"worklist"``/``"columnar"``/``"legacy"``; ``"auto"``
+            picks worklist unless ``DKINDEX_ENGINE`` says otherwise).
         jobs: worker processes for parallel signature hashing.
 
     Raises:

@@ -18,10 +18,15 @@ provides:
 - :class:`~repro.partition.engine.RefinementEngine` — the worklist-driven
   engine behind all three (interned signatures, dirty-block propagation,
   optional parallel hashing); ``engine="legacy"`` on the functions above
-  selects the full-rehash reference implementation instead.
+  selects the full-rehash reference implementation instead;
+- :class:`~repro.partition.columnar.ColumnarEngine` — the batch engine
+  over frozen CSR buffers (``engine="columnar"``): in-place flat block
+  array, contiguous signature sweeps, optional numpy vectorisation and a
+  shared-memory fork pool for parallel hashing.
 """
 
 from repro.partition.blocks import Partition
+from repro.partition.columnar import ColumnarEngine
 from repro.partition.engine import RefinementEngine, resolve_jobs
 from repro.partition.refinement import (
     bisim_partition,
@@ -32,6 +37,7 @@ from repro.partition.refinement import (
 )
 
 __all__ = [
+    "ColumnarEngine",
     "Partition",
     "RefinementEngine",
     "bisim_partition",

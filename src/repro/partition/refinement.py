@@ -18,21 +18,28 @@ Refinement never merges blocks, so the block count is non-decreasing; a
 round that does not increase it has changed nothing, which is the
 fixpoint test used by :func:`bisim_partition`.
 
-Two engines implement the rounds:
+Three engines implement the rounds:
 
 - ``"worklist"`` (the default) — the dirty-block worklist engine of
   :mod:`repro.partition.engine`: only nodes whose parents' blocks just
   split are re-hashed, signatures are interned tuples, and hashing can
   be spread across worker processes (``jobs=`` / ``DKINDEX_JOBS``).
+- ``"columnar"`` — the batch engine of
+  :mod:`repro.partition.columnar`: the same dirty-block round structure,
+  but run over the graph's frozen CSR view with an in-place flat
+  node→block array, contiguous-slice signature sweeps (optionally
+  numpy-vectorised via the ``fast`` extra) and a shared-memory fork
+  pool for ``jobs > 1``.
 - ``"legacy"`` — the straightforward full-rehash loop over
   :func:`refine_once`, kept as the reference implementation (the
   equivalence test suite checks the engines round for round, and the
-  ``dkindex bench refine`` harness times one against the other).
+  ``dkindex bench refine`` harness times each against the others).
 
 ``engine="auto"`` resolves to the worklist engine unless the
-``DKINDEX_ENGINE`` environment variable says ``legacy`` — which lets the
-benchmark harness re-route whole construction pipelines without
-threading a parameter through every call site.
+``DKINDEX_ENGINE`` environment variable says ``legacy`` or
+``columnar`` — which lets the benchmark harness re-route whole
+construction pipelines without threading a parameter through every call
+site.
 """
 
 from __future__ import annotations
@@ -41,10 +48,11 @@ import os
 from typing import Sequence
 
 from repro.partition.blocks import Partition
+from repro.partition.columnar import ColumnarEngine
 from repro.partition.engine import LabeledAdjacency, RefinementEngine
 
 #: Engine names accepted by the ``engine=`` parameters below.
-ENGINE_CHOICES = ("auto", "worklist", "legacy")
+ENGINE_CHOICES = ("auto", "worklist", "columnar", "legacy")
 
 #: Environment variable that re-routes ``engine="auto"`` callers.
 ENGINE_ENV_VAR = "DKINDEX_ENGINE"
@@ -54,7 +62,7 @@ _LabeledAdjacency = LabeledAdjacency
 
 
 def resolve_engine(engine: str) -> str:
-    """Resolve an ``engine=`` argument to ``"worklist"`` or ``"legacy"``.
+    """Resolve ``engine=`` to ``"worklist"``, ``"columnar"`` or ``"legacy"``.
 
     Raises:
         ValueError: for unknown engine names (argument or environment).
@@ -64,7 +72,7 @@ def resolve_engine(engine: str) -> str:
         if not env or env == "auto":
             return "worklist"
         engine = env
-    if engine not in ("worklist", "legacy"):
+    if engine not in ("worklist", "columnar", "legacy"):
         raise ValueError(
             f"unknown refinement engine {engine!r}; choose from "
             f"{ENGINE_CHOICES}"
@@ -131,15 +139,19 @@ def kbisim_partition(
     Args:
         graph: the data (or index) graph.
         k: the uniform bisimilarity bound (>= 0).
-        engine: ``"worklist"`` (default via ``"auto"``) or ``"legacy"``.
-        jobs: worker processes for the worklist engine's signature
-            hashing; ``None`` reads ``DKINDEX_JOBS``.
+        engine: ``"worklist"`` (default via ``"auto"``), ``"columnar"``
+            or ``"legacy"``.
+        jobs: worker processes for the worklist/columnar engines'
+            signature hashing; ``None`` reads ``DKINDEX_JOBS``.
 
     Raises:
         ValueError: if ``k`` is negative or ``engine`` is unknown.
     """
-    if resolve_engine(engine) == "worklist":
+    resolved = resolve_engine(engine)
+    if resolved == "worklist":
         return RefinementEngine(graph, jobs=jobs).run_kbisim(k)
+    if resolved == "columnar":
+        return ColumnarEngine(graph, jobs=jobs).run_kbisim(k)
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     partition = label_partition(graph)
@@ -163,8 +175,11 @@ def bisim_partition(
     refinement rounds needed to stabilise (the graph's bisimulation
     "depth"); nodes in a common block are k-bisimilar for every k.
     """
-    if resolve_engine(engine) == "worklist":
+    resolved = resolve_engine(engine)
+    if resolved == "worklist":
         return RefinementEngine(graph, jobs=jobs).run_fixpoint()
+    if resolved == "columnar":
+        return ColumnarEngine(graph, jobs=jobs).run_fixpoint()
     partition = label_partition(graph)
     rounds = 0
     while True:
@@ -201,8 +216,11 @@ def leveled_partition(
         ValueError: if ``node_levels`` has the wrong length or any
             negative entry.
     """
-    if resolve_engine(engine) == "worklist":
+    resolved = resolve_engine(engine)
+    if resolved == "worklist":
         return RefinementEngine(graph, jobs=jobs).run_leveled(node_levels)
+    if resolved == "columnar":
+        return ColumnarEngine(graph, jobs=jobs).run_leveled(node_levels)
     if len(node_levels) != graph.num_nodes:
         raise ValueError(
             f"node_levels has {len(node_levels)} entries for "

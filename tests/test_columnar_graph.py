@@ -1,0 +1,342 @@
+"""The frozen columnar (CSR) view: buffers, freeze contract, persistence.
+
+Covers the tentpole invariants of ``repro.graph.columnar``:
+
+- CSR buffers agree with the mutable adjacency (both directions, plus
+  extents and assigned k on index graphs);
+- the freeze/invalidation contract — ``mode="refresh"`` drops the
+  cached view on mutation, ``mode="seal"`` forbids mutation until
+  ``thaw()``, and the mutation version counts every structural change;
+- the frozen persistence format round-trips through the atomic sealed
+  writer *without rebuilding offsets* (the loaded graph's ``freeze()``
+  is the deserialized snapshot itself).
+"""
+
+import io
+import json
+import sys
+
+import pytest
+from hypothesis import given, settings
+
+from conftest import small_graphs
+from repro.exceptions import FrozenGraphError, GraphError, SerializationError
+from repro.graph.columnar import (
+    BUFFER_TYPECODE,
+    CSRGraph,
+    csr_from_parent_adjacency,
+    flatten_adjacency,
+)
+from repro.graph.datagraph import DataGraph
+from repro.graph.serialize import (
+    FROZEN_FORMAT_NAME,
+    frozen_from_dict,
+    frozen_to_dict,
+    load_frozen_graph,
+    save_frozen_graph,
+)
+from repro.indexes.base import IndexGraph
+from repro.partition.refinement import bisim_partition
+from test_engine_equivalence import cyclic_idref_graph
+
+
+def movie_like_graph():
+    g = DataGraph()
+    db = g.add_node("db")
+    g.add_edge(g.root, db)
+    movies = [g.add_node("movie") for _ in range(3)]
+    actors = [g.add_node("actor") for _ in range(2)]
+    for m in movies:
+        g.add_edge(db, m)
+    for a in actors:
+        g.add_edge(db, a)
+        for m in movies[:2]:
+            g.add_edge(a, m)  # shared subtrees: movies get many parents
+    return g
+
+
+# ----------------------------------------------------------------------
+# CSR buffer correctness
+# ----------------------------------------------------------------------
+
+
+def test_flatten_adjacency_offsets_and_sort():
+    offsets, targets = flatten_adjacency([[2, 1], [], [0]])
+    assert list(offsets) == [0, 2, 2, 3]
+    assert list(targets) == [2, 1, 0]
+    sorted_offsets, sorted_targets = flatten_adjacency(
+        [{2, 1}, set(), {0}], sort=True
+    )
+    assert list(sorted_offsets) == [0, 2, 2, 3]
+    assert list(sorted_targets) == [1, 2, 0]
+
+
+def test_freeze_matches_mutable_adjacency():
+    g = movie_like_graph()
+    view = g.freeze()
+    assert view.num_nodes == g.num_nodes
+    assert view.num_edges == g.num_edges
+    assert view.num_labels == g.num_labels
+    for node in g.nodes():
+        assert list(view.children(node)) == list(g.children[node])
+        assert list(view.parents(node)) == list(g.parents[node])
+        assert view.out_degree(node) == len(g.children[node])
+        assert view.in_degree(node) == len(g.parents[node])
+        assert view.label_ids[node] == g.label_ids[node]
+    view.check_invariants()
+    assert len(view) == g.num_nodes
+    assert "data" in repr(view)
+    with pytest.raises(GraphError):
+        view.extent(0)  # data snapshots carry no extents
+
+
+@given(small_graphs(max_nodes=12))
+@settings(max_examples=40, deadline=None)
+def test_freeze_invariants_hold_on_random_graphs(graph):
+    view = graph.freeze()
+    view.check_invariants()
+    edges = sorted(graph.edges())
+    csr_edges = sorted(
+        (src, dst)
+        for src in graph.nodes()
+        for dst in view.children(src)
+    )
+    assert csr_edges == edges
+
+
+def test_csr_from_parent_adjacency_transposes():
+    g = movie_like_graph()
+    view = csr_from_parent_adjacency(
+        list(g.label_ids), [list(p) for p in g.parents]
+    )
+    view.check_invariants()
+    for node in g.nodes():
+        assert sorted(view.children(node)) == sorted(g.children[node])
+        assert sorted(view.parents(node)) == sorted(g.parents[node])
+
+
+def test_csr_constructor_validates_shapes():
+    from array import array
+
+    ids = array(BUFFER_TYPECODE, [0])
+    empty = array(BUFFER_TYPECODE)
+    span = array(BUFFER_TYPECODE, [0, 0])
+    with pytest.raises(GraphError):
+        CSRGraph(ids, empty, empty, span, empty, num_labels=1)
+    with pytest.raises(GraphError):
+        CSRGraph(
+            ids, span, array(BUFFER_TYPECODE, [0]), span, empty, num_labels=1
+        )
+
+
+def test_check_invariants_catches_corruption():
+    g = movie_like_graph()
+    view = g.freeze()
+    view.child_targets[0] = 10_000
+    with pytest.raises(GraphError):
+        view.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Freeze contract: refresh, seal, versions
+# ----------------------------------------------------------------------
+
+
+def test_freeze_is_cached_until_mutation():
+    g = movie_like_graph()
+    version = g.mutation_version
+    first = g.freeze()
+    assert g.freeze() is first  # cached
+    assert first.source_version == version
+    g.add_node("x")  # refresh mode: invalidates, does not raise
+    assert g.mutation_version == version + 1
+    second = g.freeze()
+    assert second is not first
+    assert second.num_nodes == first.num_nodes + 1
+
+
+def test_every_mutator_bumps_the_version():
+    g = DataGraph()
+    v = g.mutation_version
+    a = g.add_node("a")
+    assert g.mutation_version == v + 1
+    g.add_edge(g.root, a)
+    assert g.mutation_version == v + 2
+    assert g.add_edge_if_absent(a, g.root)
+    assert g.mutation_version == v + 3
+    assert not g.add_edge_if_absent(a, g.root)  # no-op: no bump
+    assert g.mutation_version == v + 3
+    g.remove_edge(a, g.root)
+    assert g.mutation_version == v + 4
+
+
+def test_seal_blocks_mutation_until_thaw():
+    g = movie_like_graph()
+    view = g.freeze(mode="seal")
+    assert g.sealed
+    with pytest.raises(FrozenGraphError):
+        g.add_node("x")
+    with pytest.raises(FrozenGraphError):
+        g.add_edge(2, 5)  # not a duplicate: seal check must fire
+    with pytest.raises(FrozenGraphError):
+        g.remove_edge(g.root, 1)
+    assert g.freeze() is view  # re-freezing a sealed graph is a no-op
+    g.thaw()
+    assert not g.sealed
+    g.add_node("x")  # allowed again
+    assert g.freeze() is not view
+
+
+def test_unknown_freeze_mode_rejected():
+    g = DataGraph()
+    with pytest.raises(GraphError):
+        g.freeze(mode="deep")
+    index = IndexGraph.from_partition(
+        g, bisim_partition(g, engine="legacy")[0], [0]
+    )
+    with pytest.raises(GraphError):
+        index.freeze(mode="deep")
+
+
+def test_copy_is_unsealed_and_uncached():
+    g = movie_like_graph()
+    g.freeze(mode="seal")
+    clone = g.copy()
+    assert not clone.sealed
+    clone.add_node("x")  # the copy is free to mutate
+    with pytest.raises(FrozenGraphError):
+        g.add_node("x")  # the original stays sealed
+
+
+def test_index_graph_freeze_carries_extents_and_k():
+    g = cyclic_idref_graph(3, size=60)
+    partition, _rounds = bisim_partition(g, engine="legacy")
+    k_values = [2] * partition.num_blocks
+    index = IndexGraph.from_partition(g, partition, k_values)
+    view = index.freeze()
+    view.check_invariants()
+    assert "index" in repr(view)
+    for node in range(index.num_nodes):
+        assert sorted(view.children(node)) == sorted(index.children[node])
+        assert sorted(view.parents(node)) == sorted(index.parents[node])
+        assert list(view.extent(node)) == list(index.extents[node])
+        assert view.k[node] == index.k[node]
+    # Seal/thaw work on index graphs too, and mutation invalidates.
+    index.freeze(mode="seal")
+    with pytest.raises(FrozenGraphError):
+        index.add_index_edge(0, 0)
+    index.thaw()
+    version = index.mutation_version
+    index.add_index_edge(0, 0)
+    assert index.mutation_version == version + 1
+    assert index.freeze() is not view
+    index.remove_index_edge(0, 0)
+    assert index.mutation_version == version + 2
+
+
+# ----------------------------------------------------------------------
+# Frozen persistence
+# ----------------------------------------------------------------------
+
+
+def test_frozen_round_trip_preserves_buffers(tmp_path):
+    g = cyclic_idref_graph(1, size=80)
+    view = g.freeze()
+    path = tmp_path / "frozen.json"
+    save_frozen_graph(g, path)
+    loaded = load_frozen_graph(path)
+    assert sorted(loaded.edges()) == sorted(g.edges())
+    assert list(loaded.label_names()) == list(g.label_names())
+    restored = loaded.freeze()
+    # The loader adopts the stored buffers: freeze() does not rebuild.
+    assert loaded.freeze() is restored
+    assert restored.child_offsets == view.child_offsets
+    assert restored.child_targets == view.child_targets
+    assert restored.parent_offsets == view.parent_offsets
+    assert restored.parent_targets == view.parent_targets
+    assert restored.label_ids == view.label_ids
+
+
+def test_frozen_round_trip_through_file_object():
+    g = movie_like_graph()
+    buffer = io.StringIO()
+    save_frozen_graph(g, buffer)
+    loaded = load_frozen_graph(io.StringIO(buffer.getvalue()))
+    assert sorted(loaded.edges()) == sorted(g.edges())
+
+
+def test_frozen_document_is_versioned_and_endian_stamped():
+    document = frozen_to_dict(movie_like_graph())
+    assert document["format"] == FROZEN_FORMAT_NAME
+    assert document["version"] == 1
+    assert document["byteorder"] == sys.byteorder
+    assert set(document["buffers"]) == {
+        "label_ids",
+        "child_offsets",
+        "child_targets",
+        "parent_offsets",
+        "parent_targets",
+    }
+
+
+def test_frozen_loader_swaps_foreign_endianness():
+    g = movie_like_graph()
+    document = frozen_to_dict(g)
+    import base64
+    from array import array
+
+    foreign = dict(document)
+    foreign["byteorder"] = "big" if sys.byteorder == "little" else "little"
+    swapped = {}
+    for name, text in document["buffers"].items():
+        buf = array(BUFFER_TYPECODE)
+        buf.frombytes(base64.b64decode(text))
+        buf.byteswap()
+        swapped[name] = base64.b64encode(buf.tobytes()).decode("ascii")
+    foreign["buffers"] = swapped
+    loaded = frozen_from_dict(foreign)
+    assert sorted(loaded.edges()) == sorted(g.edges())
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.update(format="repro-datagraph"),
+        lambda d: d.update(version=99),
+        lambda d: d.update(byteorder="middle"),
+        lambda d: d.update(labels="ROOT"),
+        lambda d: d.update(buffers={}),
+        lambda d: d["buffers"].update(label_ids="!!!not-base64!!!"),
+        lambda d: d["buffers"].update(label_ids="AAA="),  # 2 bytes
+        lambda d: d.update(num_nodes=999),
+        lambda d: d.update(num_edges=999),
+    ],
+)
+def test_frozen_loader_rejects_malformed_documents(mutate):
+    document = json.loads(json.dumps(frozen_to_dict(movie_like_graph())))
+    mutate(document)
+    with pytest.raises(SerializationError):
+        frozen_from_dict(document)
+
+
+def test_frozen_loader_rejects_inconsistent_buffers():
+    document = frozen_to_dict(movie_like_graph())
+    # Swap child and parent targets: per-direction shapes stay valid but
+    # the two views no longer describe the same edge multiset.
+    buffers = dict(document["buffers"])
+    buffers["child_targets"], buffers["parent_targets"] = (
+        buffers["parent_targets"],
+        buffers["child_targets"],
+    )
+    document = dict(document, buffers=buffers)
+    with pytest.raises(SerializationError):
+        frozen_from_dict(document)
+
+
+def test_frozen_file_corruption_is_detected(tmp_path):
+    path = tmp_path / "frozen.json"
+    save_frozen_graph(movie_like_graph(), path)
+    raw = path.read_bytes()
+    path.write_bytes(raw.replace(b'"byteorder"', b'"byteoRder"', 1))
+    with pytest.raises(SerializationError):
+        load_frozen_graph(path)

@@ -4,10 +4,12 @@ signature refinement.
 The worklist engine must be *partition-identical* to the legacy
 full-rehash loop — not just at the fixpoint but round for round, because
 the D(k) construction freezes nodes against the intermediate rounds.
-These tests drive all three paths over the graph families where the
-worklist bookkeeping can go wrong: trees, DAGs with shared subtrees
-(many-parent nodes exercise the sorted-dedup signatures) and cyclic
-IDREF-style graphs (dirt must propagate around cycles).
+These tests drive all three paths — plus the columnar CSR engine, whose
+deeper suite lives in ``test_columnar_engine.py`` — over the graph
+families where the worklist bookkeeping can go wrong: trees, DAGs with
+shared subtrees (many-parent nodes exercise the sorted-dedup
+signatures) and cyclic IDREF-style graphs (dirt must propagate around
+cycles).
 """
 
 import random
@@ -92,19 +94,30 @@ def broadcast_levels(graph):
 def assert_engines_agree(graph, jobs=None):
     """All drivers produce equal partitions under every engine."""
     for k in (0, 1, 2, 4):
+        legacy_k = kbisim_partition(graph, k, engine="legacy")
         assert kbisim_partition(
             graph, k, engine="worklist", jobs=jobs
-        ) == kbisim_partition(graph, k, engine="legacy")
+        ) == legacy_k
+        assert kbisim_partition(
+            graph, k, engine="columnar", jobs=jobs
+        ) == legacy_k
     worklist, worklist_rounds = bisim_partition(
         graph, engine="worklist", jobs=jobs
     )
+    columnar, columnar_rounds = bisim_partition(
+        graph, engine="columnar", jobs=jobs
+    )
     legacy, legacy_rounds = bisim_partition(graph, engine="legacy")
-    assert worklist == legacy
-    assert worklist_rounds == legacy_rounds
+    assert worklist == legacy == columnar
+    assert worklist_rounds == legacy_rounds == columnar_rounds
     levels = broadcast_levels(graph)
+    legacy_leveled = leveled_partition(graph, levels, engine="legacy")
     assert leveled_partition(
         graph, levels, engine="worklist", jobs=jobs
-    ) == leveled_partition(graph, levels, engine="legacy")
+    ) == legacy_leveled
+    assert leveled_partition(
+        graph, levels, engine="columnar", jobs=jobs
+    ) == legacy_leveled
 
 
 # ----------------------------------------------------------------------
@@ -201,6 +214,8 @@ def test_resolve_engine_env_override(monkeypatch):
     monkeypatch.setenv("DKINDEX_ENGINE", "legacy")
     assert resolve_engine("auto") == "legacy"
     assert resolve_engine("worklist") == "worklist"  # explicit beats env
+    monkeypatch.setenv("DKINDEX_ENGINE", "columnar")
+    assert resolve_engine("auto") == "columnar"
     monkeypatch.setenv("DKINDEX_ENGINE", "bogus")
     with pytest.raises(ValueError):
         resolve_engine("auto")

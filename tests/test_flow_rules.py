@@ -109,6 +109,28 @@ def test_dk109_pure_worker_clean():
     assert deep_findings(FORK_SAFE).findings == []
 
 
+def test_dk109_recognizes_columnar_shm_dispatch_site():
+    # The columnar engine dispatches through a pool stored on the
+    # instance (`self._pool.map(...)`) with all buffers shipped via
+    # shared memory, not pickling.  DK109 must still see the dispatch
+    # site, resolve the worker, and find it pure (it only reads the
+    # inherited segments and returns keys).
+    from pathlib import Path
+
+    import repro.partition.columnar as columnar_module
+
+    source = Path(columnar_module.__file__).read_text(encoding="utf-8")
+    analysis = analyze_sources({"repro.partition.columnar": source})
+    sites = analysis.program.dispatch_sites
+    workers = {site.worker for site in sites}
+    assert any(
+        worker.endswith("._columnar_signature_chunk") for worker in workers
+    ), f"shm dispatch site not recognized; saw {workers!r}"
+    assert all(site.kind == "pool" for site in sites)
+    report = run_deep_rules(analysis, get_deep_rules(select=["DK109"]))
+    assert report.findings == []
+
+
 # ------------------------- DK110 transaction coverage -------------------
 
 UNJOURNALED = {

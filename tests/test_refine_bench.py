@@ -18,31 +18,56 @@ from repro.exceptions import DatasetError
 
 TINY = RefineBenchConfig(scale="0.05", repeats=1, datasets=("xmark",))
 
+SCENARIOS = {"ak_sweep", "oneindex_fixpoint", "dk_build", "table1_reindex"}
+
 
 def test_report_structure_and_speedups():
     report = run_refine_bench(TINY)
     assert report["schema"] == SCHEMA
-    assert report["config"]["scale_factor"] == 0.05
+    assert report["config"]["scale_axis"] == {"0.05": 0.05}
     results = report["results"]
-    # 4 scenarios x 2 serial engines, no parallel rows when jobs <= 1.
-    assert len(results) == 8
-    scenarios = {row["scenario"] for row in results}
-    assert scenarios == {
-        "ak_sweep",
-        "oneindex_fixpoint",
-        "dk_build",
-        "table1_reindex",
+    # 4 scenarios x 3 serial engines x 1 scale; no parallel rows when
+    # jobs resolves to serial.
+    assert len(results) == 12
+    assert {row["scenario"] for row in results} == SCENARIOS
+    assert {row["engine"] for row in results} == {
+        "legacy",
+        "worklist",
+        "columnar",
     }
-    assert {row["engine"] for row in results} == {"legacy", "worklist"}
     for row in results:
         assert len(row["times_s"]) == 1
         assert row["median_s"] >= 0.0
+        assert row["scale"] == "0.05"
+        assert row["peak_kb"] > 0.0
+        # The raw CLI default (0) must never leak into a row.
+        assert row["jobs"] == 1
     speedups = report["speedups"]
-    assert set(speedups) == {f"xmark/{name}" for name in scenarios}
+    assert set(speedups) == {f"xmark/{name}@0.05" for name in SCENARIOS}
     for entry in speedups.values():
         assert entry["speedup"] == pytest.approx(
             entry["legacy_s"] / entry["worklist_s"]
         )
+        assert entry["columnar_vs_worklist"] == pytest.approx(
+            entry["worklist_s"] / entry["columnar_s"]
+        )
+
+
+def test_scale_axis_produces_one_row_set_per_scale():
+    report = run_refine_bench(
+        RefineBenchConfig(
+            scale="0.05,0.08", repeats=1, datasets=("xmark",)
+        )
+    )
+    results = report["results"]
+    assert len(results) == 24  # 4 scenarios x 3 engines x 2 scales
+    assert {row["scale"] for row in results} == {"0.05", "0.08"}
+    assert set(report["datasets"]) == {"xmark@0.05", "xmark@0.08"}
+    assert set(report["speedups"]) == {
+        f"xmark/{name}@{scale}"
+        for name in SCENARIOS
+        for scale in ("0.05", "0.08")
+    }
 
 
 def test_parallel_rows_added_when_jobs_given():
@@ -50,13 +75,19 @@ def test_parallel_rows_added_when_jobs_given():
         RefineBenchConfig(scale="0.05", repeats=1, jobs=2, datasets=("xmark",))
     )
     engines = {row["engine"] for row in report["results"]}
-    assert engines == {"legacy", "worklist", "worklist-parallel"}
+    assert engines == {
+        "legacy",
+        "worklist",
+        "columnar",
+        "worklist-parallel",
+        "columnar-parallel",
+    }
+    for row in report["results"]:
+        assert row["jobs"] == (2 if row["engine"].endswith("-parallel") else 1)
+    assert report["config"]["jobs"] == 2
     # Speedups always compare the serial engines.
     assert set(report["speedups"]) == {
-        "xmark/ak_sweep",
-        "xmark/oneindex_fixpoint",
-        "xmark/dk_build",
-        "xmark/table1_reindex",
+        f"xmark/{name}@0.05" for name in SCENARIOS
     }
 
 
@@ -66,15 +97,25 @@ def test_write_report_round_trips(tmp_path):
     write_report(report, str(out))
     loaded = json.loads(out.read_text())
     assert loaded["schema"] == SCHEMA
-    assert loaded["datasets"]["xmark"]["nodes"] > 0
-    assert "speedup" in format_report(report)
+    assert loaded["datasets"]["xmark@0.05"]["nodes"] > 0
+    assert "col/wl" in format_report(report)
 
 
-def test_named_and_numeric_scales():
-    assert RefineBenchConfig(scale="small").scale_factor == 0.2
-    assert RefineBenchConfig(scale="0.4").scale_factor == 0.4
+def test_named_numeric_and_mixed_scale_axes():
+    assert RefineBenchConfig(scale="small").scale_axis == (("small", 0.2),)
+    assert RefineBenchConfig(scale="0.4").scale_axis == (("0.4", 0.4),)
+    assert RefineBenchConfig(scale="small,medium").scale_axis == (
+        ("small", 0.2),
+        ("medium", 0.6),
+    )
+    assert RefineBenchConfig(scale="small, 0.3").scale_axis == (
+        ("small", 0.2),
+        ("0.3", 0.3),
+    )
     with pytest.raises(DatasetError):
-        RefineBenchConfig(scale="galactic").scale_factor
+        RefineBenchConfig(scale="galactic").scale_axis
+    with pytest.raises(DatasetError):
+        RefineBenchConfig(scale=",").scale_axis
 
 
 def test_unknown_dataset_rejected():
@@ -106,7 +147,7 @@ def test_cli_bench_refine(tmp_path, capsys):
     )
     assert code == 0
     captured = capsys.readouterr().out
-    assert "speedup" in captured
+    assert "col/wl" in captured
     assert str(out) in captured
     loaded = json.loads(out.read_text())
     assert loaded["schema"] == SCHEMA
