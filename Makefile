@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: help install test lint lint-deep typecheck bench bench-full bench-scale chaos results examples clean
+.PHONY: help install test lint lint-deep typecheck bench bench-full bench-scale bench-outofcore chaos results examples clean
 
 help:
 	@echo "Targets:"
@@ -17,6 +17,8 @@ help:
 	@echo "  bench-full full-scale benchmark pass"
 	@echo "  bench-scale refinement engines over the small,medium scale"
 	@echo "             axis; refreshes the committed BENCH_refinement.json"
+	@echo "  bench-outofcore external engine vs in-memory columnar under a"
+	@echo "             25% pool budget; refreshes BENCH_outofcore.json"
 	@echo "  chaos      run both chaos suites: update faults + the"
 	@echo "             checkpoint-store durability crash matrix (seed 0)"
 	@echo "  results    regenerate docs/results-scale-1.0.txt"
@@ -47,6 +49,10 @@ bench-full:
 bench-scale:
 	$(PYTHON) -m repro bench refine --scale small,medium --repeats 3 \
 		--out BENCH_refinement.json
+
+bench-outofcore:
+	$(PYTHON) -m repro bench outofcore --scale medium --budget-ratio 0.25 \
+		--out BENCH_outofcore.json
 
 chaos:
 	$(PYTHON) -m repro chaos --seed 0

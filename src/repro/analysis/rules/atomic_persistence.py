@@ -32,6 +32,7 @@ PERSISTENCE_MODULES = (
     "repro.indexes.serialize",
     "repro.workload.serialize",
     "repro.maintenance",
+    "repro.storage",
 )
 
 #: The module owning the atomic write sequence (its temp-file

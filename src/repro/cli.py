@@ -17,6 +17,12 @@ Commands:
 - ``dkindex bench recovery [--scale S] [--edges N] [--out FILE]`` —
   time checkpoint recovery against an Algorithm-2 rebuild and write
   ``BENCH_recovery.json`` (see docs/robustness.md).
+- ``dkindex bench outofcore [--scale S] [--budget-ratio R]
+  [--page-bytes B] [--out FILE]`` — page a dataset's CSR snapshot to
+  disk, rebuild its bisimulation partition through the external engine
+  with the LRU pool capped at a fraction of the in-memory footprint,
+  verify partition identity and paged query answers, and write
+  ``BENCH_outofcore.json`` (see docs/performance.md).
 - ``dkindex audit FILE [--level fast|deep]`` — audit a stored
   D(k)-index; exits 1 on findings.
 - ``dkindex chaos [--seed N] [--journal-dir DIR] [--no-durability]`` —
@@ -101,7 +107,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             ),
             out=args.out or "BENCH_recovery.json",
         )
-    config = ExperimentConfig(scale=float(args.scale))
+    if args.experiment == "outofcore":
+        from repro.bench.outofcore import main_entry as outofcore_entry
+
+        return outofcore_entry(
+            scale=args.scale,
+            seed=args.seed,
+            budget_ratio=args.budget_ratio,
+            page_bytes=args.page_bytes,
+            dataset=args.datasets.split(",")[0].strip() or "xmark",
+            out=args.out or "BENCH_outofcore.json",
+        )
+    # Validate up front: a bad token must be a clean CLI error (exit 1),
+    # never a ValueError traceback out of float().  Named scales work
+    # for the paper experiments too.
+    from repro.bench.outofcore import parse_scale
+
+    _, scale_factor = parse_scale(args.scale)
+    config = ExperimentConfig(scale=scale_factor)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner, datasets = EXPERIMENTS[name]
@@ -397,12 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="run a paper experiment")
     bench.add_argument("experiment",
                        choices=[*EXPERIMENTS, "refine", "update",
-                                "recovery", "all"])
+                                "recovery", "outofcore", "all"])
     bench.add_argument("--scale", default="1.0",
-                       help="dataset scale factor; the refine/update/"
-                       "recovery experiments also accept small/medium/"
-                       "large, and refine takes a comma-separated axis "
-                       "like small,medium")
+                       help="dataset scale factor or a named scale "
+                       "(small/medium/large); refine takes a "
+                       "comma-separated axis like small,medium")
     bench.add_argument("--csv", action="store_true",
                        help="emit CSV series instead of text tables")
     bench.add_argument("--repeats", type=int, default=3,
@@ -421,9 +443,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="(refine/update/recovery) comma-separated "
                        "generator names")
     bench.add_argument("--out", default=None,
-                       help="(refine/update/recovery) report file to write "
-                       "(default BENCH_refinement.json / BENCH_updates.json "
-                       "/ BENCH_recovery.json)")
+                       help="(refine/update/recovery/outofcore) report file "
+                       "to write (default BENCH_refinement.json / "
+                       "BENCH_updates.json / BENCH_recovery.json / "
+                       "BENCH_outofcore.json)")
+    bench.add_argument("--budget-ratio", type=float, default=0.25,
+                       help="(outofcore) LRU pool budget as a fraction of "
+                       "the in-memory CSR footprint (default: 0.25)")
+    bench.add_argument("--page-bytes", type=int, default=None,
+                       help="(outofcore) page size in bytes (default: "
+                       "DKINDEX_PAGE_BYTES or 16384)")
     bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser("generate", help="generate a dataset graph")

@@ -127,3 +127,14 @@ class DTDError(DatasetError):
 
 class SerializationError(ReproError):
     """A graph or index could not be serialized or deserialized."""
+
+
+class PagedStoreError(SerializationError):
+    """An out-of-core paged store is corrupt or was misused.
+
+    Raised by :mod:`repro.storage.paged` for manifest/page integrity
+    failures, unknown buffers and invalid pool budgets.  Subclasses
+    :class:`SerializationError` because a paged store *is* a
+    persistence format — callers guarding a load path with
+    ``except SerializationError`` stay correct.
+    """

@@ -37,7 +37,7 @@ view is dropped and rebuilt on next ``freeze()``) or *raises*
 from __future__ import annotations
 
 from array import array
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
 
 from repro.exceptions import GraphError
 
@@ -49,6 +49,36 @@ BUFFER_TYPECODE = "q"
 
 #: Freeze modes accepted by ``DataGraph.freeze`` / ``IndexGraph.freeze``.
 FREEZE_MODES = ("refresh", "seal")
+
+
+class CSRBuffers(Protocol):
+    """The read surface a refinement engine needs from a CSR snapshot.
+
+    Satisfied structurally by :class:`CSRGraph` (flat in-memory
+    ``array('q')`` buffers) and by
+    :class:`repro.storage.paged.PagedCSRGraph`, whose buffers are
+    lazily paged in from disk through an LRU pool.  Engines written
+    against this protocol — the columnar engine and its out-of-core
+    ``external`` subclass — never learn which one they got.
+    """
+
+    @property
+    def label_ids(self) -> Sequence[int]: ...  # noqa: D102 - protocol
+
+    @property
+    def child_offsets(self) -> Sequence[int]: ...  # noqa: D102 - protocol
+
+    @property
+    def child_targets(self) -> Sequence[int]: ...  # noqa: D102 - protocol
+
+    @property
+    def parent_offsets(self) -> Sequence[int]: ...  # noqa: D102 - protocol
+
+    @property
+    def parent_targets(self) -> Sequence[int]: ...  # noqa: D102 - protocol
+
+    @property
+    def num_nodes(self) -> int: ...  # noqa: D102 - protocol
 
 
 def flatten_adjacency(

@@ -45,6 +45,12 @@ FORMAT_VERSION = 1
 FROZEN_FORMAT_NAME = "repro-datagraph-frozen"
 FROZEN_FORMAT_VERSION = 1
 
+#: Version stamp of the *paged* frozen variant: the same format name,
+#: but the CSR buffers live in fixed-size page files referenced by a
+#: page-table header instead of inline base64 (see
+#: :mod:`repro.storage.paged`, which owns reading and writing it).
+FROZEN_PAGED_VERSION = 2
+
 #: The CSR buffers a frozen document must carry, in document order.
 _FROZEN_BUFFERS = (
     "label_ids",
@@ -156,6 +162,46 @@ def _encode_buffer(buffer: "array[int]") -> str:
     return base64.b64encode(buffer.tobytes()).decode("ascii")
 
 
+def buffer_from_bytes(name: str, raw: bytes, byteorder: str) -> "array[int]":
+    """Raw int64 bytes in ``byteorder`` -> a *native* ``array('q')``.
+
+    The single decode door for every frozen representation: the inline
+    base64 buffers below and the binary page files of
+    :mod:`repro.storage.paged` both route through it, so a payload
+    stamped with the opposite endianness is byteswapped (never rejected,
+    never misread) on every load path.
+
+    Raises:
+        SerializationError: for a byte count that is not a whole number
+            of 64-bit entries.
+    """
+    buffer = array(BUFFER_TYPECODE)
+    try:
+        buffer.frombytes(raw)
+    except ValueError as error:
+        raise SerializationError(
+            f"frozen buffer {name!r} is not a whole number of 64-bit "
+            f"entries ({len(raw)} bytes)"
+        ) from error
+    if byteorder != sys.byteorder:
+        buffer.byteswap()
+    return buffer
+
+
+def buffer_to_bytes(buffer: "array[int]", byteorder: str) -> bytes:
+    """A native ``array('q')`` -> raw bytes in ``byteorder``.
+
+    The symmetric encode door: a store created on a foreign-endian host
+    keeps *all* its payloads in the creation stamp's order, so mixing
+    pages written before and after a host migration cannot happen.
+    """
+    if byteorder != sys.byteorder:
+        swapped = array(BUFFER_TYPECODE, buffer)
+        swapped.byteswap()
+        return swapped.tobytes()
+    return buffer.tobytes()
+
+
 def _decode_buffer(name: str, text: object, byteorder: str) -> "array[int]":
     """Decode one stored buffer back into a native ``array('q')``.
 
@@ -171,17 +217,7 @@ def _decode_buffer(name: str, text: object, byteorder: str) -> "array[int]":
         raise SerializationError(
             f"frozen buffer {name!r} is not valid base64: {error}"
         ) from error
-    buffer = array(BUFFER_TYPECODE)
-    try:
-        buffer.frombytes(raw)
-    except ValueError as error:
-        raise SerializationError(
-            f"frozen buffer {name!r} is not a whole number of 64-bit "
-            f"entries ({len(raw)} bytes)"
-        ) from error
-    if byteorder != sys.byteorder:
-        buffer.byteswap()
-    return buffer
+    return buffer_from_bytes(name, raw, byteorder)
 
 
 def frozen_to_dict(graph: DataGraph) -> dict[str, Any]:
@@ -198,6 +234,7 @@ def frozen_to_dict(graph: DataGraph) -> dict[str, Any]:
         "labels": list(graph.label_names()),
         "num_nodes": view.num_nodes,
         "num_edges": view.num_edges,
+        "sealed": graph.sealed,
         "buffers": {
             name: _encode_buffer(getattr(view, name))
             for name in _FROZEN_BUFFERS
@@ -221,6 +258,12 @@ def frozen_from_dict(data: dict[str, Any]) -> DataGraph:
     if data.get("format") != FROZEN_FORMAT_NAME:
         raise SerializationError(
             f"unexpected format marker: {data.get('format')!r}"
+        )
+    if data.get("version") == FROZEN_PAGED_VERSION:
+        raise SerializationError(
+            "this is a paged (version-2) frozen manifest whose buffers "
+            "live in external page files; open the store directory with "
+            "repro.storage.paged.PagedCSRGraph.open instead"
         )
     if data.get("version") != FROZEN_FORMAT_VERSION:
         raise SerializationError(
@@ -257,7 +300,11 @@ def frozen_from_dict(data: dict[str, Any]) -> DataGraph:
             raise SerializationError("'num_nodes' disagrees with buffers")
         if data.get("num_edges") != view.num_edges:
             raise SerializationError("'num_edges' disagrees with buffers")
-        return view.to_datagraph(labels)
+        graph = view.to_datagraph(labels)
+        # Version-1 files from before the flag default to unsealed.
+        if data.get("sealed", False):
+            graph.freeze(mode="seal")
+        return graph
     except GraphError as error:
         raise SerializationError(f"corrupt frozen buffers: {error}") from error
 

@@ -172,6 +172,39 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     fault_point("store.bit_flip", path=target)
 
 
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text` (same crash discipline).
+
+    Used by the out-of-core paged store (:mod:`repro.storage.paged`)
+    for page files, whose integrity is sealed by per-page digests in
+    the store manifest rather than an inline footer.  The same
+    durability fault points are threaded through the sequence so the
+    chaos suite exercises page writes exactly like document writes.
+    """
+    target = Path(path)
+    temp = target.with_name(target.name + TMP_SUFFIX)
+    half = len(data) // 2
+    with open(temp, "wb") as handle:
+        handle.write(data[:half])
+        handle.flush()
+        # Crash here: a torn temp file, the destination untouched.
+        fault_point("store.torn_write")
+        handle.write(data[half:])
+        handle.flush()
+        os.fsync(handle.fileno())
+    # Crash here: a complete, durable temp file, the destination untouched.
+    fault_point("store.partial_rename")
+    os.replace(temp, target)
+    # The rename happened but the data pages were never flushed.
+    _crash_leaving(
+        "store.missing_fsync",
+        damage=lambda: target.write_bytes(data[:half]),
+    )
+    fsync_directory(target.parent)
+    # Bit-rot after a perfectly durable write.
+    fault_point("store.bit_flip", path=target)
+
+
 # ----------------------------------------------------------------------
 # Sealed documents
 # ----------------------------------------------------------------------

@@ -22,12 +22,17 @@ provides:
 - :class:`~repro.partition.columnar.ColumnarEngine` — the batch engine
   over frozen CSR buffers (``engine="columnar"``): in-place flat block
   array, contiguous signature sweeps, optional numpy vectorisation and a
-  shared-memory fork pool for parallel hashing.
+  shared-memory fork pool for parallel hashing;
+- :class:`~repro.partition.external.ExternalEngine` — the out-of-core
+  engine (``engine="external"``): the columnar round loop over a paged
+  CSR snapshot behind a byte-budgeted LRU pool, with page-ordered
+  signature sweeps spilling sorted runs to disk.
 """
 
 from repro.partition.blocks import Partition
 from repro.partition.columnar import ColumnarEngine
 from repro.partition.engine import RefinementEngine, resolve_jobs
+from repro.partition.external import ExternalEngine
 from repro.partition.refinement import (
     bisim_partition,
     kbisim_partition,
@@ -38,6 +43,7 @@ from repro.partition.refinement import (
 
 __all__ = [
     "ColumnarEngine",
+    "ExternalEngine",
     "Partition",
     "RefinementEngine",
     "bisim_partition",

@@ -51,10 +51,12 @@ import multiprocessing
 import multiprocessing.pool
 from array import array
 from multiprocessing import shared_memory
+from types import TracebackType
 from typing import Any, Iterator, Sequence
 
 from repro.graph.columnar import (
     BUFFER_TYPECODE,
+    CSRBuffers,
     CSRGraph,
     csr_from_parent_adjacency,
 )
@@ -155,7 +157,7 @@ class ColumnarEngine:
         jobs: int | None = None,
     ) -> None:
         if isinstance(graph, CSRGraph):
-            csr = graph
+            csr: CSRBuffers = graph
         else:
             freeze = getattr(graph, "freeze", None)
             if callable(freeze):
@@ -164,8 +166,17 @@ class ColumnarEngine:
                 csr = csr_from_parent_adjacency(
                     list(graph.label_ids), list(graph.parents)
                 )
+        self._bind(csr, resolve_jobs(jobs))
+
+    def _bind(self, csr: CSRBuffers, jobs: int) -> None:
+        """Attach a snapshot and reset all engine state.
+
+        Split out of ``__init__`` so subclasses that obtain their
+        snapshot differently (the external engine pages it from disk)
+        can share the state layout without re-freezing anything.
+        """
         self.csr = csr
-        self.jobs = resolve_jobs(jobs)
+        self.jobs = jobs
         self._num_nodes = csr.num_nodes
         # Live refinement state (filled by _init_run).
         self._block_of: "array[int] | memoryview" = array(BUFFER_TYPECODE)
@@ -192,9 +203,12 @@ class ColumnarEngine:
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        for _ in self._rounds_inplace(None, k):
-            pass
-        return self._take_partition()
+        try:
+            for _ in self._rounds_inplace(None, k):
+                pass
+            return self._take_partition()
+        finally:
+            self._release_parallel()
 
     def run_fixpoint(self) -> tuple[Partition, int]:
         """The full-bisimulation fixpoint (1-index equivalence).
@@ -203,9 +217,12 @@ class ColumnarEngine:
         that changed the partition (the graph's bisimulation depth).
         """
         rounds = 0
-        for _ in self._rounds_inplace(None, None):
-            rounds += 1
-        return self._take_partition(), rounds
+        try:
+            for _ in self._rounds_inplace(None, None):
+                rounds += 1
+            return self._take_partition(), rounds
+        finally:
+            self._release_parallel()
 
     def run_leveled(self, node_levels: Sequence[int]) -> Partition:
         """Per-node bounded bisimulation (the D(k) construction core).
@@ -221,9 +238,12 @@ class ColumnarEngine:
             )
         if any(level < 0 for level in node_levels):
             raise ValueError("node levels must be non-negative")
-        for _ in self._rounds_inplace(node_levels, None):
-            pass
-        return self._take_partition()
+        try:
+            for _ in self._rounds_inplace(node_levels, None):
+                pass
+            return self._take_partition()
+        finally:
+            self._release_parallel()
 
     def refine_rounds(
         self,
@@ -237,8 +257,40 @@ class ColumnarEngine:
         flat state, so prefer the ``run_*`` drivers when only the final
         partition matters.
         """
-        for _ in self._rounds_inplace(node_levels, max_rounds):
-            yield self._snapshot()
+        rounds = self._rounds_inplace(node_levels, max_rounds)
+        try:
+            for _ in rounds:
+                yield self._snapshot()
+        finally:
+            # A consumer that abandons this generator mid-run (or whose
+            # exception traceback keeps the suspended frame alive) must
+            # not strand the shared-memory segments until whenever the
+            # GC gets around to the inner generator: close it *now* and
+            # release deterministically.  _release_parallel is
+            # idempotent, so the inner finally running first is fine.
+            rounds.close()
+            self._release_parallel()
+
+    def close(self) -> None:
+        """Release every process/shared-memory resource (idempotent).
+
+        The drivers already release on success *and* on error; call
+        this (or use the engine as a context manager) as a final
+        belt-and-braces when a run was abandoned from the outside —
+        e.g. a ``refine_rounds`` consumer that stopped iterating.
+        """
+        self._release_parallel()
+
+    def __enter__(self) -> "ColumnarEngine":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # The in-place round loop
@@ -544,7 +596,7 @@ class ColumnarEngine:
             return False
         return True
 
-    def _share(self, source: "array[int] | memoryview") -> memoryview:
+    def _share(self, source: Sequence[int]) -> memoryview:
         """Copy ``source`` into a fresh shared segment; return its view."""
         length = len(source)
         view = self._share_empty(length)

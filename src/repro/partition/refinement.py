@@ -34,10 +34,16 @@ Three engines implement the rounds:
   :func:`refine_once`, kept as the reference implementation (the
   equivalence test suite checks the engines round for round, and the
   ``dkindex bench refine`` harness times each against the others).
+- ``"external"`` — the out-of-core engine of
+  :mod:`repro.partition.external`: the columnar round loop run over a
+  paged CSR snapshot (:mod:`repro.storage.paged`) behind a
+  byte-budgeted LRU pool, with page-ordered signature sweeps that
+  spill sorted runs to disk — for graphs whose flat buffers should not
+  (or cannot) be held in memory.
 
 ``engine="auto"`` resolves to the worklist engine unless the
-``DKINDEX_ENGINE`` environment variable says ``legacy`` or
-``columnar`` — which lets the benchmark harness re-route whole
+``DKINDEX_ENGINE`` environment variable says ``legacy``, ``columnar``
+or ``external`` — which lets the benchmark harness re-route whole
 construction pipelines without threading a parameter through every call
 site.
 """
@@ -45,14 +51,17 @@ site.
 from __future__ import annotations
 
 import os
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.partition.blocks import Partition
 from repro.partition.columnar import ColumnarEngine
 from repro.partition.engine import LabeledAdjacency, RefinementEngine
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partition.external import ExternalEngine
+
 #: Engine names accepted by the ``engine=`` parameters below.
-ENGINE_CHOICES = ("auto", "worklist", "columnar", "legacy")
+ENGINE_CHOICES = ("auto", "worklist", "columnar", "external", "legacy")
 
 #: Environment variable that re-routes ``engine="auto"`` callers.
 ENGINE_ENV_VAR = "DKINDEX_ENGINE"
@@ -62,7 +71,11 @@ _LabeledAdjacency = LabeledAdjacency
 
 
 def resolve_engine(engine: str) -> str:
-    """Resolve ``engine=`` to ``"worklist"``, ``"columnar"`` or ``"legacy"``.
+    """Resolve ``engine=`` to a concrete engine name.
+
+    ``"auto"`` yields ``"worklist"`` unless ``DKINDEX_ENGINE`` routes
+    elsewhere; concrete names (``"worklist"``, ``"columnar"``,
+    ``"external"``, ``"legacy"``) pass through.
 
     Raises:
         ValueError: for unknown engine names (argument or environment).
@@ -72,12 +85,19 @@ def resolve_engine(engine: str) -> str:
         if not env or env == "auto":
             return "worklist"
         engine = env
-    if engine not in ("worklist", "columnar", "legacy"):
+    if engine not in ("worklist", "columnar", "external", "legacy"):
         raise ValueError(
             f"unknown refinement engine {engine!r}; choose from "
             f"{ENGINE_CHOICES}"
         )
     return engine
+
+
+def _external_engine(graph: LabeledAdjacency) -> "ExternalEngine":
+    """Build the out-of-core engine (imported lazily: storage stack)."""
+    from repro.partition.external import ExternalEngine
+
+    return ExternalEngine(graph)
 
 
 def label_partition(graph: LabeledAdjacency) -> Partition:
@@ -152,6 +172,9 @@ def kbisim_partition(
         return RefinementEngine(graph, jobs=jobs).run_kbisim(k)
     if resolved == "columnar":
         return ColumnarEngine(graph, jobs=jobs).run_kbisim(k)
+    if resolved == "external":
+        with _external_engine(graph) as engine:
+            return engine.run_kbisim(k)
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     partition = label_partition(graph)
@@ -180,6 +203,9 @@ def bisim_partition(
         return RefinementEngine(graph, jobs=jobs).run_fixpoint()
     if resolved == "columnar":
         return ColumnarEngine(graph, jobs=jobs).run_fixpoint()
+    if resolved == "external":
+        with _external_engine(graph) as engine:
+            return engine.run_fixpoint()
     partition = label_partition(graph)
     rounds = 0
     while True:
@@ -221,6 +247,9 @@ def leveled_partition(
         return RefinementEngine(graph, jobs=jobs).run_leveled(node_levels)
     if resolved == "columnar":
         return ColumnarEngine(graph, jobs=jobs).run_leveled(node_levels)
+    if resolved == "external":
+        with _external_engine(graph) as engine:
+            return engine.run_leveled(node_levels)
     if len(node_levels) != graph.num_nodes:
         raise ValueError(
             f"node_levels has {len(node_levels)} entries for "

@@ -1,0 +1,56 @@
+"""Out-of-core storage: paged buffers, an LRU pool, external sorting.
+
+The in-memory columnar path (:mod:`repro.graph.columnar`) tops out at
+graphs whose flat CSR buffers fit in RAM.  This subpackage removes that
+ceiling with the block-structured discipline of I/O-efficient
+bisimulation construction (Luo et al., Hellings et al. — see PAPERS.md):
+
+- :class:`~repro.storage.paged.PagedStore` — named ``int64`` buffers
+  split into fixed-size pages on disk, each page written through the
+  atomic writer of :mod:`repro.maintenance.store` and pinned by a
+  sha256 digest in a sealed, generation-numbered manifest.  Mutations
+  are copy-on-write: :meth:`~repro.storage.paged.PagedStore.checkpoint`
+  publishes a new *manifest* referencing fresh pages for dirty blocks
+  and the existing files for everything else — never a full rewrite.
+- :class:`~repro.storage.paged.PagedBufferPool` — the LRU buffer pool
+  in front of the page files: a byte budget, pin/unpin, dirty-page
+  write-back on eviction, and hit/miss/eviction counters.
+- :class:`~repro.storage.paged.PagedCSRGraph` — a paged snapshot
+  satisfying the :class:`~repro.graph.columnar.CSRBuffers` read surface
+  the columnar refinement engine consumes, so ``engine="external"``
+  (:mod:`repro.partition.external`) can refine graphs larger than the
+  pool budget.
+- :class:`~repro.storage.spill.SpillRuns` — sorted run spilling with a
+  streaming merge, used by the external engine for per-round
+  ``(node, signature)`` working sets that exceed the budget.
+"""
+
+from repro.storage.paged import (
+    DEFAULT_PAGE_BYTES,
+    DEFAULT_POOL_BUDGET,
+    PAGE_BYTES_ENV_VAR,
+    POOL_BUDGET_ENV_VAR,
+    PagedBuffer,
+    PagedBufferPool,
+    PagedCSRGraph,
+    PagedStore,
+    PoolStats,
+    resolve_page_bytes,
+    resolve_pool_budget,
+)
+from repro.storage.spill import SpillRuns
+
+__all__ = [
+    "DEFAULT_PAGE_BYTES",
+    "DEFAULT_POOL_BUDGET",
+    "PAGE_BYTES_ENV_VAR",
+    "POOL_BUDGET_ENV_VAR",
+    "PagedBuffer",
+    "PagedBufferPool",
+    "PagedCSRGraph",
+    "PagedStore",
+    "PoolStats",
+    "SpillRuns",
+    "resolve_page_bytes",
+    "resolve_pool_budget",
+]

@@ -1,0 +1,1258 @@
+"""Block-structured on-disk buffers behind an LRU pool.
+
+A *paged store* keeps named ``int64`` buffers (the flat CSR columns of
+:mod:`repro.graph.columnar`) as fixed-size page files under a
+directory, described by a sealed, generation-numbered manifest:
+
+.. code-block:: text
+
+    store/
+      CURRENT                 # hint: newest readable generation
+      manifest-0000001.json   # sealed page table (format v2 of
+      manifest-0000002.json   #   ``repro-datagraph-frozen``)
+      pages/
+        page-0000000.bin      # raw int64 entries, creation byteorder
+        page-0000001.bin
+
+Every page file is written once through
+:func:`repro.maintenance.store.atomic_write_bytes` and pinned by a
+sha256 digest in the manifest's page table; a flipped bit or truncated
+page fails loudly on load.  Mutation is copy-on-write: a dirty page is
+written back to a *fresh* physical file (on eviction from the pool or
+at :meth:`PagedStore.checkpoint`), and the checkpoint publishes a new
+manifest referencing the fresh pages plus the untouched old ones — the
+generation step never rewrites unchanged data, mirroring the
+manifest-of-immutable-artifacts discipline of
+:class:`repro.maintenance.store.CheckpointStore`.  Consecutive
+retained generations share page files, so
+``PagedStore.open(..., generation=g)`` gives a point-in-time view.
+
+Reads go through :class:`PagedBufferPool` — a byte-budgeted LRU with
+pin/unpin, dirty-page write-back and hit/miss/eviction counters — so
+the resident working set stays bounded no matter how large the graph
+is.  :class:`PagedCSRGraph` glues a store to the
+:class:`~repro.graph.columnar.CSRBuffers` surface consumed by the
+refinement engines, which is what ``engine="external"`` builds on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+from array import array
+from collections import OrderedDict
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, replace
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Callable
+
+from repro.exceptions import PagedStoreError, SerializationError
+from repro.graph.columnar import BUFFER_TYPECODE, CSRGraph
+from repro.graph.serialize import (
+    FROZEN_FORMAT_NAME,
+    FROZEN_PAGED_VERSION,
+    buffer_from_bytes,
+    buffer_to_bytes,
+)
+from repro.maintenance.store import (
+    CURRENT_NAME,
+    TMP_SUFFIX,
+    atomic_write_bytes,
+    atomic_write_document,
+    fsync_directory,
+    read_document,
+)
+
+#: Bytes per buffer entry (``array('q')``).
+ENTRY_BYTES = 8
+
+#: Default page size; small enough that a few pages fit in a test-sized
+#: budget, large enough that sequential sweeps amortise the open+hash.
+DEFAULT_PAGE_BYTES = 16384
+
+#: Default LRU pool budget when neither argument nor environment says.
+DEFAULT_POOL_BUDGET = 8 * 1024 * 1024
+
+#: Environment overrides, sibling knobs to ``DKINDEX_ENGINE``.
+PAGE_BYTES_ENV_VAR = "DKINDEX_PAGE_BYTES"
+POOL_BUDGET_ENV_VAR = "DKINDEX_POOL_BUDGET"
+
+#: How many generations *before* the newest a checkpoint retains.
+DEFAULT_RETAIN = 2
+
+PAGES_DIRNAME = "pages"
+MANIFEST_PREFIX = "manifest-"
+MANIFEST_SUFFIX = ".json"
+PAGE_PREFIX = "page-"
+PAGE_SUFFIX = ".bin"
+
+CURRENT_FORMAT = "repro-paged-current"
+CURRENT_VERSION = 1
+
+#: Buffers every paged CSR snapshot must carry.
+CORE_CSR_BUFFERS = (
+    "label_ids",
+    "child_offsets",
+    "child_targets",
+    "parent_offsets",
+    "parent_targets",
+)
+
+#: Optional index-snapshot buffers (flat extents and per-node k).
+EXTENT_CSR_BUFFERS = ("extent_offsets", "extent_targets", "k")
+
+
+def _env_int(env_var: str, what: str) -> int | None:
+    """Parse an optional integer environment override."""
+    raw = os.environ.get(env_var)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw, 10)
+    except ValueError:
+        raise PagedStoreError(
+            f"invalid {what} in {env_var}: {raw!r} (expected an integer)"
+        ) from None
+
+
+def resolve_page_bytes(page_bytes: int | None = None) -> int:
+    """Pick the page size: argument, ``DKINDEX_PAGE_BYTES``, default.
+
+    Raises:
+        PagedStoreError: unless the result is a positive multiple of
+            the 8-byte entry size.
+    """
+    if page_bytes is None:
+        page_bytes = _env_int(PAGE_BYTES_ENV_VAR, "page size")
+    if page_bytes is None:
+        page_bytes = DEFAULT_PAGE_BYTES
+    if page_bytes < ENTRY_BYTES or page_bytes % ENTRY_BYTES:
+        raise PagedStoreError(
+            f"page size must be a positive multiple of {ENTRY_BYTES} "
+            f"bytes: {page_bytes}"
+        )
+    return page_bytes
+
+
+def resolve_pool_budget(budget_bytes: int | None = None) -> int:
+    """Pick the pool budget: argument, ``DKINDEX_POOL_BUDGET``, default.
+
+    A budget of 0 is legal — the pool then holds only the page being
+    accessed and evicts it on the next access, the worst honest case
+    for the eviction counters.
+
+    Raises:
+        PagedStoreError: for a negative budget.
+    """
+    if budget_bytes is None:
+        budget_bytes = _env_int(POOL_BUDGET_ENV_VAR, "pool budget")
+    if budget_bytes is None:
+        budget_bytes = DEFAULT_POOL_BUDGET
+    if budget_bytes < 0:
+        raise PagedStoreError(f"pool budget must be >= 0: {budget_bytes}")
+    return budget_bytes
+
+
+# ----------------------------------------------------------------------
+# LRU buffer pool
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PoolStats:
+    """Counters of one :class:`PagedBufferPool` (cumulative)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    write_backs: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total page lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the pool (1.0 when idle)."""
+        total = self.accesses
+        return self.hits / total if total else 1.0
+
+    def snapshot(self) -> "PoolStats":
+        """An independent copy of the current counters."""
+        return replace(self)
+
+    def delta(self, since: "PoolStats") -> "PoolStats":
+        """Counter movement between ``since`` and now (for per-phase stats)."""
+        return PoolStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+            write_backs=self.write_backs - since.write_backs,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready counters plus the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "write_backs": self.write_backs,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+#: Logical page address: (buffer name, page index within that buffer).
+PageKey = tuple[str, int]
+
+
+class PagedBufferPool:
+    """A byte-budgeted LRU cache of ``array('q')`` pages.
+
+    The pool is storage-agnostic: a ``loader`` callback materialises a
+    missing page and an optional ``writer`` callback persists a dirty
+    page when it is evicted or flushed (a pool without a writer is
+    read-only — evicting a dirty page raises).  Pinned pages are never
+    evicted; the pool will exceed its budget rather than drop a pin,
+    because a pin means a caller holds a live reference it is about to
+    mutate.
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        loader: Callable[[PageKey], "array[int]"],
+        writer: Callable[[PageKey, "array[int]"], None] | None = None,
+    ) -> None:
+        if budget_bytes < 0:
+            raise PagedStoreError(f"pool budget must be >= 0: {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._loader = loader
+        self._writer = writer
+        self._pages: "OrderedDict[PageKey, array[int]]" = OrderedDict()
+        self._dirty: set[PageKey] = set()
+        self._pins: dict[PageKey, int] = {}
+        self._cached_bytes = 0
+        self.stats = PoolStats()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._cached_bytes
+
+    @property
+    def cached_pages(self) -> int:
+        """Pages currently resident."""
+        return len(self._pages)
+
+    @property
+    def dirty_pages(self) -> int:
+        """Resident pages with unwritten mutations."""
+        return len(self._dirty)
+
+    def is_resident(self, key: PageKey) -> bool:
+        """Whether ``key`` is cached (does not touch LRU order)."""
+        return key in self._pages
+
+    # -- access --------------------------------------------------------
+
+    def get(self, key: PageKey) -> "array[int]":
+        """The page at ``key``, loading (and possibly evicting) on miss.
+
+        The returned array stays valid after eviction (the caller holds
+        a reference), but mutations to an evicted copy are lost — pin
+        the page or go through :meth:`mark_dirty` before releasing it.
+        """
+        page = self._pages.get(key)
+        if page is not None:
+            self.stats.hits += 1
+            self._pages.move_to_end(key)
+            return page
+        self.stats.misses += 1
+        page = self._loader(key)
+        self._pages[key] = page
+        self._cached_bytes += len(page) * ENTRY_BYTES
+        self._shrink()
+        return page
+
+    def pin(self, key: PageKey) -> "array[int]":
+        """Fetch ``key`` and protect it from eviction until unpinned."""
+        page = self.get(key)
+        self._pins[key] = self._pins.get(key, 0) + 1
+        return page
+
+    def unpin(self, key: PageKey) -> None:
+        """Release one pin on ``key`` (page becomes evictable at zero)."""
+        count = self._pins.get(key, 0)
+        if count <= 0:
+            raise PagedStoreError(f"page {key!r} is not pinned")
+        if count == 1:
+            del self._pins[key]
+            self._shrink()
+        else:
+            self._pins[key] = count - 1
+
+    def mark_dirty(self, key: PageKey) -> None:
+        """Flag a *resident* page as mutated (write back before drop)."""
+        if key not in self._pages:
+            raise PagedStoreError(
+                f"cannot mark non-resident page {key!r} dirty"
+            )
+        self._dirty.add(key)
+
+    # -- eviction and flushing -----------------------------------------
+
+    def _shrink(self) -> None:
+        """Evict LRU unpinned pages until the budget is respected."""
+        while self._cached_bytes > self.budget_bytes:
+            victim = next(
+                (key for key in self._pages if not self._pins.get(key)),
+                None,
+            )
+            if victim is None:
+                return  # everything pinned: run over budget, by design
+            self._evict(victim)
+
+    def _evict(self, key: PageKey) -> None:
+        if key in self._dirty:
+            self._write_back(key, self._pages[key])
+        page = self._pages.pop(key)
+        self._cached_bytes -= len(page) * ENTRY_BYTES
+        self.stats.evictions += 1
+
+    def _write_back(self, key: PageKey, page: "array[int]") -> None:
+        if self._writer is None:
+            raise PagedStoreError(
+                f"read-only pool cannot write back dirty page {key!r}"
+            )
+        self._writer(key, page)
+        self._dirty.discard(key)
+        self.stats.write_backs += 1
+
+    def flush(self) -> int:
+        """Write back every dirty page (keeping them resident).
+
+        Returns the number of pages written.
+        """
+        written = 0
+        for key in sorted(self._dirty):
+            self._write_back(key, self._pages[key])
+            written += 1
+        return written
+
+    def drop(self, discard_dirty: bool = False) -> None:
+        """Empty the pool without touching storage.
+
+        Raises:
+            PagedStoreError: if dirty pages would be lost and
+                ``discard_dirty`` is not set.
+        """
+        if self._dirty and not discard_dirty:
+            raise PagedStoreError(
+                f"{len(self._dirty)} dirty page(s) would be discarded; "
+                "flush() first or pass discard_dirty=True"
+            )
+        self._pages.clear()
+        self._dirty.clear()
+        self._pins.clear()
+        self._cached_bytes = 0
+
+
+# ----------------------------------------------------------------------
+# The paged store
+# ----------------------------------------------------------------------
+
+
+def _page_path(pages_dir: Path, physical: int) -> Path:
+    return pages_dir / f"{PAGE_PREFIX}{physical:07d}{PAGE_SUFFIX}"
+
+
+def _manifest_path(directory: Path, generation: int) -> Path:
+    return directory / f"{MANIFEST_PREFIX}{generation:07d}{MANIFEST_SUFFIX}"
+
+
+def _emit_page(
+    pages_dir: Path, physical: int, page: "array[int]", byteorder: str
+) -> str:
+    """Atomically write one page file; return its sha256 hex digest."""
+    raw = buffer_to_bytes(page, byteorder)
+    digest = hashlib.sha256(raw).hexdigest()
+    atomic_write_bytes(_page_path(pages_dir, physical), raw)
+    return digest
+
+
+def _scan_generations(directory: Path) -> list[int]:
+    """Manifest generations present on disk, newest first."""
+    generations = []
+    for entry in directory.iterdir():
+        name = entry.name
+        if name.startswith(MANIFEST_PREFIX) and name.endswith(MANIFEST_SUFFIX):
+            stem = name[len(MANIFEST_PREFIX) : -len(MANIFEST_SUFFIX)]
+            if stem.isdigit():
+                generations.append(int(stem))
+    generations.sort(reverse=True)
+    return generations
+
+
+def _scan_page_ids(pages_dir: Path) -> list[int]:
+    """Physical page ids present on disk (orphans included)."""
+    ids = []
+    if not pages_dir.is_dir():
+        return ids
+    for entry in pages_dir.iterdir():
+        name = entry.name
+        if name.startswith(PAGE_PREFIX) and name.endswith(PAGE_SUFFIX):
+            stem = name[len(PAGE_PREFIX) : -len(PAGE_SUFFIX)]
+            if stem.isdigit():
+                ids.append(int(stem))
+    return ids
+
+
+def _sweep_temp_files(directory: Path) -> None:
+    """Remove leftover atomic-writer temp files from a crashed writer."""
+    for entry in directory.iterdir():
+        if entry.name.endswith(TMP_SUFFIX):
+            entry.unlink(missing_ok=True)
+
+
+def _validate_manifest(
+    doc: dict[str, Any], source: str
+) -> tuple[str, int, int, int, dict[str, Any], dict[str, dict[str, Any]]]:
+    """Structurally validate a v2 manifest document.
+
+    Returns ``(byteorder, page_bytes, generation, next_page, meta,
+    page_table)`` with the page table normalised to
+    ``{name: {"entries": int, "pages": [[physical, digest], ...]}}``.
+
+    Raises:
+        PagedStoreError: on any structural problem.
+    """
+    if doc.get("format") != FROZEN_FORMAT_NAME:
+        raise PagedStoreError(
+            f"{source}: unexpected format marker {doc.get('format')!r}"
+        )
+    if doc.get("version") != FROZEN_PAGED_VERSION:
+        raise PagedStoreError(
+            f"{source}: unsupported manifest version {doc.get('version')!r}"
+        )
+    byteorder = doc.get("byteorder")
+    if byteorder not in ("little", "big"):
+        raise PagedStoreError(f"{source}: invalid byteorder {byteorder!r}")
+    page_bytes = doc.get("page_bytes")
+    if (
+        not isinstance(page_bytes, int)
+        or page_bytes < ENTRY_BYTES
+        or page_bytes % ENTRY_BYTES
+    ):
+        raise PagedStoreError(f"{source}: invalid page_bytes {page_bytes!r}")
+    generation = doc.get("generation")
+    if not isinstance(generation, int) or generation < 1:
+        raise PagedStoreError(f"{source}: invalid generation {generation!r}")
+    next_page = doc.get("next_page")
+    if not isinstance(next_page, int) or next_page < 0:
+        raise PagedStoreError(f"{source}: invalid next_page {next_page!r}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        raise PagedStoreError(f"{source}: 'meta' must be an object")
+    raw_table = doc.get("page_table")
+    if not isinstance(raw_table, dict) or not raw_table:
+        raise PagedStoreError(f"{source}: 'page_table' must be a non-empty object")
+    entries_per_page = page_bytes // ENTRY_BYTES
+    table: dict[str, dict[str, Any]] = {}
+    for name, spec in raw_table.items():
+        if not isinstance(name, str) or not name:
+            raise PagedStoreError(f"{source}: invalid buffer name {name!r}")
+        if not isinstance(spec, dict):
+            raise PagedStoreError(f"{source}: buffer {name!r} spec malformed")
+        entries = spec.get("entries")
+        pages = spec.get("pages")
+        if not isinstance(entries, int) or entries < 0:
+            raise PagedStoreError(
+                f"{source}: buffer {name!r} has invalid entry count"
+            )
+        if not isinstance(pages, list):
+            raise PagedStoreError(
+                f"{source}: buffer {name!r} page list malformed"
+            )
+        expected_pages = (entries + entries_per_page - 1) // entries_per_page
+        if len(pages) != expected_pages:
+            raise PagedStoreError(
+                f"{source}: buffer {name!r} declares {entries} entries but "
+                f"{len(pages)} pages (expected {expected_pages})"
+            )
+        normalised = []
+        for item in pages:
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 2
+                or not isinstance(item[0], int)
+                or item[0] < 0
+                or not isinstance(item[1], str)
+            ):
+                raise PagedStoreError(
+                    f"{source}: buffer {name!r} has a malformed page entry"
+                )
+            normalised.append([item[0], item[1]])
+        table[name] = {"entries": entries, "pages": normalised}
+    return byteorder, page_bytes, generation, next_page, meta, table
+
+
+class PagedStore:
+    """Named ``int64`` buffers paged to disk under a manifest.
+
+    Construct with :meth:`create` (stream values in, constant memory)
+    or :meth:`open` (attach to an existing directory).  Reads and
+    writes go through the LRU :attr:`pool`; mutations become durable
+    only at :meth:`checkpoint`, which publishes a new manifest
+    generation by reference — unchanged pages are shared with prior
+    generations, not rewritten.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        *,
+        byteorder: str,
+        page_bytes: int,
+        generation: int,
+        next_page: int,
+        meta: dict[str, Any],
+        table: dict[str, dict[str, Any]],
+        budget_bytes: int,
+        retain: int,
+    ) -> None:
+        """Internal: use :meth:`create` or :meth:`open`."""
+        self.directory = directory
+        self._pages_dir = directory / PAGES_DIRNAME
+        self._byteorder = byteorder
+        self.page_bytes = page_bytes
+        self._entries_per_page = page_bytes // ENTRY_BYTES
+        self._generation = generation
+        self._next_page = next_page
+        self._meta = meta
+        self._table = table
+        self._retain = retain
+        self._closed = False
+        self.pool = PagedBufferPool(
+            budget_bytes, self._load_page, self._store_page
+        )
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        buffers: Mapping[str, Iterable[int]],
+        *,
+        page_bytes: int | None = None,
+        budget_bytes: int | None = None,
+        meta: Mapping[str, Any] | None = None,
+        retain: int = DEFAULT_RETAIN,
+    ) -> "PagedStore":
+        """Create a store by streaming ``buffers`` into page files.
+
+        Values are consumed strictly in order one page at a time, so
+        building a store never materialises a whole buffer in memory —
+        creation itself is out-of-core.  Publishes generation 1.
+
+        Raises:
+            PagedStoreError: empty buffer map, or the directory already
+                holds a paged store.
+        """
+        page_bytes = resolve_page_bytes(page_bytes)
+        budget = resolve_pool_budget(budget_bytes)
+        if not buffers:
+            raise PagedStoreError("a paged store needs at least one buffer")
+        base = Path(directory)
+        base.mkdir(parents=True, exist_ok=True)
+        if _scan_generations(base):
+            raise PagedStoreError(
+                f"{base} already holds a paged store; open() it instead"
+            )
+        pages_dir = base / PAGES_DIRNAME
+        pages_dir.mkdir(exist_ok=True)
+        byteorder = sys.byteorder
+        entries_per_page = page_bytes // ENTRY_BYTES
+        next_page = 0
+        table: dict[str, dict[str, Any]] = {}
+        for name, values in buffers.items():
+            if not isinstance(name, str) or not name:
+                raise PagedStoreError(f"invalid buffer name: {name!r}")
+            entries = 0
+            pages: list[list[Any]] = []
+            chunk = array(BUFFER_TYPECODE)
+            for value in values:
+                chunk.append(value)
+                if len(chunk) == entries_per_page:
+                    digest = _emit_page(pages_dir, next_page, chunk, byteorder)
+                    pages.append([next_page, digest])
+                    next_page += 1
+                    entries += len(chunk)
+                    chunk = array(BUFFER_TYPECODE)
+            if chunk:
+                digest = _emit_page(pages_dir, next_page, chunk, byteorder)
+                pages.append([next_page, digest])
+                next_page += 1
+                entries += len(chunk)
+            table[name] = {"entries": entries, "pages": pages}
+        store = cls(
+            base,
+            byteorder=byteorder,
+            page_bytes=page_bytes,
+            generation=0,
+            next_page=next_page,
+            meta=dict(meta or {}),
+            table=table,
+            budget_bytes=budget,
+            retain=retain,
+        )
+        store.checkpoint()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        budget_bytes: int | None = None,
+        generation: int | None = None,
+        retain: int = DEFAULT_RETAIN,
+    ) -> "PagedStore":
+        """Attach to an existing store directory.
+
+        Scans manifests newest-first and uses the first one that
+        unseals and validates (the ``CURRENT`` pointer is a hint, not
+        an authority — same recovery posture as
+        :class:`~repro.maintenance.store.CheckpointStore`).  Pass
+        ``generation`` for a point-in-time view of a retained older
+        manifest; opening a pinned generation does not fall back.
+
+        Raises:
+            PagedStoreError: missing directory, no readable manifest,
+                or an unknown pinned generation.
+        """
+        budget = resolve_pool_budget(budget_bytes)
+        base = Path(directory)
+        if not base.is_dir():
+            raise PagedStoreError(f"not a paged store directory: {base}")
+        _sweep_temp_files(base)
+        pages_dir = base / PAGES_DIRNAME
+        if pages_dir.is_dir():
+            _sweep_temp_files(pages_dir)
+        on_disk = _scan_generations(base)
+        if not on_disk:
+            raise PagedStoreError(f"no manifest found under {base}")
+        if generation is not None:
+            if generation not in on_disk:
+                raise PagedStoreError(
+                    f"generation {generation} not present under {base} "
+                    f"(have {sorted(on_disk)})"
+                )
+            candidates = [generation]
+        else:
+            candidates = on_disk
+        failures: list[str] = []
+        for candidate in candidates:
+            path = _manifest_path(base, candidate)
+            try:
+                doc = read_document(path)
+                byteorder, page_bytes, gen, next_page, meta, table = (
+                    _validate_manifest(doc, path.name)
+                )
+            except SerializationError as error:
+                failures.append(str(error))
+                continue
+            if gen != candidate:
+                failures.append(
+                    f"{path.name}: generation stamp {gen} disagrees with name"
+                )
+                continue
+            # Fresh physical ids must clear every file on disk, even
+            # orphans from a crashed write-back, or COW would collide.
+            highest = max(_scan_page_ids(pages_dir), default=-1)
+            return cls(
+                base,
+                byteorder=byteorder,
+                page_bytes=page_bytes,
+                generation=gen,
+                next_page=max(next_page, highest + 1),
+                meta=meta,
+                table=table,
+                budget_bytes=budget,
+                retain=retain,
+            )
+        detail = "; ".join(failures)
+        raise PagedStoreError(f"no readable manifest under {base}: {detail}")
+
+    # -- geometry ------------------------------------------------------
+
+    @property
+    def byteorder(self) -> str:
+        """Byte order every page was written in (fixed at creation)."""
+        return self._byteorder
+
+    @property
+    def generation(self) -> int:
+        """The manifest generation this store currently reflects."""
+        return self._generation
+
+    @property
+    def meta(self) -> dict[str, Any]:
+        """Application metadata stored alongside the page table."""
+        return self._meta
+
+    @property
+    def stats(self) -> PoolStats:
+        """The pool's cumulative counters."""
+        return self.pool.stats
+
+    def buffer_names(self) -> tuple[str, ...]:
+        """The named buffers this store holds, in creation order."""
+        return tuple(self._table)
+
+    def length(self, name: str) -> int:
+        """Entry count of buffer ``name``."""
+        return int(self._spec(name)["entries"])
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total payload bytes across all buffers (page padding excluded)."""
+        return sum(
+            int(spec["entries"]) * ENTRY_BYTES for spec in self._table.values()
+        )
+
+    @property
+    def page_count(self) -> int:
+        """Total pages across all buffers in the live table."""
+        return sum(len(spec["pages"]) for spec in self._table.values())
+
+    def buffer(self, name: str) -> "PagedBuffer":
+        """A sequence view of buffer ``name`` backed by the pool."""
+        self._spec(name)
+        return PagedBuffer(self, name)
+
+    def _spec(self, name: str) -> dict[str, Any]:
+        try:
+            return self._table[name]
+        except KeyError:
+            raise PagedStoreError(
+                f"store has no buffer {name!r} "
+                f"(have {sorted(self._table)})"
+            ) from None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PagedStoreError(f"paged store {self.directory} is closed")
+
+    # -- page I/O (pool callbacks) -------------------------------------
+
+    def _load_page(self, key: PageKey) -> "array[int]":
+        """Pool loader: read, digest-verify and decode one page file."""
+        name, index = key
+        spec = self._spec(name)
+        pages = spec["pages"]
+        if not 0 <= index < len(pages):
+            raise PagedStoreError(
+                f"page index {index} out of range for buffer {name!r}"
+            )
+        physical, digest = pages[index]
+        path = _page_path(self._pages_dir, physical)
+        try:
+            raw = path.read_bytes()
+        except OSError as error:
+            raise PagedStoreError(
+                f"cannot read page file {path.name}: {error}"
+            ) from error
+        if hashlib.sha256(raw).hexdigest() != digest:
+            raise PagedStoreError(
+                f"page file {path.name} fails its manifest digest "
+                f"(buffer {name!r}, page {index})"
+            )
+        entries = int(spec["entries"])
+        expected = min(
+            self._entries_per_page, entries - index * self._entries_per_page
+        )
+        if len(raw) != expected * ENTRY_BYTES:
+            raise PagedStoreError(
+                f"page file {path.name} holds {len(raw)} bytes; manifest "
+                f"expects {expected * ENTRY_BYTES}"
+            )
+        return buffer_from_bytes(f"{name}[{index}]", raw, self._byteorder)
+
+    def _store_page(self, key: PageKey, page: "array[int]") -> None:
+        """Pool writer: copy-on-write a dirty page to a fresh file."""
+        name, index = key
+        spec = self._spec(name)
+        physical = self._next_page
+        self._next_page += 1
+        digest = _emit_page(self._pages_dir, physical, page, self._byteorder)
+        spec["pages"][index] = [physical, digest]
+
+    # -- element access ------------------------------------------------
+
+    def _locate(self, name: str, position: int) -> tuple[int, int]:
+        entries = self.length(name)
+        if position < 0:
+            position += entries
+        if not 0 <= position < entries:
+            raise PagedStoreError(
+                f"position {position} out of range for buffer {name!r} "
+                f"({entries} entries)"
+            )
+        return divmod(position, self._entries_per_page)
+
+    def read_element(self, name: str, position: int) -> int:
+        """One entry of buffer ``name`` (negative positions count back)."""
+        self._check_open()
+        page_index, offset = self._locate(name, position)
+        return self.pool.get((name, page_index))[offset]
+
+    def write_element(self, name: str, position: int, value: int) -> None:
+        """Mutate one entry in place (durable at the next checkpoint)."""
+        self._check_open()
+        page_index, offset = self._locate(name, position)
+        key = (name, page_index)
+        page = self.pool.get(key)
+        page[offset] = value
+        self.pool.mark_dirty(key)
+
+    def read_slice(self, name: str, start: int, stop: int) -> "array[int]":
+        """Entries ``start:stop`` of buffer ``name`` as one array.
+
+        Spans page boundaries transparently; pages are visited in
+        ascending order so sequential sweeps degrade to one miss per
+        page even under a one-page budget.
+        """
+        self._check_open()
+        entries = self.length(name)
+        start = max(0, min(start, entries))
+        stop = max(start, min(stop, entries))
+        out = array(BUFFER_TYPECODE)
+        if start == stop:
+            return out
+        epp = self._entries_per_page
+        first_page, first_offset = divmod(start, epp)
+        last_page = (stop - 1) // epp
+        for page_index in range(first_page, last_page + 1):
+            page = self.pool.get((name, page_index))
+            lo = first_offset if page_index == first_page else 0
+            hi = stop - page_index * epp
+            out.extend(page[lo:min(hi, len(page))])
+        return out
+
+    def iter_buffer(self, name: str) -> Iterator[int]:
+        """Stream every entry of ``name`` page-sequentially."""
+        self._check_open()
+        spec = self._spec(name)
+        for page_index in range(len(spec["pages"])):
+            # Snapshot the page reference; later pool traffic may evict
+            # it but the yielded values come from this consistent copy.
+            page = self.pool.get((name, page_index))
+            yield from page
+
+    # -- durability ----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Publish the current state as a new manifest generation.
+
+        Flushes dirty pages (each to a fresh physical file), writes a
+        sealed manifest and the ``CURRENT`` hint, then prunes
+        generations older than the retention window and deletes page
+        files no retained manifest references.  Cost is proportional to
+        the *dirty* set, not the store size.
+        """
+        self._check_open()
+        self.pool.flush()
+        self._generation += 1
+        document = {
+            "format": FROZEN_FORMAT_NAME,
+            "version": FROZEN_PAGED_VERSION,
+            "byteorder": self._byteorder,
+            "page_bytes": self.page_bytes,
+            "generation": self._generation,
+            "next_page": self._next_page,
+            "meta": self._meta,
+            "page_table": self._table,
+        }
+        atomic_write_document(
+            _manifest_path(self.directory, self._generation), document
+        )
+        atomic_write_document(
+            self.directory / CURRENT_NAME,
+            {
+                "format": CURRENT_FORMAT,
+                "version": CURRENT_VERSION,
+                "generation": self._generation,
+            },
+        )
+        self._prune()
+        return self._generation
+
+    def _prune(self) -> None:
+        """Drop manifests beyond retention and any unreferenced pages."""
+        keep = _scan_generations(self.directory)[: self._retain + 1]
+        referenced: set[int] = set()
+        for generation in keep:
+            path = _manifest_path(self.directory, generation)
+            try:
+                doc = read_document(path)
+                _, _, _, _, _, table = _validate_manifest(doc, path.name)
+            except SerializationError:
+                continue  # unreadable but retained: GC nothing of it
+            for spec in table.values():
+                for physical, _digest in spec["pages"]:
+                    referenced.add(physical)
+        for generation in _scan_generations(self.directory):
+            if generation not in keep:
+                _manifest_path(self.directory, generation).unlink(
+                    missing_ok=True
+                )
+        for physical in _scan_page_ids(self._pages_dir):
+            if physical not in referenced:
+                _page_path(self._pages_dir, physical).unlink(missing_ok=True)
+        fsync_directory(self._pages_dir)
+        fsync_directory(self.directory)
+
+    def close(self, discard_dirty: bool = False) -> None:
+        """Detach: drop the pool.  Un-checkpointed mutations are lost.
+
+        Raises:
+            PagedStoreError: if dirty pages are resident and
+                ``discard_dirty`` is not set — call :meth:`checkpoint`
+                to keep them.
+        """
+        if self._closed:
+            return
+        self.pool.drop(discard_dirty=discard_dirty)
+        self._closed = True
+
+    def __enter__(self) -> "PagedStore":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        # Surface the original error, not a dirty-page complaint.
+        self.close(discard_dirty=exc is not None or self.pool.dirty_pages == 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedStore({self.directory}, generation={self._generation}, "
+            f"buffers={len(self._table)}, page_bytes={self.page_bytes})"
+        )
+
+
+class PagedBuffer(Sequence[int]):
+    """Read/write sequence view of one store buffer.
+
+    Integer indexing and step-1 slicing read through the pool; slices
+    come back as ``array('q')`` (matching what slicing a real buffer
+    yields).  Item assignment marks the page dirty — durable at the
+    store's next :meth:`PagedStore.checkpoint`.
+    """
+
+    __slots__ = ("_store", "_name")
+
+    def __init__(self, store: PagedStore, name: str) -> None:
+        self._store = store
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The buffer's name inside its store."""
+        return self._name
+
+    def __len__(self) -> int:
+        return self._store.length(self._name)
+
+    def __getitem__(self, index: int | slice) -> Any:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return self._store.read_slice(self._name, start, stop)
+            return array(
+                BUFFER_TYPECODE,
+                (
+                    self._store.read_element(self._name, position)
+                    for position in range(start, stop, step)
+                ),
+            )
+        return self._store.read_element(self._name, index)
+
+    def __setitem__(self, position: int, value: int) -> None:
+        self._store.write_element(self._name, position, value)
+
+    def __iter__(self) -> Iterator[int]:
+        return self._store.iter_buffer(self._name)
+
+    def __repr__(self) -> str:
+        return f"PagedBuffer({self._name!r}, entries={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# Paged CSR snapshots
+# ----------------------------------------------------------------------
+
+
+class PagedCSRGraph:
+    """A CSR snapshot whose buffers live in a :class:`PagedStore`.
+
+    Exposes the :class:`~repro.graph.columnar.CSRBuffers` read surface
+    (``label_ids``/offsets/targets as :class:`PagedBuffer` sequences,
+    ``num_nodes``), so any engine written against that protocol — in
+    particular :class:`~repro.partition.columnar.ColumnarEngine` and
+    its external subclass — runs unmodified with a bounded resident
+    set.  Index snapshots (extents, per-node ``k``) page those buffers
+    too.
+    """
+
+    def __init__(self, store: PagedStore) -> None:
+        """Wrap an attached store (use :meth:`create` / :meth:`open`)."""
+        names = set(store.buffer_names())
+        missing = [name for name in CORE_CSR_BUFFERS if name not in names]
+        if missing:
+            raise PagedStoreError(
+                f"store lacks CSR buffers: {', '.join(missing)}"
+            )
+        meta = store.meta
+        labels = meta.get("labels")
+        if not isinstance(labels, list) or not all(
+            isinstance(name, str) for name in labels
+        ):
+            raise PagedStoreError("store meta lacks a 'labels' string list")
+        num_nodes = meta.get("num_nodes")
+        if not isinstance(num_nodes, int) or num_nodes < 0:
+            raise PagedStoreError("store meta lacks a valid 'num_nodes'")
+        if store.length("label_ids") != num_nodes:
+            raise PagedStoreError(
+                "'num_nodes' disagrees with the label_ids buffer"
+            )
+        if store.length("child_offsets") != num_nodes + 1:
+            raise PagedStoreError("child_offsets must hold num_nodes + 1")
+        if store.length("parent_offsets") != num_nodes + 1:
+            raise PagedStoreError("parent_offsets must hold num_nodes + 1")
+        if store.length("child_targets") != store.length("parent_targets"):
+            raise PagedStoreError(
+                "child and parent target buffers disagree on edge count"
+            )
+        self._store = store
+        self._labels = list(labels)
+        self._num_nodes = num_nodes
+        self._sealed = bool(meta.get("sealed", False))
+        self.label_ids = store.buffer("label_ids")
+        self.child_offsets = store.buffer("child_offsets")
+        self.child_targets = store.buffer("child_targets")
+        self.parent_offsets = store.buffer("parent_offsets")
+        self.parent_targets = store.buffer("parent_targets")
+        self._has_extents = "extent_offsets" in names
+        self.extent_offsets = (
+            store.buffer("extent_offsets") if self._has_extents else None
+        )
+        self.extent_targets = (
+            store.buffer("extent_targets") if self._has_extents else None
+        )
+        self.k = store.buffer("k") if "k" in names else None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        graph: Any,
+        *,
+        labels: Sequence[str] | None = None,
+        page_bytes: int | None = None,
+        budget_bytes: int | None = None,
+        retain: int = DEFAULT_RETAIN,
+    ) -> "PagedCSRGraph":
+        """Page a graph's frozen CSR view out to ``directory``.
+
+        ``graph`` may be a mutable graph with ``freeze()`` (its label
+        table and seal state are captured) or a bare
+        :class:`~repro.graph.columnar.CSRGraph` — pass ``labels`` then,
+        or synthetic names are generated.
+        """
+        if isinstance(graph, CSRGraph):
+            view = graph
+            sealed = False
+        else:
+            view = graph.freeze()
+            sealed = bool(getattr(graph, "sealed", False))
+        if labels is None:
+            names_of = getattr(graph, "label_names", None)
+            if callable(names_of):
+                labels = list(names_of())
+            else:
+                labels = [f"label_{i}" for i in range(view.num_labels)]
+        else:
+            labels = list(labels)
+        if len(labels) < view.num_labels:
+            raise PagedStoreError(
+                f"{len(labels)} label names for {view.num_labels} label ids"
+            )
+        buffers: dict[str, Iterable[int]] = {
+            name: getattr(view, name) for name in CORE_CSR_BUFFERS
+        }
+        for name in EXTENT_CSR_BUFFERS:
+            extra = getattr(view, name)
+            if extra is not None:
+                buffers[name] = extra
+        meta = {
+            "labels": labels,
+            "num_nodes": view.num_nodes,
+            "num_edges": view.num_edges,
+            "num_labels": view.num_labels,
+            "sealed": sealed,
+        }
+        store = PagedStore.create(
+            directory,
+            buffers,
+            page_bytes=page_bytes,
+            budget_bytes=budget_bytes,
+            meta=meta,
+            retain=retain,
+        )
+        return cls(store)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        budget_bytes: int | None = None,
+        generation: int | None = None,
+        retain: int = DEFAULT_RETAIN,
+    ) -> "PagedCSRGraph":
+        """Attach to a paged CSR snapshot created earlier."""
+        return cls(
+            PagedStore.open(
+                directory,
+                budget_bytes=budget_bytes,
+                generation=generation,
+                retain=retain,
+            )
+        )
+
+    # -- CSRBuffers surface and friends --------------------------------
+
+    @property
+    def store(self) -> PagedStore:
+        """The underlying paged store."""
+        return self._store
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the snapshot."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the snapshot."""
+        return self._store.length("child_targets")
+
+    @property
+    def num_labels(self) -> int:
+        """Size of the label table."""
+        return len(self._labels)
+
+    @property
+    def sealed(self) -> bool:
+        """Whether the source graph was sealed when paged out."""
+        return self._sealed
+
+    @property
+    def stats(self) -> PoolStats:
+        """Pool counters for this snapshot's store."""
+        return self._store.stats
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes the equivalent in-memory CSR buffers would occupy."""
+        return self._store.footprint_bytes
+
+    def label_names(self) -> tuple[str, ...]:
+        """The label table, in id order."""
+        return tuple(self._labels)
+
+    def children(self, node: int) -> "array[int]":
+        """The children of ``node`` (reads at most two offset pages)."""
+        lo = self._store.read_element("child_offsets", node)
+        hi = self._store.read_element("child_offsets", node + 1)
+        return self._store.read_slice("child_targets", lo, hi)
+
+    def parents(self, node: int) -> "array[int]":
+        """The parents of ``node``."""
+        lo = self._store.read_element("parent_offsets", node)
+        hi = self._store.read_element("parent_offsets", node + 1)
+        return self._store.read_slice("parent_targets", lo, hi)
+
+    def extent(self, node: int) -> "array[int]":
+        """The extent of index node ``node`` (index snapshots only)."""
+        if not self._has_extents:
+            raise PagedStoreError("this paged snapshot carries no extents")
+        lo = self._store.read_element("extent_offsets", node)
+        hi = self._store.read_element("extent_offsets", node + 1)
+        return self._store.read_slice("extent_targets", lo, hi)
+
+    # -- materialisation -----------------------------------------------
+
+    def to_csr(self) -> CSRGraph:
+        """Materialise the snapshot as in-memory :class:`CSRGraph`."""
+        def whole(name: str) -> "array[int]":
+            return self._store.read_slice(name, 0, self._store.length(name))
+
+        return CSRGraph(
+            whole("label_ids"),
+            whole("child_offsets"),
+            whole("child_targets"),
+            whole("parent_offsets"),
+            whole("parent_targets"),
+            num_labels=self.num_labels,
+            extent_offsets=whole("extent_offsets") if self._has_extents else None,
+            extent_targets=whole("extent_targets") if self._has_extents else None,
+            k=whole("k") if self.k is not None else None,
+        )
+
+    def to_datagraph(self) -> Any:
+        """Materialise a mutable :class:`DataGraph`, restoring the seal."""
+        graph = self.to_csr().to_datagraph(self._labels)
+        if self._sealed:
+            graph.freeze(mode="seal")
+        return graph
+
+    # -- lifecycle -----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Publish mutations as a new store generation."""
+        return self._store.checkpoint()
+
+    def close(self, discard_dirty: bool = False) -> None:
+        """Detach from the store."""
+        self._store.close(discard_dirty=discard_dirty)
+
+    def __enter__(self) -> "PagedCSRGraph":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._store.__exit__(exc_type, exc, tb)
+
+    def __repr__(self) -> str:
+        kind = "index" if self._has_extents else "data"
+        return (
+            f"PagedCSRGraph({kind}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, generation={self._store.generation})"
+        )

@@ -167,3 +167,51 @@ def test_chaos_no_durability_flag(capsys):
     assert code == 0
     output = capsys.readouterr().out
     assert "durability crash matrix" not in output
+
+
+def test_bench_bogus_scale_is_clean_error(capsys):
+    # Regression: an unknown scale token used to escape as a raw
+    # ValueError traceback from float(); it must be a clean CLI error.
+    code = main(["bench", "fig4", "--scale", "bogus"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "bogus" in err
+    assert "small" in err  # the message names the valid tokens
+
+
+def test_bench_named_scale_accepted(capsys):
+    # Named scales (small/medium/large) work on every bench experiment,
+    # not just the refinement harness that introduced them.
+    code = main(["bench", "fig4", "--scale", "small"])
+    assert code == 0
+    assert "[FIG4]" in capsys.readouterr().out
+
+
+def test_bench_outofcore_writes_report(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_outofcore.json"
+    code = main(
+        ["bench", "outofcore", "--scale", "0.05", "--budget-ratio", "0.25",
+         "--page-bytes", "4096", "--out", str(out)]
+    )
+    assert code == 0
+    report = json.loads(out.read_text(encoding="utf-8"))
+    assert report["schema"] == "dkindex-bench-outofcore/1"
+    assert report["summary"]["partition_identical"] is True
+    assert report["budget_bytes"] <= max(4096, report["footprint_bytes"] // 4)
+    phases = report["phases"]
+    assert set(phases) >= {
+        "columnar_in_memory", "page_out", "external_build", "query_sweep"
+    }
+    assert phases["external_build"]["pool"]["misses"] > 0
+    output = capsys.readouterr().out
+    assert "[OUTOFCORE]" in output
+    assert "partition identical" in output
+
+
+def test_bench_outofcore_bogus_scale_is_clean_error(capsys):
+    code = main(["bench", "outofcore", "--scale", "huge"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err

@@ -141,6 +141,67 @@ def test_parallel_run_releases_shared_segments(monkeypatch):
     assert engine._views == []
 
 
+def _shm_segments():
+    """Names of the host's shared-memory segments (Linux /dev/shm)."""
+    import os
+
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+
+
+def test_midrun_failure_releases_shared_segments(monkeypatch):
+    # Regression: a raise after the fork pool spun up used to leave the
+    # engine's shared-memory segments alive until (at best) interpreter
+    # GC and, under prompt process death, leaked them in /dev/shm.  The
+    # drivers now release in a finally, so even an injected crash in
+    # the middle of a refinement run must leave no trace behind.
+    monkeypatch.setattr(columnar_module, "PARALLEL_NODE_THRESHOLD", 0)
+    engine = ColumnarEngine(cyclic_idref_graph(2, size=100), jobs=2)
+    real_round = engine._refine_round
+    calls = {"count": 0}
+
+    def crash_on_second_round(*args, **kwargs):
+        calls["count"] += 1
+        if calls["count"] == 2:  # after the pool and segments exist
+            raise RuntimeError("injected mid-run failure")
+        return real_round(*args, **kwargs)
+
+    monkeypatch.setattr(engine, "_refine_round", crash_on_second_round)
+    before = _shm_segments()
+    with pytest.raises(RuntimeError, match="injected"):
+        engine.run_fixpoint()
+    assert engine._pool is None
+    assert engine._segments == []
+    assert engine._views == []
+    assert _shm_segments() == before  # nothing left in /dev/shm
+
+
+def test_abandoned_refine_rounds_generator_releases_segments(monkeypatch):
+    # A caller that stops iterating refine_rounds() part-way through
+    # (break, exception, lost reference) must not keep the fork pool or
+    # its segments alive: closing the generator releases them.
+    monkeypatch.setattr(columnar_module, "PARALLEL_NODE_THRESHOLD", 0)
+    engine = ColumnarEngine(cyclic_idref_graph(3, size=100), jobs=2)
+    before = _shm_segments()
+    rounds = engine.refine_rounds()
+    next(rounds)  # the pool is live here
+    rounds.close()
+    assert engine._pool is None
+    assert engine._segments == []
+    assert _shm_segments() == before
+
+
+def test_engine_close_and_context_manager(monkeypatch):
+    monkeypatch.setattr(columnar_module, "PARALLEL_NODE_THRESHOLD", 0)
+    before = _shm_segments()
+    with ColumnarEngine(cyclic_idref_graph(4, size=80), jobs=2) as engine:
+        engine.run_fixpoint()
+    assert engine._pool is None
+    assert _shm_segments() == before
+    engine.close()  # idempotent on an already-released engine
+
+
 # ----------------------------------------------------------------------
 # numpy sweep (skipped transparently when the extra is not installed)
 # ----------------------------------------------------------------------

@@ -101,15 +101,22 @@ def assert_engines_agree(graph, jobs=None):
         assert kbisim_partition(
             graph, k, engine="columnar", jobs=jobs
         ) == legacy_k
+        assert kbisim_partition(
+            graph, k, engine="external", jobs=jobs
+        ) == legacy_k
     worklist, worklist_rounds = bisim_partition(
         graph, engine="worklist", jobs=jobs
     )
     columnar, columnar_rounds = bisim_partition(
         graph, engine="columnar", jobs=jobs
     )
+    external, external_rounds = bisim_partition(
+        graph, engine="external", jobs=jobs
+    )
     legacy, legacy_rounds = bisim_partition(graph, engine="legacy")
-    assert worklist == legacy == columnar
+    assert worklist == legacy == columnar == external
     assert worklist_rounds == legacy_rounds == columnar_rounds
+    assert external_rounds == legacy_rounds
     levels = broadcast_levels(graph)
     legacy_leveled = leveled_partition(graph, levels, engine="legacy")
     assert leveled_partition(
@@ -117,6 +124,9 @@ def assert_engines_agree(graph, jobs=None):
     ) == legacy_leveled
     assert leveled_partition(
         graph, levels, engine="columnar", jobs=jobs
+    ) == legacy_leveled
+    assert leveled_partition(
+        graph, levels, engine="external", jobs=jobs
     ) == legacy_leveled
 
 
@@ -216,6 +226,8 @@ def test_resolve_engine_env_override(monkeypatch):
     assert resolve_engine("worklist") == "worklist"  # explicit beats env
     monkeypatch.setenv("DKINDEX_ENGINE", "columnar")
     assert resolve_engine("auto") == "columnar"
+    monkeypatch.setenv("DKINDEX_ENGINE", "external")
+    assert resolve_engine("auto") == "external"
     monkeypatch.setenv("DKINDEX_ENGINE", "bogus")
     with pytest.raises(ValueError):
         resolve_engine("auto")

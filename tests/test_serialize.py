@@ -1,19 +1,26 @@
 """Unit tests for :mod:`repro.graph.serialize`."""
 
+import base64
 import json
+import sys
+from array import array
 
 import pytest
 from hypothesis import given
 
 from conftest import small_graphs
-from repro.exceptions import SerializationError
+from repro.exceptions import FrozenGraphError, SerializationError
 from repro.graph.builder import graph_from_edges
 from repro.graph.serialize import (
     dumps,
+    frozen_from_dict,
+    frozen_to_dict,
     graph_from_dict,
     graph_to_dict,
+    load_frozen_graph,
     load_graph,
     loads,
+    save_frozen_graph,
     save_graph,
 )
 
@@ -112,6 +119,116 @@ def test_json_is_plain():
     text = dumps(sample())
     parsed = json.loads(text)
     assert isinstance(parsed, dict)
+
+
+# ----------------------------------------------------------------------
+# Frozen documents: endianness and seal state
+# ----------------------------------------------------------------------
+
+
+def _forge_opposite_endian(data):
+    """Rewrite a frozen document as a foreign-endian producer would.
+
+    Every buffer's base64 payload is byte-swapped and the byteorder
+    stamp flipped — exactly the document a host of the other endianness
+    writes for the same graph.
+    """
+    forged = dict(data)
+    forged["byteorder"] = "big" if sys.byteorder == "little" else "little"
+    swapped_buffers = {}
+    for name, text in data["buffers"].items():
+        values = array("q")
+        values.frombytes(base64.b64decode(text))
+        values.byteswap()
+        swapped_buffers[name] = base64.b64encode(values.tobytes()).decode(
+            "ascii"
+        )
+    forged["buffers"] = swapped_buffers
+    return forged
+
+
+def test_opposite_endian_payload_round_trips_bit_identically():
+    # Regression: a frozen file written on a foreign-endian host must
+    # load byte-swapped, not be rejected or (worse) misread.  Loading
+    # the forged document and re-serializing natively must reproduce
+    # the original native document exactly.
+    graph = sample()
+    native = frozen_to_dict(graph)
+    forged = _forge_opposite_endian(native)
+    assert forged["buffers"] != native["buffers"]  # the forgery is real
+
+    restored = frozen_from_dict(forged)
+    assert sorted(restored.edges()) == sorted(graph.edges())
+    view, original = restored.freeze(), graph.freeze()
+    for name in ("label_ids", "child_offsets", "child_targets",
+                 "parent_offsets", "parent_targets"):
+        assert getattr(view, name) == getattr(original, name)
+    assert frozen_to_dict(restored)["buffers"] == native["buffers"]
+
+
+def test_frozen_round_trip_random_graphs_survive_forged_endianness():
+    for seed_edges in ([(0, 1)], [(0, 1), (1, 2), (0, 2)]):
+        graph = graph_from_edges(["x", "y"], seed_edges)
+        restored = frozen_from_dict(
+            _forge_opposite_endian(frozen_to_dict(graph))
+        )
+        assert sorted(restored.edges()) == sorted(graph.edges())
+
+
+def test_frozen_round_trip_preserves_seal(tmp_path):
+    graph = sample()
+    graph.freeze(mode="seal")
+    path = tmp_path / "frozen.json"
+    save_frozen_graph(graph, path)
+
+    loaded = load_frozen_graph(path)
+    assert loaded.sealed
+    with pytest.raises(FrozenGraphError):
+        loaded.add_node("z")
+    loaded.thaw()
+    loaded.add_node("z")  # mutable again after the explicit thaw
+    assert loaded.num_nodes == graph.num_nodes + 1
+
+
+def test_frozen_round_trip_unsealed_stays_mutable(tmp_path):
+    graph = sample()
+    graph.freeze()  # snapshot without sealing
+    path = tmp_path / "frozen.json"
+    save_frozen_graph(graph, path)
+    loaded = load_frozen_graph(path)
+    assert not loaded.sealed
+    loaded.add_node("z")
+
+
+def test_frozen_sealed_flag_defaults_to_unsealed():
+    # Version-1 documents written before the flag existed load mutable.
+    data = frozen_to_dict(sample())
+    del data["sealed"]
+    assert not frozen_from_dict(data).sealed
+
+
+def test_paged_manifest_rejected_by_inline_loader():
+    data = frozen_to_dict(sample())
+    data["version"] = 2  # a paged manifest: buffers live in page files
+    with pytest.raises(SerializationError, match="PagedCSRGraph.open"):
+        frozen_from_dict(data)
+
+
+def test_frozen_rejects_invalid_byteorder():
+    data = frozen_to_dict(sample())
+    data["byteorder"] = "middle"
+    with pytest.raises(SerializationError, match="byteorder"):
+        frozen_from_dict(data)
+
+
+def test_frozen_rejects_ragged_buffer():
+    data = frozen_to_dict(sample())
+    raw = base64.b64decode(data["buffers"]["child_targets"])
+    data["buffers"]["child_targets"] = base64.b64encode(raw[:-3]).decode(
+        "ascii"
+    )
+    with pytest.raises(SerializationError, match="64-bit"):
+        frozen_from_dict(data)
 
 
 @given(small_graphs())
