@@ -26,10 +26,20 @@ One run, on a seeded dataset (XMark by default):
    buffers; random access is the pool's worst case, so its hit rate is
    reported separately from the build's sequential sweeps.
 
+With ``--fault-rate F`` a fifth phase repeats the external build while
+a :class:`~repro.maintenance.faults.FaultInjector` fires transient
+``EIO`` read faults on a seeded coin at rate ``F``: the build must
+still complete — carried entirely by the retry/backoff policy of
+:mod:`repro.storage.retry`, never by an engine fallback — and the
+report records the injected-fault count, retry counters and the
+wall-clock overhead relative to the fault-free build
+(``recovery_overhead``).
+
 Per-phase pool counters (hits, misses, evictions, write-backs, hit
-rate) come from :class:`~repro.storage.paged.PoolStats` deltas.  The
-result is written to ``BENCH_outofcore.json`` following the same
-committed-trajectory convention as ``BENCH_refinement.json``.
+rate, retries, give-ups) come from
+:class:`~repro.storage.paged.PoolStats` deltas.  The result is written
+to ``BENCH_outofcore.json`` following the same committed-trajectory
+convention as ``BENCH_refinement.json``.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from repro.bench.harness import DATASET_BUILDERS
 from repro.bench.refine import SCALE_NAMES
 from repro.bench.reporting import render_table
 from repro.exceptions import DatasetError
+from repro.maintenance.faults import FaultInjector
 from repro.partition.columnar import ColumnarEngine
 from repro.partition.external import ExternalEngine
 from repro.storage.paged import (
@@ -53,6 +64,7 @@ from repro.storage.paged import (
     PagedCSRGraph,
     resolve_page_bytes,
 )
+from repro.storage.retry import RetryPolicy, resolve_retry_policy
 
 #: Schema identifier written into the report JSON.
 SCHEMA = "dkindex-bench-outofcore/1"
@@ -98,6 +110,9 @@ class OutOfCoreBenchConfig:
         dataset: generator name (see
             :data:`repro.bench.harness.DATASET_BUILDERS`).
         queries: random lookups in the query-sweep phase.
+        fault_rate: when positive, repeat the external build with
+            transient ``EIO`` read faults injected on a seeded coin at
+            this rate, and record the retry/recovery overhead.
     """
 
     scale: str = "medium"
@@ -106,6 +121,7 @@ class OutOfCoreBenchConfig:
     page_bytes: int | None = None
     dataset: str = "xmark"
     queries: int = DEFAULT_QUERIES
+    fault_rate: float = 0.0
 
     @property
     def scale_pair(self) -> tuple[str, float]:
@@ -128,6 +144,10 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
     if config.budget_ratio <= 0:
         raise DatasetError(
             f"budget ratio must be positive: {config.budget_ratio}"
+        )
+    if not 0.0 <= config.fault_rate <= 1.0:
+        raise DatasetError(
+            f"fault rate must be within [0, 1]: {config.fault_rate}"
         )
     builder = DATASET_BUILDERS.get(config.dataset)
     if builder is None:
@@ -159,6 +179,20 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
         "blocks": baseline.num_blocks,
     }
 
+    # A deeper retry budget for the fault-injected build: at a 10%
+    # fault rate the default four attempts give up roughly once per
+    # hundred thousand reads, which a large build *will* hit.  Eight
+    # attempts push that to one in ~10^9 — the phase measures retry
+    # overhead, not give-up luck.
+    retry: RetryPolicy | None = None
+    if config.fault_rate > 0:
+        base = resolve_retry_policy(seed=config.seed)
+        retry = RetryPolicy(
+            retries=max(base.retries, 8),
+            backoff_ms=min(base.backoff_ms, 0.25),
+            seed=config.seed,
+        )
+
     with TemporaryDirectory(prefix="dkindex-outofcore-") as tmp:
         # Phase 2: page the snapshot out to disk.
         start = time.perf_counter()
@@ -167,6 +201,7 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
             graph,
             page_bytes=page_bytes,
             budget_bytes=budget,
+            retry=retry,
         )
         phases["page_out"] = {
             "seconds": round(time.perf_counter() - start, 6),
@@ -194,6 +229,47 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
                 "partition_identical": identical,
                 "pool": paged.stats.delta(before).as_dict(),
             }
+
+            # Phase 3b (optional): the same build under injected
+            # transient read faults — completion must come from the
+            # retry policy alone (the engine is driven directly, so a
+            # retry give-up raises; there is no fallback to hide in).
+            faults_ok = True
+            if config.fault_rate > 0:
+                injector = FaultInjector(
+                    "storage.page_read_eio_transient",
+                    "transient",
+                    seed=config.seed,
+                    rate=config.fault_rate,
+                )
+                before = paged.stats.snapshot()
+                start = time.perf_counter()
+                with injector:
+                    with ExternalEngine(paged) as faulty_engine:
+                        faulty, faulty_rounds = faulty_engine.run_fixpoint()
+                faulty_seconds = time.perf_counter() - start
+                delta = paged.stats.delta(before)
+                faults_ok = (
+                    faulty == baseline
+                    and faulty_rounds == baseline_rounds
+                    and delta.give_ups == 0
+                )
+                phases["external_build_faulty"] = {
+                    "seconds": round(faulty_seconds, 6),
+                    "fault_rate": config.fault_rate,
+                    "faults_injected": injector.fires,
+                    "retries": delta.retries,
+                    "give_ups": delta.give_ups,
+                    "partition_identical": faulty == baseline
+                    and faulty_rounds == baseline_rounds,
+                    "degraded": False,
+                    "recovery_overhead": (
+                        round(faulty_seconds / build_seconds, 3)
+                        if build_seconds > 0
+                        else float("inf")
+                    ),
+                    "pool": delta.as_dict(),
+                }
 
             # Phase 4: seeded random lookups, verified against memory.
             rng = random.Random(config.seed)
@@ -233,6 +309,7 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
             "budget_ratio": config.budget_ratio,
             "page_bytes": page_bytes,
             "queries": config.queries,
+            "fault_rate": config.fault_rate,
         },
         "graph": {
             "nodes": graph.num_nodes,
@@ -251,6 +328,7 @@ def run_outofcore_bench(config: OutOfCoreBenchConfig) -> dict[str, object]:
             ),
             "partition_identical": identical,
             "queries_verified": verified == config.queries,
+            "faulted_build_ok": faults_ok,
             "overall_pool": overall,
         },
     }
@@ -271,15 +349,20 @@ def format_report(report: dict[str, object]) -> str:
     for name, phase in phases.items():
         pool = phase.get("pool")
         if isinstance(pool, dict):
+            # .get with defaults: reports written before the retry
+            # counters existed must still render.
             traffic = (
-                f"{pool['hits']}/{pool['misses']}/{pool['evictions']}"
+                f"{pool.get('hits', 0)}/{pool.get('misses', 0)}"
+                f"/{pool.get('evictions', 0)}"
             )
-            rate = f"{pool['hit_rate']:.3f}"
+            rate = f"{pool.get('hit_rate', 1.0):.3f}"
+            retries = f"{pool.get('retries', 0)}/{pool.get('give_ups', 0)}"
         else:
             traffic = "-"
             rate = "-"
+            retries = "-"
         rows.append(
-            [name, f"{phase['seconds'] * 1000:.1f}", traffic, rate]
+            [name, f"{phase['seconds'] * 1000:.1f}", traffic, rate, retries]
         )
     config = report["config"]
     summary = report["summary"]
@@ -291,14 +374,28 @@ def format_report(report: dict[str, object]) -> str:
         f"{report['footprint_bytes']} B), page {config['page_bytes']} B"
     )
     table = render_table(
-        ["phase", "ms", "hit/miss/evict", "hit rate"], rows, title=title
+        ["phase", "ms", "hit/miss/evict", "hit rate", "retry/give-up"],
+        rows,
+        title=title,
     )
+    ok = bool(summary["partition_identical"]) and bool(
+        summary["queries_verified"]
+    )
+    ok = ok and bool(summary.get("faulted_build_ok", True))
     verdict = (
         "partition identical to in-memory columnar; "
         f"all {config['queries']} queries verified"
-        if summary["partition_identical"] and summary["queries_verified"]
+        if ok
         else "VERIFICATION FAILED"
     )
+    if "external_build_faulty" in phases:
+        faulty = phases["external_build_faulty"]
+        verdict += (
+            f"\nfaulted build @ rate {faulty['fault_rate']}: "
+            f"{faulty['faults_injected']} fault(s) injected, "
+            f"{faulty['retries']} retried, {faulty['give_ups']} gave up, "
+            f"{faulty['recovery_overhead']}x fault-free wall-clock"
+        )
     return f"{table}\n{verdict}"
 
 
@@ -309,11 +406,13 @@ def main_entry(
     page_bytes: int | None,
     dataset: str,
     out: str,
+    fault_rate: float = 0.0,
 ) -> int:
     """CLI driver: run, write the JSON, print the summary table.
 
     Exits non-zero when the external build diverges from the in-memory
-    partition or any query disagrees — the harness doubles as an
+    partition, any query disagrees, or the fault-injected build (when
+    requested) gave up or diverged — the harness doubles as an
     end-to-end check, not just a stopwatch.
     """
     config = OutOfCoreBenchConfig(
@@ -322,6 +421,7 @@ def main_entry(
         budget_ratio=budget_ratio,
         page_bytes=page_bytes,
         dataset=dataset,
+        fault_rate=fault_rate,
     )
     report = run_outofcore_bench(config)
     write_report(report, out)
@@ -329,7 +429,9 @@ def main_entry(
     print(f"wrote {out}")
     summary = report["summary"]
     assert isinstance(summary, dict)
-    ok = bool(summary["partition_identical"]) and bool(
-        summary["queries_verified"]
+    ok = (
+        bool(summary["partition_identical"])
+        and bool(summary["queries_verified"])
+        and bool(summary["faulted_build_ok"])
     )
     return 0 if ok else 1

@@ -18,17 +18,24 @@ Commands:
   time checkpoint recovery against an Algorithm-2 rebuild and write
   ``BENCH_recovery.json`` (see docs/robustness.md).
 - ``dkindex bench outofcore [--scale S] [--budget-ratio R]
-  [--page-bytes B] [--out FILE]`` — page a dataset's CSR snapshot to
-  disk, rebuild its bisimulation partition through the external engine
-  with the LRU pool capped at a fraction of the in-memory footprint,
-  verify partition identity and paged query answers, and write
-  ``BENCH_outofcore.json`` (see docs/performance.md).
+  [--page-bytes B] [--fault-rate F] [--out FILE]`` — page a dataset's
+  CSR snapshot to disk, rebuild its bisimulation partition through the
+  external engine with the LRU pool capped at a fraction of the
+  in-memory footprint, verify partition identity and paged query
+  answers, and write ``BENCH_outofcore.json`` (see
+  docs/performance.md); ``--fault-rate`` repeats the build with
+  transient read faults injected and records the retry overhead.
 - ``dkindex audit FILE [--level fast|deep]`` — audit a stored
   D(k)-index; exits 1 on findings.
-- ``dkindex chaos [--seed N] [--journal-dir DIR] [--no-durability]`` —
-  run the fault-injection suite proving rollback-or-repair for every
-  update operation, then the durability crash matrix over the
-  checkpoint store; exits 1 if any scenario breaks.
+- ``dkindex chaos [--seed N] [--journal-dir DIR] [--no-durability]
+  [--storage]`` — run the fault-injection suite proving
+  rollback-or-repair for every update operation, the durability crash
+  matrix over the checkpoint store, and the storage crash matrix over
+  the paged out-of-core stack (``--storage`` runs only the last);
+  exits 1 if any scenario breaks.
+- ``dkindex scrub DIR [--no-repair]`` — digest-verify every live page
+  of a paged store, quarantine corrupt page files and restore them
+  from older generations; exits 1 when a rebuild is required.
 - ``dkindex checkpoint DIR [--init FILE] [--retain N]`` — create a
   checkpoint store around a saved index, or roll an existing store
   forward to a fresh generation (recover, snapshot, rotate).
@@ -115,6 +122,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             seed=args.seed,
             budget_ratio=args.budget_ratio,
             page_bytes=args.page_bytes,
+            fault_rate=args.fault_rate,
             dataset=args.datasets.split(",")[0].strip() or "xmark",
             out=args.out or "BENCH_outofcore.json",
         )
@@ -250,22 +258,48 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.maintenance.chaos import run_chaos_suite, run_durability_suite
+    from repro.maintenance.chaos import (
+        run_chaos_suite,
+        run_durability_suite,
+        run_storage_suite,
+    )
 
-    report = run_chaos_suite(seed=args.seed, journal_dir=args.journal_dir)
-    print(report.format())
-    ok = report.ok
-    if not args.no_durability:
-        work_dir = (
-            f"{args.journal_dir}/durability"
-            if args.journal_dir is not None
-            else None
-        )
-        durability = run_durability_suite(seed=args.seed, work_dir=work_dir)
+    ok = True
+    first = True
+    if not args.storage:
+        report = run_chaos_suite(seed=args.seed, journal_dir=args.journal_dir)
+        print(report.format())
+        ok = report.ok
+        first = False
+        if not args.no_durability:
+            work_dir = (
+                f"{args.journal_dir}/durability"
+                if args.journal_dir is not None
+                else None
+            )
+            durability = run_durability_suite(
+                seed=args.seed, work_dir=work_dir
+            )
+            print()
+            print(durability.format())
+            ok = ok and durability.ok
+    if not first:
         print()
-        print(durability.format())
-        ok = ok and durability.ok
+    storage_dir = (
+        f"{args.journal_dir}/storage" if args.journal_dir is not None else None
+    )
+    storage = run_storage_suite(seed=args.seed, work_dir=storage_dir)
+    print(storage.format())
+    ok = ok and storage.ok
     return 0 if ok else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    from repro.maintenance.repair import scrub_store
+
+    report = scrub_store(args.directory, repair=not args.no_repair)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -453,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--page-bytes", type=int, default=None,
                        help="(outofcore) page size in bytes (default: "
                        "DKINDEX_PAGE_BYTES or 16384)")
+    bench.add_argument("--fault-rate", type=float, default=0.0,
+                       help="(outofcore) also run the external build with "
+                       "transient read faults injected at this rate and "
+                       "record the retry/recovery overhead")
     bench.set_defaults(func=_cmd_bench)
 
     generate = sub.add_parser("generate", help="generate a dataset graph")
@@ -519,7 +557,22 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--no-durability", action="store_true",
                        help="skip the checkpoint-store durability crash "
                        "matrix and run only the update-operation suite")
+    chaos.add_argument("--storage", action="store_true",
+                       help="run only the paged-storage crash matrix "
+                       "(fault-injected page I/O, retry, scrub & repair, "
+                       "engine degradation)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="digest-verify (and repair) every page of a paged store",
+    )
+    scrub.add_argument("directory", help="a PagedStore/PagedCSRGraph "
+                       "directory")
+    scrub.add_argument("--no-repair", action="store_true",
+                       help="report corruption without restoring pages "
+                       "from older generations")
+    scrub.set_defaults(func=_cmd_scrub)
 
     checkpoint = sub.add_parser(
         "checkpoint",

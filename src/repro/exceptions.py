@@ -138,3 +138,32 @@ class PagedStoreError(SerializationError):
     persistence format — callers guarding a load path with
     ``except SerializationError`` stay correct.
     """
+
+
+class StorageDegradationWarning(UserWarning):
+    """A refinement engine failed on storage I/O and a fallback took over.
+
+    Emitted by :func:`repro.partition.refinement.resolve_engine`'s
+    degradation path (``DKINDEX_DEGRADE=warn``, the default) when the
+    requested engine died on an exhausted storage path — retry budget
+    spent, disk full, pool unsatisfiable — and the build restarted on
+    the next engine down the ``external -> columnar -> worklist`` chain.
+    The result is still *correct* (every engine computes the identical
+    partition); what changed is the resource profile, which is why this
+    is a warning rather than an error.  A :class:`UserWarning` subclass
+    so ``-W error::UserWarning`` CI runs surface silent degradation.
+
+    Attributes:
+        from_engine: the engine that failed.
+        to_engine: the engine that took over.
+        reason: the storage failure that triggered the fallback.
+    """
+
+    def __init__(self, from_engine: str, to_engine: str, reason: str) -> None:
+        super().__init__(
+            f"storage degradation: engine {from_engine!r} failed "
+            f"({reason}); falling back to {to_engine!r}"
+        )
+        self.from_engine = from_engine
+        self.to_engine = to_engine
+        self.reason = reason

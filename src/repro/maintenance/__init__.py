@@ -50,10 +50,12 @@ if TYPE_CHECKING:  # pragma: no cover - for type checkers only
         ChaosReport,
         run_chaos_suite,
         run_durability_suite,
+        run_storage_suite,
     )
     from repro.maintenance.faults import (
         DURABILITY_FAULT_POINTS,
         FAULT_POINTS,
+        STORAGE_FAULT_POINTS,
         FaultInjector,
         fault_point,
         inject_faults,
@@ -66,7 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - for type checkers only
         scan_journal,
     )
     from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
-    from repro.maintenance.repair import RepairReport, repair_index
+    from repro.maintenance.repair import RepairReport, repair_index, scrub_store
     from repro.maintenance.store import (
         ArtifactStatus,
         CheckpointInfo,
@@ -96,8 +98,10 @@ _EXPORTS: dict[str, str] = {
     "ChaosReport": "repro.maintenance.chaos",
     "run_chaos_suite": "repro.maintenance.chaos",
     "run_durability_suite": "repro.maintenance.chaos",
+    "run_storage_suite": "repro.maintenance.chaos",
     "DURABILITY_FAULT_POINTS": "repro.maintenance.faults",
     "FAULT_POINTS": "repro.maintenance.faults",
+    "STORAGE_FAULT_POINTS": "repro.maintenance.faults",
     "FaultInjector": "repro.maintenance.faults",
     "fault_point": "repro.maintenance.faults",
     "inject_faults": "repro.maintenance.faults",
@@ -110,6 +114,7 @@ _EXPORTS: dict[str, str] = {
     "UpdatePipeline": "repro.maintenance.pipeline",
     "RepairReport": "repro.maintenance.repair",
     "repair_index": "repro.maintenance.repair",
+    "scrub_store": "repro.maintenance.repair",
     "ArtifactStatus": "repro.maintenance.store",
     "CheckpointInfo": "repro.maintenance.store",
     "CheckpointStore": "repro.maintenance.store",

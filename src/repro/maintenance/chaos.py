@@ -29,23 +29,50 @@ Everything derives from the printed seed; a failing triple
 from __future__ import annotations
 
 import random
+import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.core.dindex import DKIndex
 from repro.core.updates import dk_add_edge
-from repro.exceptions import InjectedFaultError, QuarantineError, ReproError
+from repro.exceptions import (
+    InjectedFaultError,
+    PagedStoreError,
+    QuarantineError,
+    ReproError,
+    StorageDegradationWarning,
+)
 from repro.graph.builder import graph_from_edges
+from repro.graph.columnar import CSRGraph
 from repro.graph.datagraph import DataGraph
 from repro.graph.serialize import graph_to_dict
 from repro.indexes.evaluation import evaluate_on_index
-from repro.maintenance.faults import FAULT_MODES, FaultInjector
+from repro.maintenance.faults import FaultInjector
 from repro.maintenance.pipeline import MaintenanceConfig, UpdatePipeline
 from repro.maintenance.store import CheckpointStore
 from repro.maintenance.transaction import UpdateTransaction, state_fingerprint
+from repro.partition.blocks import Partition
+from repro.partition.refinement import (
+    DEGRADE_ENV_VAR,
+    ENGINE_ENV_VAR,
+    bisim_partition,
+)
 from repro.paths.evaluator import evaluate_on_data_graph
 from repro.paths.query import make_query
+from repro.storage.paged import (
+    PAGE_BYTES_ENV_VAR,
+    POOL_BUDGET_ENV_VAR,
+    PagedCSRGraph,
+)
+from repro.storage.retry import IO_BACKOFF_MS_ENV_VAR, IO_RETRIES_ENV_VAR
+from repro.storage.spill import SPILL_BUDGET_ENV_VAR
+
+#: Modes the update-pipeline matrix exercises.  The OS-error modes
+#: (``transient``/``enospc``) belong to the storage matrix below — the
+#: update pipeline has no retry policy to absorb them, by design.
+UPDATE_CHAOS_MODES = ("raise", "corrupt")
 
 #: Fault points that lie on (or may lie on) each operation's path.  The
 #: shared ``pipeline.pre_audit`` point is exercised for every operation.
@@ -149,7 +176,7 @@ class ChaosReport:
         return "\n".join(lines)
 
 
-def _fixture() -> DKIndex:
+def _fixture_graph() -> DataGraph:
     """A small store with branching, sharing and a cycle.
 
     Node 0 is the implicit root; 1=db, then three ``m`` subtrees with
@@ -171,8 +198,11 @@ def _fixture() -> DKIndex:
         (8, 10),
         (7, 2),  # a -> m back edge (cycle)
     ]
-    graph = graph_from_edges(labels, edges)
-    return DKIndex.build(graph, {"t": 2, "x": 3})
+    return graph_from_edges(labels, edges)
+
+
+def _fixture() -> DKIndex:
+    return DKIndex.build(_fixture_graph(), {"t": 2, "x": 3})
 
 
 def _subgraph_fixture() -> DataGraph:
@@ -331,7 +361,7 @@ def run_chaos_suite(
     report = ChaosReport(seed=seed)
     for op, points in POINTS_FOR_OP.items():
         for point in points:
-            for mode in FAULT_MODES:
+            for mode in UPDATE_CHAOS_MODES:
                 report.outcomes.append(
                     _run_scenario(op, point, mode, seed, directory)
                 )
@@ -544,6 +574,525 @@ def run_durability_suite(
         report.outcomes.append(
             _run_durability_scenario(
                 phase, point, mode, hit, target, seed, directory
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# The storage crash matrix
+# ----------------------------------------------------------------------
+
+#: Page size every storage scenario runs at: 64 bytes = 8 entries, so
+#: the 11-node fixture spans multiple pages per buffer and every fault
+#: point gets several hits per phase.
+STORAGE_PAGE_BYTES = 64
+
+#: Pool budget: four pages — small enough that sweeps miss and evict.
+STORAGE_POOL_BUDGET = 256
+
+#: Buffers compared byte-for-byte against the fault-free baseline.
+_CSR_BUFFER_NAMES = (
+    "label_ids",
+    "child_offsets",
+    "child_targets",
+    "parent_offsets",
+    "parent_targets",
+)
+
+#: Every storage scenario: which phase of the paged-store lifecycle is
+#: attacked, at which injection point, in which mode, on which hit
+#: (ignored when ``rate`` > 0: the fault then fires on a seeded coin at
+#: every hit instead of latching once), and the outcome the robustness
+#: contract requires:
+#:
+#: - ``absorbed``: the operation succeeds under the fault (retry or
+#:   scan-side fallback), state identical to the fault-free baseline;
+#: - ``rebuilt``: the operation fails loudly, a fault-free rerun
+#:   produces the baseline state;
+#: - ``degraded``: the external engine fails, the driver falls back
+#:   down the engine chain with a :class:`StorageDegradationWarning`,
+#:   and the partition is *identical* to the columnar baseline;
+#: - ``loud``: an injected crash propagates (never absorbed into a
+#:   degradation), and a clean rerun matches the baseline;
+#: - ``rolled-back``: a failed checkpoint publishes nothing — reopening
+#:   serves the previous generation, byte-identical;
+#: - ``repaired``: silent bit-rot is caught by the digest scrub and
+#:   restored from an older generation's byte-identical twin;
+#: - ``recovered``: a rotten or missing manifest/CURRENT falls back to
+#:   the newest readable generation (or a loud give-up heals once the
+#:   fault clears), with content verified;
+#: - ``flagged-rebuild``: bit-rot with no donor generation is
+#:   quarantined, reads stay loud, and the scrub demands a rebuild —
+#:   never silent loss.
+STORAGE_SCENARIOS: tuple[tuple[str, str, str, int, float, str], ...] = (
+    ("create", "storage.page_torn_write", "raise", 1, 0.0, "rebuilt"),
+    ("create", "storage.page_torn_write", "raise", 3, 0.0, "rebuilt"),
+    ("create", "storage.page_torn_write", "transient", 1, 0.0, "absorbed"),
+    ("create", "storage.page_enospc", "enospc", 1, 0.0, "rebuilt"),
+    ("create", "storage.page_enospc", "enospc", 5, 0.0, "rebuilt"),
+    ("create", "storage.page_bit_flip", "corrupt", 2, 0.0, "flagged-rebuild"),
+    ("build", "storage.page_read_eio_transient", "transient", 1, 0.10, "absorbed"),
+    ("build", "storage.page_read_eio_transient", "transient", 1, 1.0, "degraded"),
+    ("build", "storage.page_enospc", "enospc", 1, 0.0, "degraded"),
+    ("build", "storage.page_bit_flip", "corrupt", 1, 0.0, "degraded"),
+    ("build", "storage.page_torn_write", "raise", 1, 0.0, "loud"),
+    ("build", "storage.spill_torn_run", "transient", 1, 1.0, "degraded"),
+    ("build", "storage.spill_torn_run", "corrupt", 1, 0.0, "degraded"),
+    ("build", "storage.spill_torn_run", "raise", 1, 0.0, "loud"),
+    ("writeback", "storage.pool_evict_writeback_fail", "raise", 1, 0.0, "rolled-back"),
+    ("writeback", "storage.pool_evict_writeback_fail", "transient", 1, 0.0, "absorbed"),
+    ("writeback", "storage.page_torn_write", "raise", 1, 0.0, "rolled-back"),
+    ("writeback", "storage.page_enospc", "enospc", 1, 0.0, "rolled-back"),
+    ("writeback", "storage.page_bit_flip", "corrupt", 1, 0.0, "repaired"),
+    ("checkpoint", "storage.manifest_corrupt", "corrupt", 1, 0.0, "recovered"),
+    ("checkpoint", "storage.manifest_corrupt", "raise", 1, 0.0, "recovered"),
+    ("checkpoint", "store.bit_flip", "corrupt", 1, 0.0, "recovered"),
+    ("checkpoint", "store.bit_flip", "corrupt", 2, 0.0, "absorbed"),
+    ("scrub", "storage.page_read_eio_transient", "transient", 1, 0.0, "absorbed"),
+    ("query", "storage.page_read_eio_transient", "transient", 1, 0.20, "absorbed"),
+    ("query", "storage.page_read_eio_transient", "transient", 1, 1.0, "recovered"),
+)
+
+
+@contextmanager
+def _env_overrides(overrides: dict[str, str | None]) -> Iterator[None]:
+    """Set (or clear, for ``None``) environment variables, then restore."""
+    import os
+
+    saved = {key: os.environ.get(key) for key in overrides}
+    try:
+        for key, value in overrides.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+def _paged_content_mismatch(
+    paged: PagedCSRGraph, view: CSRGraph
+) -> str | None:
+    """Why the paged snapshot diverges from the in-memory CSR view."""
+    store = paged.store
+    for name in _CSR_BUFFER_NAMES:
+        got = store.read_slice(name, 0, store.length(name))
+        if got != getattr(view, name):
+            return f"buffer {name!r} differs from the fault-free baseline"
+    return None
+
+
+def _sweep_mismatch(paged: PagedCSRGraph, view: CSRGraph) -> str | None:
+    """Full adjacency sweep through the pool, checked node by node."""
+    for node in range(view.num_nodes):
+        if list(paged.children(node)) != list(view.children(node)):
+            return f"children({node}) diverge from the baseline"
+        if list(paged.parents(node)) != list(view.parents(node)):
+            return f"parents({node}) diverge from the baseline"
+    return None
+
+
+_StorageVerdict = tuple[str, bool, str]
+
+
+def _storage_create(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault the initial page-out; rebuilds must be loud, never lossy."""
+    graph = _fixture_graph()
+    view = graph.freeze()
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    failure: ReproError | None = None
+    with injector:
+        try:
+            PagedCSRGraph.create(work / "store", graph).close()
+        except (InjectedFaultError, PagedStoreError) as error:
+            failure = error
+    if failure is not None:
+        # Loud failure: the rebuild at a fresh path must match baseline.
+        with PagedCSRGraph.create(work / "rebuild", graph) as rebuilt:
+            mismatch = _paged_content_mismatch(rebuilt, view)
+        if mismatch is not None:
+            return "broken", injector.fired, mismatch
+        return "rebuilt", injector.fired, type(failure).__name__
+    if not injector.fired:
+        return "broken", False, "fault never fired"
+    # Creation survived: either the retry absorbed a transient fault or
+    # a page silently rotted — the scrub must tell the two apart.
+    with PagedCSRGraph.open(work / "store") as paged:
+        scrubbed = paged.scrub()
+        if scrubbed.rebuild_required:
+            bad = scrubbed.unrepairable[0]
+            store = paged.store
+            try:
+                store.read_slice(bad.buffer, 0, store.length(bad.buffer))
+            except PagedStoreError:
+                pass  # quarantined page stays loud, as required
+            else:
+                return (
+                    "broken",
+                    True,
+                    "unrepairable page still readable after scrub",
+                )
+            with PagedCSRGraph.create(work / "rebuild", graph) as rebuilt:
+                mismatch = _paged_content_mismatch(rebuilt, view)
+            if mismatch is not None:
+                return "broken", True, mismatch
+            return (
+                "flagged-rebuild",
+                True,
+                f"{bad.buffer}[{bad.page_index}] quarantined, no donor",
+            )
+        mismatch = _paged_content_mismatch(paged, view)
+        if mismatch is not None:
+            return "broken", True, mismatch
+    return "absorbed", True, "retry carried the page-out through"
+
+
+def _storage_build(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault a full external-engine build; degradation must be honest."""
+    graph = _fixture_graph()
+    baseline, base_rounds = bisim_partition(graph, engine="columnar")
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    crashed: InjectedFaultError | None = None
+    result: tuple[Partition, int] | None = None
+    with injector:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            try:
+                result = bisim_partition(graph, engine="external")
+            except InjectedFaultError as error:
+                crashed = error
+        degradations = [
+            entry.message
+            for entry in caught
+            if isinstance(entry.message, StorageDegradationWarning)
+        ]
+    if crashed is not None:
+        # Injected crashes must stay loud — degradation absorbing a
+        # simulated crash would absorb real ones too.  A clean rerun
+        # must then reproduce the baseline exactly.
+        partition, rounds = bisim_partition(graph, engine="external")
+        if partition.block_of != baseline.block_of or rounds != base_rounds:
+            return "broken", True, "post-crash rerun diverges from baseline"
+        return "loud", True, "crash propagated; clean rerun identical"
+    assert result is not None
+    partition, rounds = result
+    if partition.block_of != baseline.block_of or rounds != base_rounds:
+        return (
+            "broken",
+            injector.fired,
+            "partition diverges from the columnar baseline",
+        )
+    if not injector.fired:
+        return "broken", False, "fault never fired"
+    if degradations:
+        warning = degradations[0]
+        return (
+            "degraded",
+            True,
+            f"{warning.from_engine} -> {warning.to_engine}, "
+            "partition identical",
+        )
+    return "absorbed", True, "retries absorbed every injected fault"
+
+
+def _storage_writeback(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault the dirty-page flush of a checkpoint (the COW write path)."""
+    graph = _fixture_graph()
+    view = graph.freeze()
+    store_dir = work / "store"
+    paged = PagedCSRGraph.create(store_dir, graph)
+    store = paged.store
+    # Same-value writes across two buffers: every page of both goes
+    # dirty (4 pages — exactly the pool budget, so no early eviction),
+    # and the flushed twins are byte-identical to generation 1's pages,
+    # which is what makes older-generation donor repair possible.
+    for name in ("label_ids", "child_targets"):
+        for position in range(store.length(name)):
+            store.write_element(name, position, store.read_element(name, position))
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    failure: ReproError | None = None
+    with injector:
+        try:
+            store.checkpoint()
+        except (InjectedFaultError, PagedStoreError) as error:
+            failure = error
+    retries = store.stats.retries
+    paged.close(discard_dirty=True)
+    with PagedCSRGraph.open(store_dir) as reopened:
+        if failure is not None:
+            if reopened.store.generation != 1:
+                return (
+                    "broken",
+                    injector.fired,
+                    "failed checkpoint published a generation",
+                )
+            mismatch = _paged_content_mismatch(reopened, view)
+            if mismatch is not None:
+                return "broken", True, mismatch
+            return "rolled-back", injector.fired, type(failure).__name__
+        scrubbed = reopened.scrub()
+        if scrubbed.rebuild_required:
+            return (
+                "unrepaired",
+                injector.fired,
+                scrubbed.unrepairable[0].detail,
+            )
+        mismatch = _paged_content_mismatch(reopened, view)
+        if mismatch is not None:
+            return "broken", injector.fired, mismatch
+        if scrubbed.repaired:
+            return "repaired", injector.fired, scrubbed.repaired[0].detail
+    if not injector.fired:
+        return "broken", False, "fault never fired"
+    return "absorbed", True, f"checkpoint committed after {retries} retry(ies)"
+
+
+def _storage_checkpoint(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault the manifest/CURRENT publication step of a checkpoint."""
+    graph = _fixture_graph()
+    view = graph.freeze()
+    store_dir = work / "store"
+    paged = PagedCSRGraph.create(store_dir, graph)
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    failure: ReproError | None = None
+    with injector:
+        try:
+            paged.checkpoint()  # no dirty pages: pure publication
+        except (InjectedFaultError, PagedStoreError) as error:
+            failure = error
+    paged.close(discard_dirty=True)
+    with PagedCSRGraph.open(store_dir) as reopened:
+        mismatch = _paged_content_mismatch(reopened, view)
+        opened_generation = reopened.store.generation
+    if mismatch is not None:
+        return "broken", injector.fired, mismatch
+    if not injector.fired:
+        return "broken", False, "fault never fired"
+    if mode == "corrupt" and opened_generation < 2:
+        return (
+            "recovered",
+            True,
+            f"fell back to generation {opened_generation}",
+        )
+    if failure is not None:
+        return (
+            "recovered",
+            True,
+            f"opened generation {opened_generation} after the crash",
+        )
+    return "absorbed", True, f"generation {opened_generation} readable"
+
+
+def _storage_scrub(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault the scrub's own verification reads; retries must carry it."""
+    graph = _fixture_graph()
+    view = graph.freeze()
+    store_dir = work / "store"
+    PagedCSRGraph.create(store_dir, graph).close()
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    with PagedCSRGraph.open(store_dir) as paged:
+        with injector:
+            scrubbed = paged.scrub()
+        if not injector.fired:
+            return "broken", False, "fault never fired"
+        if not scrubbed.ok or scrubbed.repaired:
+            return (
+                "broken",
+                True,
+                "transient read fault misdiagnosed as corruption",
+            )
+        mismatch = _paged_content_mismatch(paged, view)
+        if mismatch is not None:
+            return "broken", True, mismatch
+    return "absorbed", True, "scrub verified every page through retries"
+
+
+def _storage_query(
+    point: str, mode: str, hit: int, rate: float, seed: int, work: Path
+) -> _StorageVerdict:
+    """Fault page reads under a query-style adjacency sweep."""
+    graph = _fixture_graph()
+    view = graph.freeze()
+    store_dir = work / "store"
+    PagedCSRGraph.create(store_dir, graph).close()
+    injector = FaultInjector(
+        point, mode, trigger_on_hit=hit, seed=seed, rate=rate
+    )
+    failure: ReproError | None = None
+    with PagedCSRGraph.open(store_dir) as paged:
+        with injector:
+            try:
+                mismatch = _sweep_mismatch(paged, view)
+            except PagedStoreError as error:
+                failure = error
+                mismatch = None
+        give_ups = paged.stats.give_ups
+        retries = paged.stats.retries
+        if failure is not None:
+            # The retry budget gave up loudly; once the fault clears,
+            # the same store must serve the sweep unharmed.
+            if give_ups < 1:
+                return "broken", True, "read failed without a give-up count"
+            mismatch = _sweep_mismatch(paged, view)
+            if mismatch is not None:
+                return "broken", True, mismatch
+            return (
+                "recovered",
+                True,
+                f"{give_ups} give-up(s), sweep clean after the fault cleared",
+            )
+        if mismatch is not None:
+            return "broken", injector.fired, mismatch
+        if not injector.fired:
+            return "broken", False, "fault never fired"
+        if give_ups:
+            return "broken", True, "survivable fault rate still gave up"
+    return "absorbed", True, f"{retries} retry(ies), zero give-ups"
+
+
+_STORAGE_PHASES: dict[
+    str,
+    Callable[[str, str, int, float, int, Path], _StorageVerdict],
+] = {
+    "create": _storage_create,
+    "build": _storage_build,
+    "writeback": _storage_writeback,
+    "checkpoint": _storage_checkpoint,
+    "scrub": _storage_scrub,
+    "query": _storage_query,
+}
+
+
+def _run_storage_scenario(
+    phase: str,
+    point: str,
+    mode: str,
+    hit: int,
+    rate: float,
+    expect: str,
+    seed: int,
+    work: Path,
+) -> ChaosOutcome:
+    overrides: dict[str, str | None] = {
+        PAGE_BYTES_ENV_VAR: str(STORAGE_PAGE_BYTES),
+        POOL_BUDGET_ENV_VAR: str(STORAGE_POOL_BUDGET),
+        # Keep the suite fast: the retry *logic* is what is under test,
+        # not the wall-clock of its sleeps.
+        IO_BACKOFF_MS_ENV_VAR: "0",
+        IO_RETRIES_ENV_VAR: None,
+        DEGRADE_ENV_VAR: "warn",
+        ENGINE_ENV_VAR: None,
+        # Spill scenarios force a spill per appended record; everything
+        # else runs with the default in-memory working set.
+        SPILL_BUDGET_ENV_VAR: (
+            "0" if point == "storage.spill_torn_run" else None
+        ),
+    }
+    if 0 < rate < 1:
+        # Probabilistic-rate scenarios: a one-page pool makes every
+        # read a miss (maximal fault-point traffic, so the seeded coin
+        # reliably fires), and a deeper retry budget keeps the give-up
+        # probability negligible at survivable rates.
+        overrides[POOL_BUDGET_ENV_VAR] = str(STORAGE_PAGE_BYTES)
+        overrides[IO_RETRIES_ENV_VAR] = "6"
+    work.mkdir(parents=True, exist_ok=True)
+    mode_label = f"{mode}@{rate:g}" if rate > 0 else mode
+    with _env_overrides(overrides):
+        try:
+            outcome, fired, detail = _STORAGE_PHASES[phase](
+                point, mode, hit, rate, seed, work
+            )
+        except ReproError as error:
+            return ChaosOutcome(
+                phase,
+                point,
+                mode_label,
+                True,
+                "broken",
+                f"unhandled {type(error).__name__}: {error}",
+            )
+    if outcome != expect and outcome not in ("broken", "unrepaired"):
+        return ChaosOutcome(
+            phase,
+            point,
+            mode_label,
+            fired,
+            "broken",
+            f"expected {expect!r}, observed {outcome!r} ({detail})",
+        )
+    return ChaosOutcome(phase, point, mode_label, fired, outcome, detail)
+
+
+def run_storage_suite(
+    seed: int = 0,
+    work_dir: str | Path | None = None,
+) -> ChaosReport:
+    """Run the storage crash matrix over the paged out-of-core stack.
+
+    For every scenario in :data:`STORAGE_SCENARIOS`: build the fixture
+    graph against a deliberately tiny paged store (64-byte pages, a
+    four-page pool), arm one storage fault point in one mode, attack
+    one phase of the store lifecycle — initial page-out, an
+    external-engine build, the copy-on-write flush, manifest
+    publication, the scrub itself, or a query-style read sweep — and
+    hold the result to the zero-silent-loss contract: every scenario
+    must end with state digest-verified identical to the fault-free
+    baseline, or with a *flagged* degradation, rollback, or rebuild.
+    Anything that diverges silently is reported as ``broken``.
+
+    Args:
+        seed: determinism anchor (drives bit-flip positions, the
+            seeded retry jitter and the probabilistic fault coin).
+        work_dir: where scenario store directories are built; a
+            temporary directory (removed afterwards) when omitted.
+
+    Returns:
+        A :class:`ChaosReport`; ``report.ok`` is the suite verdict.
+    """
+    import tempfile
+
+    if work_dir is None:
+        with tempfile.TemporaryDirectory(prefix="dk-storage-") as scratch:
+            return run_storage_suite(seed=seed, work_dir=scratch)
+    directory = Path(work_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    report = ChaosReport(seed=seed, title="storage crash matrix")
+    for position, scenario in enumerate(STORAGE_SCENARIOS):
+        phase, point, mode, hit, rate, expect = scenario
+        scenario_dir = (
+            directory
+            / f"{position:02d}--{phase}--{point.split('.', 1)[1]}--{mode}"
+        )
+        report.outcomes.append(
+            _run_storage_scenario(
+                phase, point, mode, hit, rate, expect,
+                seed + position, scenario_dir,
             )
         )
     return report

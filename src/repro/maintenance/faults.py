@@ -24,6 +24,9 @@ path permanently.
 
 from __future__ import annotations
 
+import errno
+import os
+import random
 from types import TracebackType
 from typing import TYPE_CHECKING
 
@@ -52,10 +55,30 @@ DURABILITY_FAULT_POINTS: dict[str, str] = {
     "recover.mid_ladder": "recovery: crash between two rungs of the ladder",
 }
 
+#: Storage injection points threaded through the out-of-core layer
+#: (:mod:`repro.storage.paged` and :mod:`repro.storage.spill`).  Unlike
+#: the durability points, several of these model *operating-system*
+#: failures rather than crashes: the ``transient`` mode raises an
+#: ``EIO`` that a later attempt would not see (exercising the retry/
+#: backoff policy), and ``enospc`` raises a persistent ``ENOSPC`` that
+#: no amount of retrying fixes (exercising degradation).  The ``rate``
+#: knob makes a point fire probabilistically on *every* hit instead of
+#: latching on the Nth — a flaky disk, not a single landmine.
+STORAGE_FAULT_POINTS: dict[str, str] = {
+    "storage.page_torn_write": "page emit: page file half-written at the crash",
+    "storage.page_bit_flip": "page emit: page durable, then one byte rots",
+    "storage.page_read_eio_transient": "page load: the read fails with EIO",
+    "storage.page_enospc": "page emit: the filesystem is out of space",
+    "storage.manifest_corrupt": "checkpoint: manifest durable, then rots",
+    "storage.spill_torn_run": "spill append: the run frame tears or rots",
+    "storage.pool_evict_writeback_fail": "pool evict: dirty write-back fails",
+}
+
 #: Registry of injection points threaded through the update/refinement
 #: code, keyed by name with a short description of where the point sits.
 FAULT_POINTS: dict[str, str] = {
     **DURABILITY_FAULT_POINTS,
+    **STORAGE_FAULT_POINTS,
     "add_edge.planned": "dk_add_edge: plan complete, before the first write",
     "add_edge.graph_mutated": "dk_add_edge: data edge in, index untouched",
     "add_edge.index_edge": "dk_add_edge: index edge in, ks not yet lowered",
@@ -71,8 +94,13 @@ FAULT_POINTS: dict[str, str] = {
 }
 
 #: Injection modes: ``raise`` throws InjectedFaultError at the point;
-#: ``corrupt`` silently damages a k value and lets the operation finish.
-FAULT_MODES = ("raise", "corrupt")
+#: ``corrupt`` silently damages a k value (or flips a file byte) and
+#: lets the operation finish; ``transient`` raises ``OSError(EIO)`` —
+#: the retryable class of I/O failure; ``enospc`` raises
+#: ``OSError(ENOSPC)`` — the persistent class.  The OS-error modes make
+#: the fault indistinguishable from a real kernel failure, so the code
+#: under test cannot special-case the harness.
+FAULT_MODES = ("raise", "corrupt", "transient", "enospc")
 
 
 class FaultInjector:
@@ -80,14 +108,21 @@ class FaultInjector:
 
     Args:
         point: a key of :data:`FAULT_POINTS`.
-        mode: ``"raise"`` or ``"corrupt"``.
+        mode: one of :data:`FAULT_MODES`.
         trigger_on_hit: fire on the Nth time the point is reached
-            (1-based); later hits pass through untouched.
-        seed: determinism anchor for corruption victim selection.
+            (1-based); later hits pass through untouched.  Ignored when
+            ``rate`` is set.
+        seed: determinism anchor for corruption victim selection and
+            the rate-mode coin flips.
+        rate: when > 0, fire independently on *every* hit with this
+            probability (seeded, so the exact firing sequence
+            reproduces) instead of latching on the Nth hit — models a
+            flaky device rather than a single event.
 
     Attributes:
         hits: how often the armed point has been reached.
-        fired: whether the fault actually triggered.
+        fired: whether the fault triggered at least once.
+        fires: how many times the fault actually triggered.
     """
 
     def __init__(
@@ -96,6 +131,7 @@ class FaultInjector:
         mode: str = "raise",
         trigger_on_hit: int = 1,
         seed: int = 0,
+        rate: float = 0.0,
     ) -> None:
         if point not in FAULT_POINTS:
             raise MaintenanceError(
@@ -108,12 +144,17 @@ class FaultInjector:
             )
         if trigger_on_hit < 1:
             raise MaintenanceError("trigger_on_hit is 1-based")
+        if not 0.0 <= rate <= 1.0:
+            raise MaintenanceError(f"fault rate must be in [0, 1]: {rate}")
         self.point = point
         self.mode = mode
         self.trigger_on_hit = trigger_on_hit
         self.seed = seed
+        self.rate = rate
         self.hits = 0
         self.fired = False
+        self.fires = 0
+        self._coin = random.Random(seed) if rate > 0 else None
 
     # -- installation ---------------------------------------------------
 
@@ -141,11 +182,27 @@ class FaultInjector:
         if point != self.point:
             return
         self.hits += 1
-        if self.fired or self.hits != self.trigger_on_hit:
+        if self._coin is not None:
+            if self._coin.random() >= self.rate:
+                return
+        elif self.fired or self.hits != self.trigger_on_hit:
             return
         self.fired = True
+        self.fires += 1
         if self.mode == "raise":
             raise InjectedFaultError(point, self.hits)
+        if self.mode == "transient":
+            raise OSError(
+                errno.EIO,
+                f"injected: {os.strerror(errno.EIO)}",
+                None if path is None else str(path),
+            )
+        if self.mode == "enospc":
+            raise OSError(
+                errno.ENOSPC,
+                f"injected: {os.strerror(errno.ENOSPC)}",
+                None if path is None else str(path),
+            )
         if path is not None:
             self._corrupt_file(path)
         elif index is not None:
@@ -215,9 +272,12 @@ def inject_faults(
     mode: str = "raise",
     trigger_on_hit: int = 1,
     seed: int = 0,
+    rate: float = 0.0,
 ) -> FaultInjector:
     """Convenience constructor: ``with inject_faults("add_edge.planned"): ...``."""
-    return FaultInjector(point, mode, trigger_on_hit=trigger_on_hit, seed=seed)
+    return FaultInjector(
+        point, mode, trigger_on_hit=trigger_on_hit, seed=seed, rate=rate
+    )
 
 
 def fault_point(

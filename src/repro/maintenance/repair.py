@@ -20,17 +20,27 @@ strategies, re-auditing (at ``deep``) after each:
 A :class:`RepairReport` records every attempt; if even the rebuild does
 not audit clean, the index stays quarantined and the pipeline raises
 :class:`~repro.exceptions.QuarantineError`.
+
+For indexes served out of *paged storage* there is a rung below all
+three: :func:`scrub_store` digest-verifies and repairs the page files
+themselves (quarantining what it cannot repair), because when the
+backing pages are rotten no index-level strategy can even read the
+state it would fix.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
 
 from repro.exceptions import ReproError
 from repro.graph.datagraph import DataGraph
 from repro.indexes.base import IndexGraph
 from repro.maintenance.audit import AuditOutcome, run_audit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.paged import ScrubReport
 
 
 @dataclass
@@ -148,3 +158,27 @@ def repair_index(
     except ReproError as error:
         report.attempts.append(RepairAttempt("rebuild", False, str(error)))
     return report
+
+
+def scrub_store(
+    directory: str | Path,
+    *,
+    repair: bool = True,
+    budget_bytes: int | None = None,
+) -> "ScrubReport":
+    """Rung 0 of the ladder, for paged storage: page scrub & repair.
+
+    Opens the paged store at ``directory``, digest-verifies every page
+    its live manifest references, quarantines corrupt page files and
+    restores each from the newest older generation holding a
+    byte-identical twin (see
+    :meth:`repro.storage.paged.PagedStore.scrub`).  Runs *below* the
+    index-level strategies of :func:`repair_index`: when the report
+    flags ``rebuild_required``, escalate to the ``rebuild`` strategy —
+    the unrepairable pages stay quarantined and unreadable, never
+    silently served.
+    """
+    from repro.storage.paged import PagedStore
+
+    with PagedStore.open(directory, budget_bytes=budget_bytes) as store:
+        return store.scrub(repair=repair)

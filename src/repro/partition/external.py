@@ -41,7 +41,7 @@ from typing import Any
 from repro.graph.columnar import BUFFER_TYPECODE, CSRGraph
 from repro.partition.columnar import _EMPTY_KEY, ColumnarEngine
 from repro.storage.paged import PagedCSRGraph, PoolStats
-from repro.storage.spill import DEFAULT_SPILL_BUDGET, SpillRuns
+from repro.storage.spill import SpillRuns, resolve_spill_budget
 
 #: One-element encoded payload for the parentless sentinel key.
 _EMPTY_PAYLOAD = array(BUFFER_TYPECODE, [_EMPTY_KEY]).tobytes()
@@ -62,7 +62,8 @@ class ExternalEngine(ColumnarEngine):
         page_bytes: page size for an engine-owned store (``None`` reads
             ``DKINDEX_PAGE_BYTES``); ignored for a passed-in store.
         spill_bytes: in-memory working-set cap per signature sweep
-            before ``(position, key)`` runs spill to disk.
+            before ``(position, key)`` runs spill to disk (``None``
+            reads ``DKINDEX_SPILL_BUDGET``).
 
     The driver surface (``run_kbisim`` / ``run_fixpoint`` /
     ``run_leveled`` / ``refine_rounds``) is inherited unchanged.
@@ -74,7 +75,7 @@ class ExternalEngine(ColumnarEngine):
         *,
         budget_bytes: int | None = None,
         page_bytes: int | None = None,
-        spill_bytes: int = DEFAULT_SPILL_BUDGET,
+        spill_bytes: int | None = None,
     ) -> None:
         self._tempdir: tempfile.TemporaryDirectory[str] | None = None
         self._owns_store = False
@@ -92,7 +93,7 @@ class ExternalEngine(ColumnarEngine):
             )
             self._owns_store = True
         self.paged = paged
-        self._spill_bytes = spill_bytes
+        self._spill_bytes = resolve_spill_budget(spill_bytes)
         self._spills = 0
         self._bind(paged, jobs=1)
         # Belt and braces: jobs=1 already bypasses the fork pool, but a
@@ -119,7 +120,13 @@ class ExternalEngine(ColumnarEngine):
             range(len(hash_nodes)), key=hash_nodes.__getitem__
         )
         out: list[int | tuple[int, ...]] = [_EMPTY_KEY] * len(hash_nodes)
-        with SpillRuns(budget_bytes=self._spill_bytes) as runs:
+        # Spill retries/give-ups land in the same PoolStats the page
+        # I/O uses, so one counter pair prices the whole fault story.
+        with SpillRuns(
+            budget_bytes=self._spill_bytes,
+            stats=store.stats,
+            retry=store.retry,
+        ) as runs:
             for position in order:
                 node = hash_nodes[position]
                 start = store.read_element("parent_offsets", node)

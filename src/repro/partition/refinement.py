@@ -46,13 +46,26 @@ Three engines implement the rounds:
 or ``external`` — which lets the benchmark harness re-route whole
 construction pipelines without threading a parameter through every call
 site.
+
+When a storage-backed engine *fails on storage* — retry budget
+exhausted, disk full, pool unsatisfiable — the drivers degrade along
+``external → columnar → worklist`` instead of dying, emitting a
+:class:`~repro.exceptions.StorageDegradationWarning` (every engine
+computes the identical partition, so correctness is unaffected; only
+the resource profile changes).  ``DKINDEX_DEGRADE`` selects the
+policy: ``warn`` (the default) falls back with the warning, ``auto``
+falls back silently, ``off`` re-raises the storage error unchanged.
+Injected crash faults (:class:`~repro.exceptions.InjectedFaultError`)
+are never absorbed — a simulated crash must stay loud.
 """
 
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Sequence
+import warnings
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
+from repro.exceptions import PagedStoreError, StorageDegradationWarning
 from repro.partition.blocks import Partition
 from repro.partition.columnar import ColumnarEngine
 from repro.partition.engine import LabeledAdjacency, RefinementEngine
@@ -65,6 +78,28 @@ ENGINE_CHOICES = ("auto", "worklist", "columnar", "external", "legacy")
 
 #: Environment variable that re-routes ``engine="auto"`` callers.
 ENGINE_ENV_VAR = "DKINDEX_ENGINE"
+
+#: Environment variable selecting the storage-degradation policy.
+DEGRADE_ENV_VAR = "DKINDEX_DEGRADE"
+
+#: Degradation policies: ``off`` re-raises storage failures, ``warn``
+#: falls back with a :class:`StorageDegradationWarning`, ``auto`` falls
+#: back silently.
+DEGRADE_CHOICES = ("off", "warn", "auto")
+
+DEFAULT_DEGRADE = "warn"
+
+#: Fallback order when a storage-backed engine is exhausted.  The
+#: worklist engine has no entry: it touches no storage, so a failure
+#: there is not a storage failure and must propagate.
+_DEGRADE_CHAIN = {"external": "columnar", "columnar": "worklist"}
+
+#: The storage-exhaustion error classes a fallback may absorb.
+#: :class:`~repro.exceptions.InjectedFaultError` is deliberately not
+#: here — it subclasses none of these, so simulated crashes stay loud.
+_DEGRADABLE_ERRORS = (PagedStoreError, OSError, MemoryError)
+
+_R = TypeVar("_R")
 
 # Backwards-compatible alias; the protocol moved to the engine module.
 _LabeledAdjacency = LabeledAdjacency
@@ -93,11 +128,59 @@ def resolve_engine(engine: str) -> str:
     return engine
 
 
+def resolve_degrade(policy: str | None = None) -> str:
+    """Resolve the degradation policy: argument, environment, default.
+
+    Raises:
+        ValueError: for unknown policy names.
+    """
+    if policy is None:
+        policy = (
+            os.environ.get(DEGRADE_ENV_VAR, "").strip().lower()
+            or DEFAULT_DEGRADE
+        )
+    if policy not in DEGRADE_CHOICES:
+        raise ValueError(
+            f"unknown degradation policy {policy!r}; choose from "
+            f"{DEGRADE_CHOICES}"
+        )
+    return policy
+
+
 def _external_engine(graph: LabeledAdjacency) -> "ExternalEngine":
     """Build the out-of-core engine (imported lazily: storage stack)."""
     from repro.partition.external import ExternalEngine
 
     return ExternalEngine(graph)
+
+
+def _run_degradable(
+    resolved: str, runners: dict[str, Callable[[], _R]]
+) -> _R:
+    """Run ``runners[resolved]``, degrading down the engine chain.
+
+    A storage-exhaustion failure (:data:`_DEGRADABLE_ERRORS`) in an
+    engine with a fallback restarts the build on the next engine down
+    — every engine computes the identical partition, so the retry is
+    semantically free.  The ``off`` policy, the absence of a fallback,
+    and non-storage exceptions (including injected crash faults) all
+    re-raise unchanged.
+    """
+    policy = resolve_degrade()
+    current = resolved
+    while True:
+        try:
+            return runners[current]()
+        except _DEGRADABLE_ERRORS as error:
+            fallback = _DEGRADE_CHAIN.get(current)
+            if policy == "off" or fallback is None:
+                raise
+            if policy == "warn":
+                warnings.warn(
+                    StorageDegradationWarning(current, fallback, str(error)),
+                    stacklevel=3,
+                )
+            current = fallback
 
 
 def label_partition(graph: LabeledAdjacency) -> Partition:
@@ -168,13 +251,24 @@ def kbisim_partition(
         ValueError: if ``k`` is negative or ``engine`` is unknown.
     """
     resolved = resolve_engine(engine)
-    if resolved == "worklist":
-        return RefinementEngine(graph, jobs=jobs).run_kbisim(k)
-    if resolved == "columnar":
-        return ColumnarEngine(graph, jobs=jobs).run_kbisim(k)
-    if resolved == "external":
-        with _external_engine(graph) as engine:
-            return engine.run_kbisim(k)
+    if resolved != "legacy":
+
+        def run_external() -> Partition:
+            with _external_engine(graph) as ext:
+                return ext.run_kbisim(k)
+
+        return _run_degradable(
+            resolved,
+            {
+                "worklist": lambda: RefinementEngine(
+                    graph, jobs=jobs
+                ).run_kbisim(k),
+                "columnar": lambda: ColumnarEngine(
+                    graph, jobs=jobs
+                ).run_kbisim(k),
+                "external": run_external,
+            },
+        )
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
     partition = label_partition(graph)
@@ -199,13 +293,24 @@ def bisim_partition(
     "depth"); nodes in a common block are k-bisimilar for every k.
     """
     resolved = resolve_engine(engine)
-    if resolved == "worklist":
-        return RefinementEngine(graph, jobs=jobs).run_fixpoint()
-    if resolved == "columnar":
-        return ColumnarEngine(graph, jobs=jobs).run_fixpoint()
-    if resolved == "external":
-        with _external_engine(graph) as engine:
-            return engine.run_fixpoint()
+    if resolved != "legacy":
+
+        def run_external() -> tuple[Partition, int]:
+            with _external_engine(graph) as ext:
+                return ext.run_fixpoint()
+
+        return _run_degradable(
+            resolved,
+            {
+                "worklist": lambda: RefinementEngine(
+                    graph, jobs=jobs
+                ).run_fixpoint(),
+                "columnar": lambda: ColumnarEngine(
+                    graph, jobs=jobs
+                ).run_fixpoint(),
+                "external": run_external,
+            },
+        )
     partition = label_partition(graph)
     rounds = 0
     while True:
@@ -243,13 +348,24 @@ def leveled_partition(
             negative entry.
     """
     resolved = resolve_engine(engine)
-    if resolved == "worklist":
-        return RefinementEngine(graph, jobs=jobs).run_leveled(node_levels)
-    if resolved == "columnar":
-        return ColumnarEngine(graph, jobs=jobs).run_leveled(node_levels)
-    if resolved == "external":
-        with _external_engine(graph) as engine:
-            return engine.run_leveled(node_levels)
+    if resolved != "legacy":
+
+        def run_external() -> Partition:
+            with _external_engine(graph) as ext:
+                return ext.run_leveled(node_levels)
+
+        return _run_degradable(
+            resolved,
+            {
+                "worklist": lambda: RefinementEngine(
+                    graph, jobs=jobs
+                ).run_leveled(node_levels),
+                "columnar": lambda: ColumnarEngine(
+                    graph, jobs=jobs
+                ).run_leveled(node_levels),
+                "external": run_external,
+            },
+        )
     if len(node_levels) != graph.num_nodes:
         raise ValueError(
             f"node_levels has {len(node_levels)} entries for "

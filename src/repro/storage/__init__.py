@@ -35,22 +35,50 @@ from repro.storage.paged import (
     PagedCSRGraph,
     PagedStore,
     PoolStats,
+    ScrubPage,
+    ScrubReport,
     resolve_page_bytes,
     resolve_pool_budget,
 )
-from repro.storage.spill import SpillRuns
+from repro.storage.retry import (
+    DEFAULT_IO_BACKOFF_MS,
+    DEFAULT_IO_RETRIES,
+    IO_BACKOFF_MS_ENV_VAR,
+    IO_RETRIES_ENV_VAR,
+    TRANSIENT_ERRNOS,
+    RetryPolicy,
+    io_retry,
+    resolve_retry_policy,
+)
+from repro.storage.spill import (
+    SPILL_BUDGET_ENV_VAR,
+    SpillRuns,
+    resolve_spill_budget,
+)
 
 __all__ = [
+    "DEFAULT_IO_BACKOFF_MS",
+    "DEFAULT_IO_RETRIES",
     "DEFAULT_PAGE_BYTES",
     "DEFAULT_POOL_BUDGET",
+    "IO_BACKOFF_MS_ENV_VAR",
+    "IO_RETRIES_ENV_VAR",
     "PAGE_BYTES_ENV_VAR",
     "POOL_BUDGET_ENV_VAR",
+    "SPILL_BUDGET_ENV_VAR",
+    "TRANSIENT_ERRNOS",
     "PagedBuffer",
     "PagedBufferPool",
     "PagedCSRGraph",
     "PagedStore",
     "PoolStats",
+    "RetryPolicy",
+    "ScrubPage",
+    "ScrubReport",
     "SpillRuns",
+    "io_retry",
     "resolve_page_bytes",
     "resolve_pool_budget",
+    "resolve_retry_policy",
+    "resolve_spill_budget",
 ]

@@ -48,7 +48,11 @@ from pathlib import Path
 from types import TracebackType
 from typing import Any, Callable
 
-from repro.exceptions import PagedStoreError, SerializationError
+from repro.exceptions import (
+    InjectedFaultError,
+    PagedStoreError,
+    SerializationError,
+)
 from repro.graph.columnar import BUFFER_TYPECODE, CSRGraph
 from repro.graph.serialize import (
     FROZEN_FORMAT_NAME,
@@ -56,6 +60,7 @@ from repro.graph.serialize import (
     buffer_from_bytes,
     buffer_to_bytes,
 )
+from repro.maintenance.faults import fault_point
 from repro.maintenance.store import (
     CURRENT_NAME,
     TMP_SUFFIX,
@@ -64,6 +69,7 @@ from repro.maintenance.store import (
     fsync_directory,
     read_document,
 )
+from repro.storage.retry import RetryPolicy, io_retry, resolve_retry_policy
 
 #: Bytes per buffer entry (``array('q')``).
 ENTRY_BYTES = 8
@@ -83,6 +89,7 @@ POOL_BUDGET_ENV_VAR = "DKINDEX_POOL_BUDGET"
 DEFAULT_RETAIN = 2
 
 PAGES_DIRNAME = "pages"
+QUARANTINE_DIRNAME = "quarantine"
 MANIFEST_PREFIX = "manifest-"
 MANIFEST_SUFFIX = ".json"
 PAGE_PREFIX = "page-"
@@ -162,12 +169,20 @@ def resolve_pool_budget(budget_bytes: int | None = None) -> int:
 
 @dataclass
 class PoolStats:
-    """Counters of one :class:`PagedBufferPool` (cumulative)."""
+    """Counters of one :class:`PagedBufferPool` (cumulative).
+
+    ``retries``/``give_ups`` count the transient-I/O retry policy
+    (:mod:`repro.storage.retry`): a retry is one re-attempt after a
+    transient ``OSError``, a give-up is one operation that exhausted
+    its whole attempt budget.  A fault-free run holds both at zero.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     write_backs: int = 0
+    retries: int = 0
+    give_ups: int = 0
 
     @property
     def accesses(self) -> int:
@@ -191,6 +206,8 @@ class PoolStats:
             misses=self.misses - since.misses,
             evictions=self.evictions - since.evictions,
             write_backs=self.write_backs - since.write_backs,
+            retries=self.retries - since.retries,
+            give_ups=self.give_ups - since.give_ups,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -200,6 +217,8 @@ class PoolStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "write_backs": self.write_backs,
+            "retries": self.retries,
+            "give_ups": self.give_ups,
             "hit_rate": round(self.hit_rate, 6),
         }
 
@@ -225,12 +244,14 @@ class PagedBufferPool:
         budget_bytes: int,
         loader: Callable[[PageKey], "array[int]"],
         writer: Callable[[PageKey, "array[int]"], None] | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if budget_bytes < 0:
             raise PagedStoreError(f"pool budget must be >= 0: {budget_bytes}")
         self.budget_bytes = budget_bytes
         self._loader = loader
         self._writer = writer
+        self._retry = retry
         self._pages: "OrderedDict[PageKey, array[int]]" = OrderedDict()
         self._dirty: set[PageKey] = set()
         self._pins: dict[PageKey, int] = {}
@@ -325,11 +346,25 @@ class PagedBufferPool:
         self.stats.evictions += 1
 
     def _write_back(self, key: PageKey, page: "array[int]") -> None:
-        if self._writer is None:
+        writer = self._writer
+        if writer is None:
             raise PagedStoreError(
                 f"read-only pool cannot write back dirty page {key!r}"
             )
-        self._writer(key, page)
+
+        def persist() -> None:
+            fault_point("storage.pool_evict_writeback_fail")
+            writer(key, page)
+
+        if self._retry is not None:
+            io_retry(
+                persist,
+                what=f"write back dirty page {key!r}",
+                policy=self._retry,
+                stats=self.stats,
+            )
+        else:
+            persist()
         self._dirty.discard(key)
         self.stats.write_backs += 1
 
@@ -376,12 +411,45 @@ def _manifest_path(directory: Path, generation: int) -> Path:
 
 
 def _emit_page(
-    pages_dir: Path, physical: int, page: "array[int]", byteorder: str
+    pages_dir: Path,
+    physical: int,
+    page: "array[int]",
+    byteorder: str,
+    *,
+    retry: RetryPolicy | None = None,
+    stats: PoolStats | None = None,
 ) -> str:
-    """Atomically write one page file; return its sha256 hex digest."""
+    """Atomically write one page file; return its sha256 hex digest.
+
+    Transient write failures are retried under ``retry``; the
+    ``storage.page_torn_write`` raise mode leaves the destination
+    half-written (a torn page, exactly what a crash mid-write produces)
+    before re-raising, so the digest check on the next load must catch
+    it.
+    """
     raw = buffer_to_bytes(page, byteorder)
     digest = hashlib.sha256(raw).hexdigest()
-    atomic_write_bytes(_page_path(pages_dir, physical), raw)
+    path = _page_path(pages_dir, physical)
+
+    def persist() -> None:
+        fault_point("storage.page_enospc", path=path)
+        try:
+            fault_point("storage.page_torn_write", path=path)
+        except InjectedFaultError:
+            path.write_bytes(raw[: len(raw) // 2])
+            raise
+        atomic_write_bytes(path, raw)
+
+    if retry is not None:
+        io_retry(
+            persist,
+            what=f"write page file {path.name}",
+            policy=retry,
+            stats=stats,
+        )
+    else:
+        persist()
+    fault_point("storage.page_bit_flip", path=path)
     return digest
 
 
@@ -501,6 +569,112 @@ def _validate_manifest(
     return byteorder, page_bytes, generation, next_page, meta, table
 
 
+# ----------------------------------------------------------------------
+# Scrub & repair
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScrubPage:
+    """One non-clean page found by :meth:`PagedStore.scrub`.
+
+    Attributes:
+        buffer: the buffer the page belongs to.
+        page_index: logical page index within that buffer.
+        physical: the physical page-file id the manifest references.
+        status: ``"repaired"`` or ``"unrepairable"``.
+        detail: what was wrong, and (if repaired) where the replacement
+            came from.
+    """
+
+    buffer: str
+    page_index: int
+    physical: int
+    status: str
+    detail: str
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one :meth:`PagedStore.scrub` pass.
+
+    ``ok`` means every live page is digest-verified *now* — clean from
+    the start or repaired from an older generation.  ``not ok`` means
+    at least one page is unrepairable: its file sits in quarantine, the
+    manifest still references it so every read stays loudly broken, and
+    the caller must rebuild from the source graph.  There is no third
+    state; scrub never leaves corruption silently readable.
+    """
+
+    generation: int
+    pages_checked: int
+    clean: int
+    repaired: list[ScrubPage]
+    unrepairable: list[ScrubPage]
+
+    @property
+    def ok(self) -> bool:
+        """Every live page digest-verifies after this pass."""
+        return not self.unrepairable
+
+    @property
+    def rebuild_required(self) -> bool:
+        """At least one page could not be repaired from any generation."""
+        return bool(self.unrepairable)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary."""
+        return {
+            "generation": self.generation,
+            "pages_checked": self.pages_checked,
+            "clean": self.clean,
+            "repaired": [
+                {
+                    "buffer": page.buffer,
+                    "page_index": page.page_index,
+                    "physical": page.physical,
+                    "detail": page.detail,
+                }
+                for page in self.repaired
+            ],
+            "unrepairable": [
+                {
+                    "buffer": page.buffer,
+                    "page_index": page.page_index,
+                    "physical": page.physical,
+                    "detail": page.detail,
+                }
+                for page in self.unrepairable
+            ],
+            "ok": self.ok,
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"scrub of generation {self.generation}: "
+            f"{self.pages_checked} page(s) checked, {self.clean} clean, "
+            f"{len(self.repaired)} repaired, "
+            f"{len(self.unrepairable)} unrepairable"
+        ]
+        for page in self.repaired:
+            lines.append(
+                f"  repaired   {page.buffer}[{page.page_index}] "
+                f"(page {page.physical}): {page.detail}"
+            )
+        for page in self.unrepairable:
+            lines.append(
+                f"  UNREPAIRED {page.buffer}[{page.page_index}] "
+                f"(page {page.physical}): {page.detail}"
+            )
+        if self.rebuild_required:
+            lines.append(
+                "  corrupt files quarantined; rebuild from the source "
+                "graph is required"
+            )
+        return "\n".join(lines)
+
+
 class PagedStore:
     """Named ``int64`` buffers paged to disk under a manifest.
 
@@ -524,6 +698,7 @@ class PagedStore:
         table: dict[str, dict[str, Any]],
         budget_bytes: int,
         retain: int,
+        retry: RetryPolicy | None = None,
     ) -> None:
         """Internal: use :meth:`create` or :meth:`open`."""
         self.directory = directory
@@ -537,8 +712,9 @@ class PagedStore:
         self._table = table
         self._retain = retain
         self._closed = False
+        self.retry = retry if retry is not None else resolve_retry_policy()
         self.pool = PagedBufferPool(
-            budget_bytes, self._load_page, self._store_page
+            budget_bytes, self._load_page, self._store_page, retry=self.retry
         )
 
     # -- construction --------------------------------------------------
@@ -553,6 +729,7 @@ class PagedStore:
         budget_bytes: int | None = None,
         meta: Mapping[str, Any] | None = None,
         retain: int = DEFAULT_RETAIN,
+        retry: RetryPolicy | None = None,
     ) -> "PagedStore":
         """Create a store by streaming ``buffers`` into page files.
 
@@ -566,6 +743,7 @@ class PagedStore:
         """
         page_bytes = resolve_page_bytes(page_bytes)
         budget = resolve_pool_budget(budget_bytes)
+        retry = retry if retry is not None else resolve_retry_policy()
         if not buffers:
             raise PagedStoreError("a paged store needs at least one buffer")
         base = Path(directory)
@@ -589,13 +767,17 @@ class PagedStore:
             for value in values:
                 chunk.append(value)
                 if len(chunk) == entries_per_page:
-                    digest = _emit_page(pages_dir, next_page, chunk, byteorder)
+                    digest = _emit_page(
+                        pages_dir, next_page, chunk, byteorder, retry=retry
+                    )
                     pages.append([next_page, digest])
                     next_page += 1
                     entries += len(chunk)
                     chunk = array(BUFFER_TYPECODE)
             if chunk:
-                digest = _emit_page(pages_dir, next_page, chunk, byteorder)
+                digest = _emit_page(
+                    pages_dir, next_page, chunk, byteorder, retry=retry
+                )
                 pages.append([next_page, digest])
                 next_page += 1
                 entries += len(chunk)
@@ -610,6 +792,7 @@ class PagedStore:
             table=table,
             budget_bytes=budget,
             retain=retain,
+            retry=retry,
         )
         store.checkpoint()
         return store
@@ -622,6 +805,7 @@ class PagedStore:
         budget_bytes: int | None = None,
         generation: int | None = None,
         retain: int = DEFAULT_RETAIN,
+        retry: RetryPolicy | None = None,
     ) -> "PagedStore":
         """Attach to an existing store directory.
 
@@ -634,7 +818,9 @@ class PagedStore:
 
         Raises:
             PagedStoreError: missing directory, no readable manifest,
-                or an unknown pinned generation.
+                or a pinned generation that was pruned, never existed,
+                or is present but unreadable (the error names the
+                pinned generation and the surviving ones).
         """
         budget = resolve_pool_budget(budget_bytes)
         base = Path(directory)
@@ -649,9 +835,11 @@ class PagedStore:
             raise PagedStoreError(f"no manifest found under {base}")
         if generation is not None:
             if generation not in on_disk:
+                survivors = ", ".join(str(g) for g in sorted(on_disk))
                 raise PagedStoreError(
-                    f"generation {generation} not present under {base} "
-                    f"(have {sorted(on_disk)})"
+                    f"generation {generation} is not present under {base} "
+                    "(pruned, or never checkpointed); surviving "
+                    f"generations: {survivors}"
                 )
             candidates = [generation]
         else:
@@ -685,8 +873,18 @@ class PagedStore:
                 table=table,
                 budget_bytes=budget,
                 retain=retain,
+                retry=retry,
             )
         detail = "; ".join(failures)
+        if generation is not None:
+            survivors = ", ".join(
+                str(g) for g in sorted(on_disk) if g != generation
+            )
+            raise PagedStoreError(
+                f"generation {generation} under {base} is present but "
+                f"unreadable ({detail}); surviving generations: "
+                f"{survivors or 'none'}"
+            )
         raise PagedStoreError(f"no readable manifest under {base}: {detail}")
 
     # -- geometry ------------------------------------------------------
@@ -762,12 +960,17 @@ class PagedStore:
             )
         physical, digest = pages[index]
         path = _page_path(self._pages_dir, physical)
-        try:
-            raw = path.read_bytes()
-        except OSError as error:
-            raise PagedStoreError(
-                f"cannot read page file {path.name}: {error}"
-            ) from error
+
+        def fetch() -> bytes:
+            fault_point("storage.page_read_eio_transient", path=path)
+            return path.read_bytes()
+
+        raw = io_retry(
+            fetch,
+            what=f"cannot read page file {path.name}",
+            policy=self.retry,
+            stats=self.pool.stats,
+        )
         if hashlib.sha256(raw).hexdigest() != digest:
             raise PagedStoreError(
                 f"page file {path.name} fails its manifest digest "
@@ -790,7 +993,14 @@ class PagedStore:
         spec = self._spec(name)
         physical = self._next_page
         self._next_page += 1
-        digest = _emit_page(self._pages_dir, physical, page, self._byteorder)
+        digest = _emit_page(
+            self._pages_dir,
+            physical,
+            page,
+            self._byteorder,
+            retry=self.retry,
+            stats=self.pool.stats,
+        )
         spec["pages"][index] = [physical, digest]
 
     # -- element access ------------------------------------------------
@@ -879,9 +1089,9 @@ class PagedStore:
             "meta": self._meta,
             "page_table": self._table,
         }
-        atomic_write_document(
-            _manifest_path(self.directory, self._generation), document
-        )
+        manifest_path = _manifest_path(self.directory, self._generation)
+        atomic_write_document(manifest_path, document)
+        fault_point("storage.manifest_corrupt", path=manifest_path)
         atomic_write_document(
             self.directory / CURRENT_NAME,
             {
@@ -917,6 +1127,160 @@ class PagedStore:
                 _page_path(self._pages_dir, physical).unlink(missing_ok=True)
         fsync_directory(self._pages_dir)
         fsync_directory(self.directory)
+
+    # -- scrub & repair ------------------------------------------------
+
+    def _verify_page_file(
+        self, physical: int, digest: str, expected_bytes: int
+    ) -> str | None:
+        """Why the page file fails verification, or ``None`` if clean."""
+        path = _page_path(self._pages_dir, physical)
+
+        def fetch() -> bytes:
+            fault_point("storage.page_read_eio_transient", path=path)
+            return path.read_bytes()
+
+        try:
+            raw = io_retry(
+                fetch,
+                what=f"cannot read page file {path.name}",
+                policy=self.retry,
+                stats=self.pool.stats,
+            )
+        except PagedStoreError as error:
+            return str(error)
+        if hashlib.sha256(raw).hexdigest() != digest:
+            return "sha256 digest mismatch against the manifest"
+        if len(raw) != expected_bytes:
+            return f"holds {len(raw)} bytes; manifest expects {expected_bytes}"
+        return None
+
+    def _repair_page(
+        self, name: str, page_index: int, physical: int, digest: str,
+        expected_bytes: int,
+    ) -> str | None:
+        """Restore a quarantined page from an older retained generation.
+
+        Copy-on-write means a same-value write-back allocates a *fresh*
+        physical file with the *same* digest, so older manifests often
+        reference an intact byte-identical twin of the damaged page.
+        Scans retained generations newest-first for one whose entry at
+        the same logical position carries the same digest under a
+        different physical id, verifies the candidate bytes, and writes
+        them back to the damaged page's path (the live manifest keeps
+        referencing ``physical``, which now verifies again).
+
+        Returns a description of the donor, or ``None`` when no
+        generation holds a verified twin.
+        """
+        for generation in _scan_generations(self.directory):
+            if generation >= self._generation:
+                continue
+            manifest = _manifest_path(self.directory, generation)
+            try:
+                doc = read_document(manifest)
+                _, _, _, _, _, table = _validate_manifest(doc, manifest.name)
+            except SerializationError:
+                continue
+            spec = table.get(name)
+            if spec is None or page_index >= len(spec["pages"]):
+                continue
+            donor_physical, donor_digest = spec["pages"][page_index]
+            if donor_digest != digest or donor_physical == physical:
+                continue
+            donor_path = _page_path(self._pages_dir, donor_physical)
+            try:
+                raw = donor_path.read_bytes()
+            except OSError:
+                continue
+            if (
+                hashlib.sha256(raw).hexdigest() != digest
+                or len(raw) != expected_bytes
+            ):
+                continue
+            atomic_write_bytes(_page_path(self._pages_dir, physical), raw)
+            return (
+                f"restored from generation {generation} "
+                f"(donor page {donor_physical})"
+            )
+        return None
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Digest-verify every live page; quarantine and repair corrupt ones.
+
+        Each page the current manifest references is read back and
+        checked against its sha256 digest and expected length.  A
+        failing page file is moved to ``quarantine/`` (evidence is
+        never destroyed) and, when ``repair`` is set, restored from the
+        newest older generation holding a byte-identical twin (see
+        :meth:`_repair_page`).  Pages with no donor stay quarantined
+        and the report flags a rebuild — the manifest still references
+        them, so subsequent reads fail loudly rather than serving
+        corrupt data.
+
+        The pool is emptied first so verification reads disk, not
+        cache, and emptied again afterwards so repaired bytes are what
+        later reads see.
+
+        Raises:
+            PagedStoreError: dirty pages are resident — checkpoint (or
+                flush) before scrubbing, so the scrub sees exactly the
+                durable state it certifies.
+        """
+        self._check_open()
+        if self.pool.dirty_pages:
+            raise PagedStoreError(
+                f"{self.pool.dirty_pages} dirty page(s) resident; "
+                "checkpoint before scrubbing"
+            )
+        self.pool.drop()
+        quarantine_dir = self.directory / QUARANTINE_DIRNAME
+        checked = 0
+        clean = 0
+        repaired: list[ScrubPage] = []
+        unrepairable: list[ScrubPage] = []
+        for name, spec in self._table.items():
+            entries = int(spec["entries"])
+            for page_index, (physical, digest) in enumerate(spec["pages"]):
+                checked += 1
+                expected_entries = min(
+                    self._entries_per_page,
+                    entries - page_index * self._entries_per_page,
+                )
+                expected_bytes = expected_entries * ENTRY_BYTES
+                problem = self._verify_page_file(
+                    physical, digest, expected_bytes
+                )
+                if problem is None:
+                    clean += 1
+                    continue
+                path = _page_path(self._pages_dir, physical)
+                if path.exists():
+                    quarantine_dir.mkdir(exist_ok=True)
+                    path.replace(quarantine_dir / path.name)
+                detail: str | None = None
+                if repair:
+                    detail = self._repair_page(
+                        name, page_index, physical, digest, expected_bytes
+                    )
+                if detail is not None:
+                    repaired.append(
+                        ScrubPage(name, page_index, physical, "repaired", detail)
+                    )
+                else:
+                    unrepairable.append(
+                        ScrubPage(
+                            name, page_index, physical, "unrepairable", problem
+                        )
+                    )
+        self.pool.drop()
+        return ScrubReport(
+            generation=self._generation,
+            pages_checked=checked,
+            clean=clean,
+            repaired=repaired,
+            unrepairable=unrepairable,
+        )
 
     def close(self, discard_dirty: bool = False) -> None:
         """Detach: drop the pool.  Un-checkpointed mutations are lost.
@@ -1073,6 +1437,7 @@ class PagedCSRGraph:
         page_bytes: int | None = None,
         budget_bytes: int | None = None,
         retain: int = DEFAULT_RETAIN,
+        retry: RetryPolicy | None = None,
     ) -> "PagedCSRGraph":
         """Page a graph's frozen CSR view out to ``directory``.
 
@@ -1120,6 +1485,7 @@ class PagedCSRGraph:
             budget_bytes=budget_bytes,
             meta=meta,
             retain=retain,
+            retry=retry,
         )
         return cls(store)
 
@@ -1131,6 +1497,7 @@ class PagedCSRGraph:
         budget_bytes: int | None = None,
         generation: int | None = None,
         retain: int = DEFAULT_RETAIN,
+        retry: RetryPolicy | None = None,
     ) -> "PagedCSRGraph":
         """Attach to a paged CSR snapshot created earlier."""
         return cls(
@@ -1139,6 +1506,7 @@ class PagedCSRGraph:
                 budget_bytes=budget_bytes,
                 generation=generation,
                 retain=retain,
+                retry=retry,
             )
         )
 
@@ -1234,6 +1602,10 @@ class PagedCSRGraph:
     def checkpoint(self) -> int:
         """Publish mutations as a new store generation."""
         return self._store.checkpoint()
+
+    def scrub(self, repair: bool = True) -> ScrubReport:
+        """Digest-verify (and repair) every live page of the store."""
+        return self._store.scrub(repair=repair)
 
     def close(self, discard_dirty: bool = False) -> None:
         """Detach from the store."""

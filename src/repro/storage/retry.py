@@ -1,0 +1,168 @@
+"""Bounded retry with exponential backoff for transient storage I/O.
+
+Out-of-core refinement turns every page access into real I/O, and real
+I/O fails in two very different ways.  *Transient* errors — an ``EIO``
+from a flaky block device, an ``EAGAIN``/``EINTR`` under load — succeed
+on a later attempt, so dying on the first one throws away a build that
+would have finished.  *Persistent* errors — ``ENOSPC``, a missing file
+— never heal by waiting, so retrying them only delays the loud failure
+the caller needs.  :func:`io_retry` encodes exactly that split: it
+re-runs the operation through a bounded number of attempts with
+exponential backoff (and seeded jitter, so concurrent builders do not
+stampede in lockstep — and so every delay sequence reproduces from its
+seed, per the repo's no-global-randomness rule), counts every retry and
+give-up into the caller's :class:`~repro.storage.paged.PoolStats`, and
+converts whatever finally escapes into a typed
+:class:`~repro.exceptions.PagedStoreError`.
+
+Two environment knobs, sibling to ``DKINDEX_PAGE_BYTES``:
+
+============================ ============================== =========
+knob                         env                            default
+============================ ============================== =========
+attempts after the first     ``DKINDEX_IO_RETRIES``         4
+base backoff in milliseconds ``DKINDEX_IO_BACKOFF_MS``      1
+============================ ============================== =========
+
+The backoff before retry *n* (1-based) is
+``backoff_ms * 2**(n-1) * uniform(1, 2)`` milliseconds; a base of 0
+disables sleeping entirely (used by the chaos suite, where the fault
+is injected and waiting for it to clear is pointless).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, TypeVar
+
+from repro.exceptions import PagedStoreError
+
+if TYPE_CHECKING:
+    from repro.storage.paged import PoolStats
+
+#: Environment overrides for the retry policy.
+IO_RETRIES_ENV_VAR = "DKINDEX_IO_RETRIES"
+IO_BACKOFF_MS_ENV_VAR = "DKINDEX_IO_BACKOFF_MS"
+
+#: Default bounded attempts after the first failure.
+DEFAULT_IO_RETRIES = 4
+
+#: Default base backoff in milliseconds (doubled per attempt).
+DEFAULT_IO_BACKOFF_MS = 1.0
+
+#: Errno values worth retrying: the error class that heals by waiting.
+#: ``ENOSPC`` is deliberately absent — a full disk does not drain while
+#: a page write sleeps, and pretending otherwise hides the condition
+#: the degradation policy exists to handle.
+TRANSIENT_ERRNOS = frozenset(
+    {errno.EIO, errno.EAGAIN, errno.EINTR, errno.EBUSY, errno.ETIMEDOUT}
+)
+
+_T = TypeVar("_T")
+
+
+def _env_number(env_var: str, what: str) -> float | None:
+    """Parse an optional non-negative numeric environment override."""
+    raw = os.environ.get(env_var)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise PagedStoreError(
+            f"invalid {what} in {env_var}: {raw!r} (expected a number)"
+        ) from None
+    if value < 0:
+        raise PagedStoreError(f"{what} must be >= 0: {raw!r} ({env_var})")
+    return value
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """One resolved transient-I/O retry policy.
+
+    Attributes:
+        retries: attempts *after* the first (0 disables retrying).
+        backoff_ms: base backoff; retry ``n`` sleeps
+            ``backoff_ms * 2**(n-1)`` ms, jittered into ``[1x, 2x)``.
+        seed: determinism anchor for the jitter.
+    """
+
+    retries: int = DEFAULT_IO_RETRIES
+    backoff_ms: float = DEFAULT_IO_BACKOFF_MS
+    seed: int = 0
+
+
+def resolve_retry_policy(
+    retries: int | None = None,
+    backoff_ms: float | None = None,
+    seed: int = 0,
+) -> RetryPolicy:
+    """Pick the policy: arguments, environment knobs, defaults.
+
+    Raises:
+        PagedStoreError: negative or non-numeric knob values.
+    """
+    if retries is None:
+        env = _env_number(IO_RETRIES_ENV_VAR, "I/O retry count")
+        retries = DEFAULT_IO_RETRIES if env is None else int(env)
+    if retries < 0:
+        raise PagedStoreError(f"I/O retry count must be >= 0: {retries}")
+    if backoff_ms is None:
+        env = _env_number(IO_BACKOFF_MS_ENV_VAR, "I/O backoff")
+        backoff_ms = DEFAULT_IO_BACKOFF_MS if env is None else env
+    if backoff_ms < 0:
+        raise PagedStoreError(f"I/O backoff must be >= 0: {backoff_ms}")
+    return RetryPolicy(retries=retries, backoff_ms=backoff_ms, seed=seed)
+
+
+def io_retry(
+    operation: Callable[[], _T],
+    *,
+    what: str,
+    policy: RetryPolicy,
+    stats: "PoolStats | None" = None,
+) -> _T:
+    """Run ``operation``, retrying transient :class:`OSError` failures.
+
+    Non-``OSError`` exceptions pass straight through (an injected crash
+    must look like a crash).  An ``OSError`` with a transient errno is
+    retried up to ``policy.retries`` times with exponential, seeded-
+    jitter backoff; exhausting the budget counts one give-up and raises
+    a :class:`PagedStoreError` naming the attempts.  A non-transient
+    ``OSError`` (``ENOSPC``, ``ENOENT``, ...) is converted to a typed
+    :class:`PagedStoreError` immediately — waiting cannot fix it.
+
+    Every successful-after-failure attempt increments ``stats.retries``
+    when ``stats`` is given; the counters are how the benchmark's
+    fault-rate mode prices recovery overhead.
+    """
+    jitter: random.Random | None = None
+    attempt = 0
+    while True:
+        try:
+            return operation()
+        except OSError as error:
+            if error.errno not in TRANSIENT_ERRNOS:
+                raise PagedStoreError(f"{what}: {error}") from error
+            if attempt >= policy.retries:
+                if stats is not None:
+                    stats.give_ups += 1
+                raise PagedStoreError(
+                    f"{what}: transient I/O error persisted through "
+                    f"{attempt + 1} attempt(s): {error}"
+                ) from error
+            if jitter is None:
+                jitter = random.Random(policy.seed)
+            delay_ms = policy.backoff_ms * (2**attempt) * (
+                1.0 + jitter.random()
+            )
+            if delay_ms > 0:
+                time.sleep(delay_ms / 1000.0)
+            attempt += 1
+            if stats is not None:
+                stats.retries += 1

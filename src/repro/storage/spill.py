@@ -11,28 +11,64 @@ is appended to a run file on disk; :meth:`SpillRuns.merged` streams the
 union of every run and the in-memory tail back in ascending position
 order via a k-way merge.
 
-Run files are append-only framed records (``>QI`` header: position,
-payload length), never rewritten — crash debris is a temp directory the
-OS reclaims, so the atomic-writer discipline of
-:mod:`repro.maintenance.store` is deliberately not involved.
+Run files are append-only framed records (``>QII`` header: position,
+payload length, CRC-32 over the packed position/length plus the
+payload), never rewritten — crash debris is a temp directory the OS
+reclaims, so the atomic-writer discipline of
+:mod:`repro.maintenance.store` is deliberately not involved.  The CRC
+matters even for scratch data: a silent bit-flip in a run would come
+back as a *different signature key* and change the partition without
+any error, so every frame is verified as it streams back.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import struct
 import tempfile
+import zlib
 from collections.abc import Iterator
 from pathlib import Path
 from types import TracebackType
 
-from repro.exceptions import PagedStoreError
+from repro.exceptions import InjectedFaultError, PagedStoreError
+from repro.maintenance.faults import fault_point
+from repro.storage.paged import PoolStats, _env_int
+from repro.storage.retry import RetryPolicy, io_retry, resolve_retry_policy
 
-#: Frame header: 64-bit record position, 32-bit payload byte length.
-_FRAME = struct.Struct(">QI")
+#: Packed (position, length) prefix the frame CRC is seeded with.
+_HEAD = struct.Struct(">QI")
+
+#: Frame header: 64-bit record position, 32-bit payload byte length,
+#: 32-bit CRC over the packed position/length and the payload.
+_FRAME = struct.Struct(">QII")
 
 #: Default in-memory working-set budget before a run is spilled.
 DEFAULT_SPILL_BUDGET = 4 * 1024 * 1024
+
+#: Environment override for the spill budget, sibling knob to
+#: ``DKINDEX_POOL_BUDGET`` (the chaos suite shrinks it to force runs).
+SPILL_BUDGET_ENV_VAR = "DKINDEX_SPILL_BUDGET"
+
+
+def resolve_spill_budget(budget_bytes: int | None = None) -> int:
+    """Pick the spill budget: argument, ``DKINDEX_SPILL_BUDGET``, default.
+
+    Raises:
+        PagedStoreError: for a negative budget.
+    """
+    if budget_bytes is None:
+        budget_bytes = _env_int(SPILL_BUDGET_ENV_VAR, "spill budget")
+    if budget_bytes is None:
+        budget_bytes = DEFAULT_SPILL_BUDGET
+    if budget_bytes < 0:
+        raise PagedStoreError(f"spill budget must be >= 0: {budget_bytes}")
+    return budget_bytes
+
+
+def _frame_crc(position: int, length: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(_HEAD.pack(position, length)))
 
 
 def _read_run(path: Path) -> Iterator[tuple[int, bytes]]:
@@ -44,10 +80,15 @@ def _read_run(path: Path) -> Iterator[tuple[int, bytes]]:
                 return
             if len(header) != _FRAME.size:
                 raise PagedStoreError(f"truncated spill frame in {path.name}")
-            position, length = _FRAME.unpack(header)
+            position, length, crc = _FRAME.unpack(header)
             payload = handle.read(length)
             if len(payload) != length:
                 raise PagedStoreError(f"truncated spill payload in {path.name}")
+            if _frame_crc(position, length, payload) != crc:
+                raise PagedStoreError(
+                    f"spill frame CRC mismatch in {path.name} "
+                    f"(position {position})"
+                )
             yield position, payload
 
 
@@ -69,13 +110,15 @@ class SpillRuns:
 
     def __init__(
         self,
-        budget_bytes: int = DEFAULT_SPILL_BUDGET,
+        budget_bytes: int | None = None,
         directory: str | Path | None = None,
+        stats: PoolStats | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        if budget_bytes < 0:
-            raise PagedStoreError(f"spill budget must be >= 0: {budget_bytes}")
-        self.budget_bytes = budget_bytes
+        self.budget_bytes = resolve_spill_budget(budget_bytes)
         self._directory = Path(directory) if directory is not None else None
+        self._stats = stats
+        self._retry = retry if retry is not None else resolve_retry_policy()
         self._tempdir: tempfile.TemporaryDirectory[str] | None = None
         self._pending: list[tuple[int, bytes]] = []
         self._pending_bytes = 0
@@ -122,12 +165,35 @@ class SpillRuns:
             return
         self._pending.sort(key=lambda record: record[0])
         path = self._run_directory() / f"run-{len(self._run_paths):07d}.bin"
-        # Append-only framing: runs are write-once scratch, re-read only
-        # by the merge below, and discarded with the temp directory.
-        with open(path, "ab") as handle:
-            for position, payload in self._pending:
-                handle.write(_FRAME.pack(position, len(payload)))
-                handle.write(payload)
+
+        def write_run() -> None:
+            # Start clean on every attempt: a retry after a torn or
+            # failed write must not leave duplicate frames behind.
+            path.unlink(missing_ok=True)
+            # Append-only framing: runs are write-once scratch, re-read
+            # only by the merge below, discarded with the temp dir.
+            with open(path, "ab") as handle:
+                for position, payload in self._pending:
+                    handle.write(
+                        _FRAME.pack(
+                            position,
+                            len(payload),
+                            _frame_crc(position, len(payload), payload),
+                        )
+                    )
+                    handle.write(payload)
+            try:
+                fault_point("storage.spill_torn_run", path=path)
+            except InjectedFaultError:
+                os.truncate(path, path.stat().st_size // 2)
+                raise
+
+        io_retry(
+            write_run,
+            what=f"append spill run {path.name}",
+            policy=self._retry,
+            stats=self._stats,
+        )
         self._run_paths.append(path)
         self._spilled_bytes += self._pending_bytes
         self._pending = []

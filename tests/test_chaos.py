@@ -11,9 +11,10 @@ from repro.cli import main
 from repro.maintenance.chaos import (
     ORACLE_QUERIES,
     POINTS_FOR_OP,
+    UPDATE_CHAOS_MODES,
     run_chaos_suite,
 )
-from repro.maintenance.faults import FAULT_MODES, FAULT_POINTS
+from repro.maintenance.faults import FAULT_POINTS
 from repro.maintenance.journal import UpdateJournal
 
 
@@ -25,7 +26,7 @@ def test_chaos_matrix_rolls_back_or_repairs(seed, tmp_path):
     assert counts.get("broken", 0) == 0
     assert counts.get("unrepaired", 0) == 0
     expected = sum(len(points) for points in POINTS_FOR_OP.values()) * len(
-        FAULT_MODES
+        UPDATE_CHAOS_MODES
     )
     assert len(report.outcomes) == expected
     # The matrix must actually exercise both recovery paths.

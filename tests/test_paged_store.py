@@ -12,9 +12,13 @@ Covers the three layers of ``repro.storage``:
 """
 
 import random
+import tempfile
 from array import array
+from pathlib import Path
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.exceptions import PagedStoreError, SerializationError
 from repro.graph.datagraph import DataGraph
@@ -22,6 +26,8 @@ from repro.storage.paged import (
     PagedBufferPool,
     PagedCSRGraph,
     PagedStore,
+    PoolStats,
+    _scan_generations,
     resolve_page_bytes,
     resolve_pool_budget,
 )
@@ -422,3 +428,94 @@ def test_spill_runs_rejects_misuse():
     runs.close()
     with pytest.raises(PagedStoreError):
         runs.add(0, b"x")
+
+
+# ----------------------------------------------------------------------
+# Generation lifecycle and pool counters (robustness satellites)
+# ----------------------------------------------------------------------
+
+
+def test_open_pruned_generation_names_survivors(tmp_path):
+    store = PagedStore.create(tmp_path / "s", {"v": range(16)}, retain=1)
+    for value in (1, 2, 3):
+        store.write_element("v", 0, value)
+        store.checkpoint()
+    store.close()
+    # retain=1 keeps generations {3, 4}; generation 1 was pruned.
+    with pytest.raises(PagedStoreError, match="pruned") as excinfo:
+        PagedStore.open(tmp_path / "s", generation=1)
+    message = str(excinfo.value)
+    assert "generation 1" in message
+    assert "surviving generations: 3, 4" in message
+
+
+def test_open_unreadable_pinned_generation_names_it(tmp_path):
+    store = PagedStore.create(tmp_path / "s", {"v": range(16)})
+    store.write_element("v", 0, 5)
+    store.checkpoint()
+    store.close()
+    manifest = tmp_path / "s" / "manifest-0000001.json"
+    manifest.write_text(manifest.read_text(encoding="utf-8")[:-40], "utf-8")
+    with pytest.raises(
+        PagedStoreError, match="present but unreadable"
+    ) as excinfo:
+        PagedStore.open(tmp_path / "s", generation=1)
+    assert "surviving generations: 2" in str(excinfo.value)
+
+
+def test_pool_stats_idle_hit_rate_and_retry_counters():
+    stats = PoolStats()
+    assert stats.accesses == 0
+    assert stats.hit_rate == 1.0  # no lookups yet: not a 0/0 crash
+    payload = stats.as_dict()
+    assert payload["hit_rate"] == 1.0
+    assert payload["retries"] == 0
+    assert payload["give_ups"] == 0
+    stats.retries = 3
+    stats.give_ups = 1
+    delta = stats.delta(PoolStats(retries=1))
+    assert delta.retries == 2 and delta.give_ups == 1
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(
+                st.just("write"),
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=-5, max_value=5),
+            ),
+            st.tuples(st.just("checkpoint")),
+        ),
+        max_size=12,
+    )
+)
+def test_retained_generations_stay_fully_readable(ops):
+    """No checkpoint/prune/GC sweep may drop a page a manifest needs.
+
+    Whatever interleaving of mutation and checkpoint runs, every
+    generation still on disk afterwards — including after the crash-
+    orphan sweep that ``close(discard_dirty=True)`` leaves behind —
+    must open and read back in full.
+    """
+    with tempfile.TemporaryDirectory(prefix="dk-gc-prop-") as tmp:
+        base = Path(tmp) / "s"
+        store = PagedStore.create(
+            base, {"v": range(32)}, page_bytes=64, retain=2
+        )
+        for op in ops:
+            if op[0] == "write":
+                _, position, delta = op
+                store.write_element(
+                    "v", position, store.read_element("v", position) + delta
+                )
+            else:
+                store.checkpoint()
+        store.close(discard_dirty=True)
+        survivors = _scan_generations(base)
+        assert survivors
+        for generation in survivors:
+            with PagedStore.open(base, generation=generation) as snap:
+                values = snap.read_slice("v", 0, snap.length("v"))
+                assert len(values) == 32
